@@ -1,0 +1,33 @@
+//! Ablation (DESIGN.md #4): pMA's ΔQ row-update parallelization threshold
+//! (sequential CNM baseline vs always-parallel updates).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snap::community::{pma, PmaConfig};
+
+fn bench_dq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation-dq");
+    group.sample_size(10);
+    // Hub-heavy graph: merged hub rows get large neighbor unions.
+    let g = snap::gen::rmat(&snap::gen::RmatConfig::small_world(12, 32_768), 21);
+
+    group.bench_function("pma-sequential-rows", |b| {
+        b.iter(|| {
+            pma(
+                &g,
+                &PmaConfig {
+                    par_threshold: usize::MAX,
+                },
+            )
+        })
+    });
+    group.bench_function("pma-parallel-rows", |b| {
+        b.iter(|| pma(&g, &PmaConfig { par_threshold: 64 }))
+    });
+    group.bench_function("pma-default", |b| {
+        b.iter(|| pma(&g, &PmaConfig::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dq);
+criterion_main!(benches);

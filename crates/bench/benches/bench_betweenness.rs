@@ -1,0 +1,29 @@
+//! Exact vs approximate betweenness — the core trade of the pBD
+//! algorithm (DESIGN.md ablation 1): sampling 5% of sources buys an
+//! order-of-magnitude speedup at bounded error on the high-centrality
+//! entities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snap::centrality::{approx_betweenness, brandes, par_brandes};
+
+fn bench_betweenness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("betweenness");
+    group.sample_size(10);
+    let g = snap::gen::rmat(&snap::gen::RmatConfig::small_world(10, 8_192), 3);
+    group.bench_function(BenchmarkId::new("exact-seq", "rmat-1k"), |b| {
+        b.iter(|| brandes(&g))
+    });
+    group.bench_function(BenchmarkId::new("exact-par", "rmat-1k"), |b| {
+        b.iter(|| par_brandes(&g))
+    });
+    for frac in [0.05f64, 0.1, 0.25] {
+        group.bench_function(
+            BenchmarkId::new("approx", format!("rmat-1k-f{frac}")),
+            |b| b.iter(|| approx_betweenness(&g, frac, 9)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_betweenness);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! BFS kernel micro-benchmarks, including the degree-aware vs naive
+//! work-assignment ablation (DESIGN.md ablation 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snap::kernels::{bfs, par_bfs, par_bfs_vertex_partitioned};
+
+fn bench_bfs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bfs");
+    group.sample_size(10);
+    for scale in [12u32, 14] {
+        let g = snap::gen::rmat(
+            &snap::gen::RmatConfig::small_world(scale, (1usize << scale) * 8),
+            42,
+        );
+        group.bench_with_input(BenchmarkId::new("sequential", scale), &g, |b, g| {
+            b.iter(|| bfs(g, 0))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel-degree-aware", scale), &g, |b, g| {
+            b.iter(|| par_bfs(g, 0))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("parallel-vertex-partitioned", scale),
+            &g,
+            |b, g| b.iter(|| par_bfs_vertex_partitioned(g, 0)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bfs);
+criterion_main!(benches);

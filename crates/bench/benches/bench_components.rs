@@ -1,0 +1,28 @@
+//! Connected-components kernels: sequential BFS sweep vs parallel label
+//! propagation vs Shiloach–Vishkin, on a low-diameter small-world graph
+//! and a high-diameter road grid (where LP crawls and SV wins).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snap::kernels::{connected_components, par_components_lp, par_components_sv};
+
+fn bench_components(c: &mut Criterion) {
+    let mut group = c.benchmark_group("components");
+    group.sample_size(10);
+    let small_world = snap::gen::rmat(&snap::gen::RmatConfig::small_world(14, 130_000), 7);
+    let road = snap::gen::road_grid(128, 128, 0.02, 0.5, 7);
+    for (label, g) in [("rmat-16k", &small_world), ("road-16k", &road)] {
+        group.bench_with_input(BenchmarkId::new("sequential", label), g, |b, g| {
+            b.iter(|| connected_components(g))
+        });
+        group.bench_with_input(BenchmarkId::new("label-propagation", label), g, |b, g| {
+            b.iter(|| par_components_lp(g))
+        });
+        group.bench_with_input(BenchmarkId::new("shiloach-vishkin", label), g, |b, g| {
+            b.iter(|| par_components_sv(g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_components);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Ablation (DESIGN.md #5): the array→treap crossover degree in the
+//! dynamic graph, under a hub-heavy insert/delete/query workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snap::graph::DynGraph;
+use rand::{Rng, SeedableRng};
+
+fn workload(n: u32, ops: usize, seed: u64) -> Vec<(u8, u32, u32)> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..ops)
+        .map(|_| {
+            // Zipf-flavored endpoint choice: hub 0 involved in half the ops.
+            let u = if rng.gen_bool(0.5) { 0 } else { rng.gen_range(0..n) };
+            let v = rng.gen_range(0..n);
+            (rng.gen_range(0..3u8), u, v)
+        })
+        .collect()
+}
+
+fn run(threshold: usize, ops: &[(u8, u32, u32)], n: u32) -> usize {
+    let mut g = DynGraph::with_threshold(n as usize, threshold);
+    let mut hits = 0usize;
+    for &(op, u, v) in ops {
+        match op {
+            0 => {
+                g.insert_edge(u, v);
+            }
+            1 => {
+                g.delete_edge(u, v);
+            }
+            _ => {
+                if g.has_edge(u, v) {
+                    hits += 1;
+                }
+            }
+        }
+    }
+    hits + g.num_edges()
+}
+
+fn bench_dyngraph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dyngraph-threshold");
+    group.sample_size(10);
+    let n = 4_096u32;
+    let ops = workload(n, 200_000, 9);
+    for threshold in [0usize, 32, 128, usize::MAX] {
+        let label = if threshold == usize::MAX {
+            "arrays-only".to_string()
+        } else {
+            format!("treap-at-{threshold}")
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &threshold, |b, &t| {
+            b.iter(|| run(t, &ops, n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dyngraph);
+criterion_main!(benches);

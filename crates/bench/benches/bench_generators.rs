@@ -1,0 +1,29 @@
+//! Generator throughput (edges/second) for the instance families used
+//! across the experiments.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+    group.bench_function("rmat-64k-edges", |b| {
+        b.iter(|| snap::gen::rmat(&snap::gen::RmatConfig::small_world(13, 65_536), 1))
+    });
+    group.bench_function("erdos-renyi-64k-edges", |b| {
+        b.iter(|| snap::gen::erdos_renyi(8_192, 65_536, 1))
+    });
+    group.bench_function("watts-strogatz-64k-edges", |b| {
+        b.iter(|| snap::gen::watts_strogatz(16_384, 4, 0.1, 1))
+    });
+    group.bench_function("road-grid-90x90", |b| {
+        b.iter(|| snap::gen::road_grid(90, 90, 0.02, 1.0, 1))
+    });
+    group.bench_function("planted-8k", |b| {
+        let cfg = snap::gen::PlantedConfig::with_target_degrees(8_192, 64, 8.0, 2.0);
+        b.iter(|| snap::gen::planted_partition(&cfg, 1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

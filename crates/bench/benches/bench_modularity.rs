@@ -1,0 +1,35 @@
+//! Modularity evaluation and incremental-update costs — the `O(m)`-work
+//! steps pBD parallelizes (Algorithm 1, step 7).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snap::community::{modularity, Clustering, ModularityTracker};
+use snap::graph::Graph;
+
+fn bench_modularity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("modularity");
+    group.sample_size(20);
+    let g = snap::gen::rmat(&snap::gen::RmatConfig::small_world(14, 131_072), 11);
+    let labels: Vec<u32> = (0..g.num_vertices() as u32).map(|v| v % 64).collect();
+    let clustering = Clustering::from_labels(&labels);
+
+    group.bench_function("evaluate-16k-64clusters", |b| {
+        b.iter(|| modularity(&g, &clustering))
+    });
+    group.bench_function("tracker-init-16k", |b| {
+        b.iter(|| ModularityTracker::new(&g, &clustering))
+    });
+    group.bench_function("tracker-merge-gain", |b| {
+        let tracker = ModularityTracker::new(&g, &clustering);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..63u32 {
+                acc += tracker.merge_gain(i, i + 1, 10.0);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_modularity);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Treap operations vs the standard BTreeSet — the dynamic adjacency
+//! structure for high-degree vertices (DESIGN.md ablation 5 substrate).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snap::graph::Treap;
+use std::collections::BTreeSet;
+
+const N: u32 = 10_000;
+
+fn keys() -> Vec<u32> {
+    (0..N).map(|i| i.wrapping_mul(2_654_435_761) % 65_536).collect()
+}
+
+fn bench_treap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("treap");
+    group.sample_size(20);
+    let ks = keys();
+
+    group.bench_function("insert-10k", |b| {
+        b.iter(|| {
+            let mut t = Treap::with_seed(1);
+            for &k in &ks {
+                t.insert(k);
+            }
+            t.len()
+        })
+    });
+    group.bench_function("btreeset-insert-10k", |b| {
+        b.iter(|| {
+            let mut t = BTreeSet::new();
+            for &k in &ks {
+                t.insert(k);
+            }
+            t.len()
+        })
+    });
+
+    let full: Treap<u32> = ks.iter().copied().collect();
+    group.bench_function("contains-10k", |b| {
+        b.iter(|| ks.iter().filter(|&&k| full.contains(&k)).count())
+    });
+
+    group.bench_function("union-5k-5k", |b| {
+        let a: Treap<u32> = ks[..(N as usize) / 2].iter().copied().collect();
+        let z: Treap<u32> = ks[(N as usize) / 2..].iter().copied().collect();
+        b.iter(|| a.clone().union(z.clone()).len())
+    });
+    group.bench_function("intersection-5k-5k", |b| {
+        let a: Treap<u32> = ks[..(N as usize) / 2].iter().copied().collect();
+        let z: Treap<u32> = ks[(N as usize) / 4..3 * (N as usize) / 4].iter().copied().collect();
+        b.iter(|| a.clone().intersection(z.clone()).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_treap);
+criterion_main!(benches);

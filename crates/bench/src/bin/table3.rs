@@ -1,0 +1,41 @@
+//! Regenerates **Table 3**: the inventory of small-world networks used in
+//! the timing study, with the stand-in instances actually generated
+//! (paper n/m alongside generated n/m).
+//!
+//! ```text
+//! cargo run --release -p snap-bench --bin table3 [--scale N | --full]
+//! ```
+//!
+//! The default scale divisor 1 generates every instance at paper size
+//! except Actor, which defaults to its 1/10-scale variant; pass `--full`
+//! to also generate the 31.8M-edge Actor stand-in.
+
+use snap::graph::Graph;
+use snap_bench::{banner, fmt_duration, parse_args, time};
+
+fn main() {
+    let args = parse_args(1);
+    let full_actor = args.scale == 1 && std::env::args().any(|a| a == "--full");
+    banner("Table 3: small-world network instances", &args);
+
+    println!(
+        "{:<9} {:>9} {:>11} {:>11} {:>11} {:>11} {:<10}",
+        "label", "paper n", "paper m", "gen n", "gen m", "gen time", "type"
+    );
+    for inst in snap::gen::table3_instances(full_actor) {
+        let (g, t) = time(|| inst.build_scaled(args.scale, args.seed));
+        println!(
+            "{:<9} {:>9} {:>11} {:>11} {:>11} {:>11} {:<10}",
+            inst.label,
+            inst.paper_n,
+            inst.paper_m,
+            g.num_vertices(),
+            g.num_edges(),
+            fmt_duration(t),
+            if g.is_directed() { "directed" } else { "undirected" },
+        );
+    }
+    println!();
+    println!("stand-ins are seeded R-MAT graphs matching each network's n, m and degree skew;");
+    println!("Actor defaults to 1/10 scale (see EXPERIMENTS.md), --full generates 31.8M edges.");
+}

@@ -1,0 +1,373 @@
+//! Exact betweenness centrality (Brandes, J. Math. Sociol. 2001), for
+//! vertices and edges simultaneously.
+//!
+//! The paper's exact kernel is `O(mn)` work: one BFS-like dependency
+//! accumulation per source. SNAP's *coarse-grained* parallelization
+//! distributes the `n` source traversals over workers, each with private
+//! accumulators that are summed at the end — `O(p(m + n))` memory, no
+//! fine-grained synchronization on the hot path. This module implements
+//! the sequential kernel and that coarse-grained parallel scheme.
+
+use rayon::prelude::*;
+use snap_graph::{Graph, VertexId};
+
+/// Betweenness scores for all vertices and edges.
+///
+/// For undirected graphs each unordered pair is counted once (the raw
+/// two-directional Brandes sums are halved), matching the textbook
+/// definition `BC(v) = Σ_{s≠v≠t} σ_st(v)/σ_st`.
+#[derive(Clone, Debug)]
+pub struct BetweennessScores {
+    /// Per-vertex betweenness.
+    pub vertex: Vec<f64>,
+    /// Per-edge betweenness (indexed by edge id).
+    pub edge: Vec<f64>,
+}
+
+impl BetweennessScores {
+    /// Edge id with the maximum betweenness (ties → smallest id).
+    pub fn max_edge(&self) -> Option<(u32, f64)> {
+        self.edge
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(&a.0)))
+            .map(|(e, &s)| (e as u32, s))
+    }
+
+    /// Vertex id with the maximum betweenness (ties → smallest id).
+    pub fn max_vertex(&self) -> Option<(VertexId, f64)> {
+        self.vertex
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(&a.0)))
+            .map(|(v, &s)| (v as VertexId, s))
+    }
+}
+
+/// Reusable per-traversal state. Reset cost is proportional to the set of
+/// vertices actually reached, not `n`, which matters when the divisive
+/// algorithms run traversals inside small components.
+pub(crate) struct Scratch {
+    dist: Vec<u32>,
+    sigma: Vec<f64>,
+    delta: Vec<f64>,
+    /// Predecessor arcs as (pred_vertex, edge_id).
+    preds: Vec<Vec<(VertexId, u32)>>,
+    /// Vertices in non-decreasing distance order (the BFS "stack").
+    order: Vec<VertexId>,
+    queue: std::collections::VecDeque<VertexId>,
+}
+
+impl Scratch {
+    pub(crate) fn new(n: usize) -> Self {
+        Scratch {
+            dist: vec![u32::MAX; n],
+            sigma: vec![0.0; n],
+            delta: vec![0.0; n],
+            preds: vec![Vec::new(); n],
+            order: Vec::new(),
+            queue: std::collections::VecDeque::new(),
+        }
+    }
+
+    fn reset(&mut self) {
+        for &v in &self.order {
+            let v = v as usize;
+            self.dist[v] = u32::MAX;
+            self.sigma[v] = 0.0;
+            self.delta[v] = 0.0;
+            self.preds[v].clear();
+        }
+        self.order.clear();
+        self.queue.clear();
+    }
+}
+
+/// One Brandes accumulation from `s`: adds the dependencies of all
+/// shortest paths out of `s` into `vacc` (vertices) and `eacc` (edges).
+pub(crate) fn accumulate_source<G: Graph>(
+    g: &G,
+    s: VertexId,
+    scratch: &mut Scratch,
+    vacc: &mut [f64],
+    eacc: &mut [f64],
+) {
+    scratch.reset();
+    let Scratch {
+        dist,
+        sigma,
+        delta,
+        preds,
+        order,
+        queue,
+    } = scratch;
+
+    dist[s as usize] = 0;
+    sigma[s as usize] = 1.0;
+    queue.push_back(s);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        let du = dist[u as usize];
+        for (v, e) in g.neighbors_with_eid(u) {
+            let vd = &mut dist[v as usize];
+            if *vd == u32::MAX {
+                *vd = du + 1;
+                queue.push_back(v);
+            }
+            if dist[v as usize] == du + 1 {
+                sigma[v as usize] += sigma[u as usize];
+                preds[v as usize].push((u, e));
+            }
+        }
+    }
+    // Dependency accumulation in reverse BFS order.
+    for &w in order.iter().rev() {
+        let dw = delta[w as usize];
+        let coeff = (1.0 + dw) / sigma[w as usize];
+        for &(v, e) in &preds[w as usize] {
+            let c = sigma[v as usize] * coeff;
+            delta[v as usize] += c;
+            eacc[e as usize] += c;
+        }
+        if w != s {
+            vacc[w as usize] += dw;
+        }
+    }
+}
+
+fn finalize<G: Graph>(g: &G, mut vertex: Vec<f64>, mut edge: Vec<f64>) -> BetweennessScores {
+    if !g.is_directed() {
+        for x in vertex.iter_mut() {
+            *x *= 0.5;
+        }
+        for x in edge.iter_mut() {
+            *x *= 0.5;
+        }
+    }
+    BetweennessScores { vertex, edge }
+}
+
+/// Exact betweenness from all sources, sequential.
+pub fn brandes<G: Graph>(g: &G) -> BetweennessScores {
+    let n = g.num_vertices();
+    let m = g.edge_id_bound();
+    let mut vertex = vec![0.0; n];
+    let mut edge = vec![0.0; m];
+    let mut scratch = Scratch::new(n);
+    for s in 0..n as VertexId {
+        accumulate_source(g, s, &mut scratch, &mut vertex, &mut edge);
+    }
+    finalize(g, vertex, edge)
+}
+
+/// Exact betweenness, coarse-grained parallel: sources are distributed
+/// over the rayon pool; each worker owns private accumulators which are
+/// reduced by summation (`O(p(m + n))` memory, as in the paper).
+///
+/// ```
+/// use snap_centrality::par_brandes;
+///
+/// // Two triangles joined by a bridge: the bridge carries every
+/// // cross-community shortest path.
+/// let g = snap_graph::builder::from_edges(
+///     6,
+///     &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)],
+/// );
+/// let bc = par_brandes(&g);
+/// let (top_edge, _) = bc.max_edge().unwrap();
+/// assert_eq!(snap_graph::Graph::edge_endpoints(&g, top_edge), (2, 3));
+/// ```
+pub fn par_brandes<G: Graph>(g: &G) -> BetweennessScores {
+    betweenness_from_sources_scaled(g, None, 1.0)
+}
+
+/// Betweenness accumulated from an explicit set of sources, scaled by
+/// `scale` (used by the sampling-based approximations: `scale = n / k`
+/// turns a k-source sample into an unbiased estimate of the full sum).
+pub fn betweenness_from_sources<G: Graph>(g: &G, sources: &[VertexId]) -> BetweennessScores {
+    let scale = if sources.is_empty() {
+        1.0
+    } else {
+        g.num_vertices() as f64 / sources.len() as f64
+    };
+    betweenness_from_sources_scaled(g, Some(sources), scale)
+}
+
+fn betweenness_from_sources_scaled<G: Graph>(
+    g: &G,
+    sources: Option<&[VertexId]>,
+    scale: f64,
+) -> BetweennessScores {
+    let n = g.num_vertices();
+    let m = g.edge_id_bound();
+    let all: Vec<VertexId>;
+    let sources = match sources {
+        Some(s) => s,
+        None => {
+            all = (0..n as VertexId).collect();
+            &all
+        }
+    };
+    let (vertex, edge) = sources
+        .par_iter()
+        .fold(
+            || (Vec::new(), Vec::new(), None::<Box<Scratch>>),
+            |(mut vacc, mut eacc, mut scratch), &s| {
+                if vacc.is_empty() {
+                    vacc = vec![0.0; n];
+                    eacc = vec![0.0; m];
+                }
+                let sc = scratch.get_or_insert_with(|| Box::new(Scratch::new(n)));
+                accumulate_source(g, s, sc, &mut vacc, &mut eacc);
+                (vacc, eacc, scratch)
+            },
+        )
+        .map(|(v, e, _)| (v, e))
+        .reduce(
+            || (Vec::new(), Vec::new()),
+            |(mut va, mut ea), (vb, eb)| {
+                if va.is_empty() {
+                    return (vb, eb);
+                }
+                if !vb.is_empty() {
+                    for (x, y) in va.iter_mut().zip(vb) {
+                        *x += y;
+                    }
+                    for (x, y) in ea.iter_mut().zip(eb) {
+                        *x += y;
+                    }
+                }
+                (va, ea)
+            },
+        );
+    let vertex = if vertex.is_empty() { vec![0.0; n] } else { vertex };
+    let edge = if edge.is_empty() { vec![0.0; m] } else { edge };
+    let vertex = vertex.into_iter().map(|x| x * scale).collect();
+    let edge = edge.into_iter().map(|x| x * scale).collect();
+    finalize(g, vertex, edge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_graph::builder::from_edges;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn path_graph_vertex_bc() {
+        // Path 0-1-2-3-4: BC(center 2) = pairs {0,1}x{3,4} + ... = 4;
+        // BC(1) = pairs {0}x{2,3,4} = 3; endpoints 0.
+        let g = from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let bc = brandes(&g);
+        assert!((bc.vertex[0] - 0.0).abs() < EPS);
+        assert!((bc.vertex[1] - 3.0).abs() < EPS);
+        assert!((bc.vertex[2] - 4.0).abs() < EPS);
+        assert!((bc.vertex[3] - 3.0).abs() < EPS);
+    }
+
+    #[test]
+    fn path_graph_edge_bc() {
+        // Edge (i, i+1) lies on (i+1) * (n-1-i) shortest paths.
+        let g = from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let bc = brandes(&g);
+        assert!((bc.edge[0] - 4.0).abs() < EPS); // 1*4
+        assert!((bc.edge[1] - 6.0).abs() < EPS); // 2*3
+        assert!((bc.edge[2] - 6.0).abs() < EPS);
+        assert!((bc.edge[3] - 4.0).abs() < EPS);
+    }
+
+    #[test]
+    fn star_center_has_all_betweenness() {
+        // Star K_{1,4}: center on all C(4,2) = 6 pairs.
+        let g = from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let bc = brandes(&g);
+        assert!((bc.vertex[0] - 6.0).abs() < EPS);
+        for v in 1..5 {
+            assert!(bc.vertex[v].abs() < EPS);
+        }
+        // Each spoke: 1 (own endpoint pair) + 3 paths through = 4... the
+        // edge (0, i) carries paths from i to the 3 others plus (i, 0):
+        // σ-share = 3 + 1 = 4.
+        for e in 0..4 {
+            assert!((bc.edge[e] - 4.0).abs() < EPS, "edge {e}: {}", bc.edge[e]);
+        }
+    }
+
+    #[test]
+    fn cycle_splits_shortest_paths() {
+        // C4: opposite vertices have two shortest paths; BC(v) = 0.5 for
+        // each vertex (each vertex carries half of one opposite pair).
+        let g = from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let bc = brandes(&g);
+        for v in 0..4 {
+            assert!((bc.vertex[v] - 0.5).abs() < EPS, "v{v}: {}", bc.vertex[v]);
+        }
+    }
+
+    #[test]
+    fn barbell_bridge_dominates() {
+        let g = from_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)],
+        );
+        let bc = brandes(&g);
+        let (e, _) = bc.max_edge().unwrap();
+        assert_eq!(g.edge_endpoints(e), (2, 3));
+        let (v, _) = bc.max_vertex().unwrap();
+        assert!(v == 2 || v == 3);
+    }
+
+    #[test]
+    fn par_matches_seq() {
+        let g = from_edges(
+            8,
+            &[(0, 1), (1, 2), (2, 3), (3, 0), (2, 4), (4, 5), (5, 6), (6, 7), (7, 4)],
+        );
+        let a = brandes(&g);
+        let b = par_brandes(&g);
+        for v in 0..8 {
+            assert!((a.vertex[v] - b.vertex[v]).abs() < 1e-7);
+        }
+        for e in 0..g.num_edges() {
+            assert!((a.edge[e] - b.edge[e]).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn full_source_sample_equals_exact() {
+        let g = from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let sources: Vec<VertexId> = (0..5).collect();
+        let a = brandes(&g);
+        let b = betweenness_from_sources(&g, &sources);
+        for e in 0..g.num_edges() {
+            assert!((a.edge[e] - b.edge[e]).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_is_fine() {
+        let g = from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        let bc = brandes(&g);
+        assert!((bc.vertex[1] - 1.0).abs() < EPS);
+        assert!(bc.vertex[3].abs() < EPS);
+    }
+
+    #[test]
+    fn vertex_bc_sum_identity_on_tree() {
+        // On a tree, Σ_v BC(v) = Σ_pairs (path length - 1).
+        let g = from_edges(6, &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5)]);
+        let bc = brandes(&g);
+        let mut expected = 0.0;
+        for s in 0..6u32 {
+            let d = snap_kernels::bfs(&g, s);
+            for t in 0..6usize {
+                if (t as u32) > s {
+                    expected += (d.dist[t] - 1) as f64;
+                }
+            }
+        }
+        let total: f64 = bc.vertex.iter().sum();
+        assert!((total - expected).abs() < EPS);
+    }
+}

@@ -1,0 +1,163 @@
+//! Closeness centrality: `CC(v) = 1 / Σ_u d(v, u)`.
+//!
+//! Exact computation is one BFS per vertex, parallelized over sources.
+//! For large graphs a sampled estimator averages distances from a random
+//! subset of sources (the standard Eppstein–Wang style approximation the
+//! paper's exploratory workflow calls for).
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use snap_graph::{Graph, VertexId};
+use snap_kernels::bfs::{bfs, UNREACHABLE};
+
+/// Exact closeness for every vertex, parallel over sources.
+///
+/// Disconnected graphs use the standard convention: distances are summed
+/// over the reachable set only, scaled by `(r - 1) / (n - 1)` where `r` is
+/// the number of reached vertices (Wasserman–Faust correction), so that
+/// vertices in small components do not get inflated scores. Isolated
+/// vertices score 0.
+pub fn closeness<G: Graph>(g: &G) -> Vec<f64> {
+    let n = g.num_vertices();
+    (0..n as VertexId)
+        .into_par_iter()
+        .map(|v| closeness_of(g, v))
+        .collect()
+}
+
+/// Closeness of a single vertex.
+pub fn closeness_of<G: Graph>(g: &G, v: VertexId) -> f64 {
+    let n = g.num_vertices();
+    if n <= 1 {
+        return 0.0;
+    }
+    let r = bfs(g, v);
+    let mut sum = 0u64;
+    let mut reached = 0u64;
+    for &d in &r.dist {
+        if d != UNREACHABLE {
+            sum += d as u64;
+            reached += 1;
+        }
+    }
+    if reached <= 1 || sum == 0 {
+        return 0.0;
+    }
+    let frac = (reached - 1) as f64 / (n - 1) as f64;
+    frac * (reached - 1) as f64 / sum as f64
+}
+
+/// Sampled closeness: average distance from `k` random sources, inverted.
+/// Unbiased for connected graphs up to sampling noise; `O(k (m + n))`.
+pub fn sampled_closeness<G: Graph>(g: &G, k: usize, seed: u64) -> Vec<f64> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut sources: Vec<VertexId> = (0..n as VertexId).collect();
+    sources.shuffle(&mut rng);
+    sources.truncate(k.max(1).min(n));
+
+    // Sum of distances to each vertex from the sampled sources.
+    let sums: Vec<u64> = sources
+        .par_iter()
+        .fold(
+            || vec![0u64; n],
+            |mut acc, &s| {
+                let r = bfs(g, s);
+                for (v, &d) in r.dist.iter().enumerate() {
+                    if d != UNREACHABLE {
+                        acc[v] += d as u64;
+                    }
+                }
+                acc
+            },
+        )
+        .reduce(
+            || vec![0u64; n],
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+                a
+            },
+        );
+    let k = sources.len() as f64;
+    // E[sampled sum] = k/n * (full distance sum), so scale by n/k and
+    // invert with the usual (n - 1) numerator.
+    sums.into_iter()
+        .map(|s| {
+            if s == 0 {
+                0.0
+            } else {
+                (n as f64 - 1.0) / (s as f64 * n as f64 / k)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_graph::builder::from_edges;
+
+    #[test]
+    fn star_center_is_closest() {
+        let g = from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let cc = closeness(&g);
+        // Center: sum = 4 → 4/4 * ... = (n-1)/sum = 1.0.
+        assert!((cc[0] - 1.0).abs() < 1e-9);
+        // Leaf: sum = 1 + 3*2 = 7 → 4/7.
+        assert!((cc[1] - 4.0 / 7.0).abs() < 1e-9);
+        assert!(cc[0] > cc[1]);
+    }
+
+    #[test]
+    fn path_endpoints_are_farthest() {
+        let g = from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let cc = closeness(&g);
+        assert!(cc[2] > cc[1] && cc[1] > cc[0]);
+        assert!((cc[2] - 4.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn isolated_vertex_scores_zero() {
+        let g = from_edges(3, &[(0, 1)]);
+        let cc = closeness(&g);
+        assert_eq!(cc[2], 0.0);
+    }
+
+    #[test]
+    fn disconnected_small_component_downweighted() {
+        // {0,1,2,3} path and {4,5} pair: the pair's vertices reach only one
+        // other vertex, so the correction shrinks their score below the
+        // path's interior vertices.
+        let g = from_edges(6, &[(0, 1), (1, 2), (2, 3), (4, 5)]);
+        let cc = closeness(&g);
+        assert!(cc[1] > cc[4], "cc1 {} cc4 {}", cc[1], cc[4]);
+    }
+
+    #[test]
+    fn sampled_agrees_on_full_sample() {
+        let g = from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let exact = closeness(&g);
+        let sampled = sampled_closeness(&g, 5, 0);
+        for v in 0..5 {
+            assert!(
+                (exact[v] - sampled[v]).abs() < 1e-9,
+                "v{v}: {} vs {}",
+                exact[v],
+                sampled[v]
+            );
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = from_edges(0, &[]);
+        assert!(closeness(&g).is_empty());
+        assert!(sampled_closeness(&g, 3, 0).is_empty());
+    }
+}

@@ -1,0 +1,230 @@
+//! `snap-cli` — command-line front end for the SNAP framework.
+//!
+//! ```text
+//! snap-cli summary      <edgelist> [--directed]
+//! snap-cli communities  <edgelist> [--algorithm gn|pbd|pma|pla|spectral] [--members]
+//! snap-cli partition    <edgelist> --parts K [--method kway|recur|rqi|lanczos] [--seed S]
+//! snap-cli centrality   <edgelist> [--approx FRAC] [--top K] [--seed S]
+//! snap-cli generate     rmat|er|ws|grid|planted --out FILE [--scale S] [--edges M] [--seed S]
+//! ```
+//!
+//! Input files are whitespace edge lists (`u v [w]`, `#` comments,
+//! 0-based ids) — the format of `snap::io::edgelist`.
+
+use snap::graph::{CsrGraph, Graph};
+use snap::prelude::*;
+use std::io::{BufReader, BufWriter};
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: snap-cli <command> [options]
+
+commands:
+  summary      <edgelist> [--directed]
+  communities  <edgelist> [--algorithm gn|pbd|pma|pla|spectral] [--members]
+  partition    <edgelist> --parts K [--method kway|recur|rqi|lanczos] [--seed S]
+  centrality   <edgelist> [--approx FRAC] [--top K] [--seed S]
+  generate     rmat|er|ws|grid|planted --out FILE [--scale S] [--edges M] [--seed S]"
+    );
+    exit(2)
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("snap-cli: {msg}");
+    exit(1)
+}
+
+/// Minimal flag parser: positional args plus `--flag [value]` pairs.
+struct Args {
+    positional: Vec<String>,
+    flags: std::collections::HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(raw: Vec<String>) -> Self {
+        let mut positional = Vec::new();
+        let mut flags = std::collections::HashMap::new();
+        let mut it = raw.into_iter().peekable();
+        while let Some(arg) = it.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = match it.peek() {
+                    Some(v) if !v.starts_with("--") => it.next().unwrap(),
+                    _ => String::from("true"), // boolean flag
+                };
+                flags.insert(name.to_string(), value);
+            } else {
+                positional.push(arg);
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(|s| s.as_str())
+    }
+
+    fn flag_parse<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.flag(name) {
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| fail(&format!("bad value for --{name}: {v}"))),
+            None => default,
+        }
+    }
+}
+
+fn load(path: &str, directed: bool) -> CsrGraph {
+    let file = std::fs::File::open(path)
+        .unwrap_or_else(|e| fail(&format!("cannot open {path}: {e}")));
+    snap::io::edgelist::read_edge_list(BufReader::new(file), directed, 0)
+        .unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")))
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() {
+        usage();
+    }
+    let command = raw[0].clone();
+    let args = Args::parse(raw[1..].to_vec());
+
+    match command.as_str() {
+        "summary" => cmd_summary(&args),
+        "communities" => cmd_communities(&args),
+        "partition" => cmd_partition(&args),
+        "centrality" => cmd_centrality(&args),
+        "generate" => cmd_generate(&args),
+        _ => usage(),
+    }
+}
+
+fn input_path(args: &Args) -> &str {
+    args.positional
+        .first()
+        .map(|s| s.as_str())
+        .unwrap_or_else(|| usage())
+}
+
+fn cmd_summary(args: &Args) {
+    let g = load(input_path(args), args.flag("directed").is_some());
+    println!("{}", snap::metrics::summarize(&g, args.flag_parse("seed", 0u64)));
+}
+
+fn cmd_communities(args: &Args) {
+    let g = load(input_path(args), false);
+    let algorithm = match args.flag("algorithm").unwrap_or("pma") {
+        "gn" => CommunityAlgorithm::GirvanNewman,
+        "pbd" => CommunityAlgorithm::Divisive,
+        "pma" => CommunityAlgorithm::Agglomerative,
+        "pla" => CommunityAlgorithm::LocalAggregation,
+        "spectral" => CommunityAlgorithm::Spectral,
+        other => fail(&format!("unknown algorithm {other}")),
+    };
+    let net = Network::new(g);
+    let result = net.communities(algorithm);
+    println!(
+        "{} communities, modularity {:.4}",
+        result.clustering.count, result.modularity
+    );
+    if args.flag("members").is_some() {
+        for (c, members) in result.clustering.members().into_iter().enumerate() {
+            let ids: Vec<String> = members.iter().map(|v| v.to_string()).collect();
+            println!("community {c}: {}", ids.join(" "));
+        }
+    } else {
+        let mut sizes = result.clustering.sizes();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        let head: Vec<String> = sizes.iter().take(10).map(|s| s.to_string()).collect();
+        println!("largest sizes: {}", head.join(" "));
+    }
+}
+
+fn cmd_partition(args: &Args) {
+    let g = load(input_path(args), false);
+    let parts: usize = args.flag_parse("parts", 0);
+    if parts < 2 {
+        fail("--parts K (>= 2) is required");
+    }
+    let method = match args.flag("method").unwrap_or("kway") {
+        "kway" => PartitionMethod::MultilevelKway,
+        "recur" => PartitionMethod::MultilevelRecursive,
+        "rqi" => PartitionMethod::SpectralRqi,
+        "lanczos" => PartitionMethod::SpectralLanczos,
+        other => fail(&format!("unknown method {other}")),
+    };
+    let seed = args.flag_parse("seed", 1u64);
+    match snap::partition::partition(&g, method, parts, seed) {
+        Ok(p) => {
+            println!(
+                "edge cut {} | imbalance {:.3} | sizes {:?}",
+                snap::partition::edge_cut(&g, &p),
+                snap::partition::imbalance(&p, None),
+                p.sizes()
+            );
+        }
+        Err(e) => fail(&format!("{e}")),
+    }
+}
+
+fn cmd_centrality(args: &Args) {
+    let g = load(input_path(args), false);
+    let top: usize = args.flag_parse("top", 10);
+    let seed = args.flag_parse("seed", 7u64);
+    let bc = match args.flag("approx") {
+        Some(frac) => {
+            let frac: f64 = frac
+                .parse()
+                .unwrap_or_else(|_| fail("bad value for --approx"));
+            snap::centrality::approx_betweenness(&g, frac, seed)
+        }
+        None => snap::centrality::par_brandes(&g),
+    };
+    let mut order: Vec<usize> = (0..g.num_vertices()).collect();
+    order.sort_by(|&a, &b| bc.vertex[b].partial_cmp(&bc.vertex[a]).unwrap());
+    println!("{:>10} {:>8} {:>14}", "vertex", "degree", "betweenness");
+    for &v in order.iter().take(top) {
+        println!(
+            "{:>10} {:>8} {:>14.1}",
+            v,
+            g.degree(v as u32),
+            bc.vertex[v]
+        );
+    }
+}
+
+fn cmd_generate(args: &Args) {
+    let family = args
+        .positional
+        .first()
+        .map(|s| s.as_str())
+        .unwrap_or_else(|| usage());
+    let out = args.flag("out").unwrap_or_else(|| fail("--out FILE is required"));
+    let seed = args.flag_parse("seed", 42u64);
+    let scale: u32 = args.flag_parse("scale", 12);
+    let n = 1usize << scale;
+    let edges: usize = args.flag_parse("edges", n * 8);
+    let g = match family {
+        "rmat" => snap::gen::rmat(&snap::gen::RmatConfig::small_world(scale, edges), seed),
+        "er" => snap::gen::erdos_renyi(n, edges.min(n * (n - 1) / 2), seed),
+        "ws" => snap::gen::watts_strogatz(n, (edges / n).max(1), 0.1, seed),
+        "grid" => {
+            let side = (n as f64).sqrt() as usize;
+            snap::gen::road_grid(side, side, 0.02, 1.0, seed)
+        }
+        "planted" => {
+            let cfg = snap::gen::PlantedConfig::with_target_degrees(n, 16, 8.0, 2.0);
+            snap::gen::planted_partition(&cfg, seed).0
+        }
+        other => fail(&format!("unknown family {other}")),
+    };
+    let file = std::fs::File::create(out)
+        .unwrap_or_else(|e| fail(&format!("cannot create {out}: {e}")));
+    snap::io::edgelist::write_edge_list(BufWriter::new(file), &g)
+        .unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
+    println!(
+        "wrote {out}: n = {}, m = {} ({family})",
+        g.num_vertices(),
+        g.num_edges()
+    );
+}

@@ -1,0 +1,213 @@
+//! High-level exploratory-analysis API: the paper's "simple and intuitive
+//! interface for network analysis application design, effectively hiding
+//! the parallel programming complexity involved in the low-level kernel
+//! design from the user".
+
+use snap_centrality::BetweennessScores;
+use snap_community::{Clustering, GnConfig, PbdConfig, PlaConfig, PmaConfig, SpectralCommunityConfig};
+use snap_graph::{CsrGraph, Graph, VertexId};
+use snap_metrics::GraphSummary;
+use snap_partition::{Method as PartitionMethod, Partition, SpectralError};
+
+/// Which community-detection algorithm to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommunityAlgorithm {
+    /// Exact Girvan–Newman (baseline; slow).
+    GirvanNewman,
+    /// Approximate-betweenness divisive (pBD).
+    Divisive,
+    /// Greedy agglomerative (pMA).
+    Agglomerative,
+    /// Greedy local aggregation (pLA).
+    LocalAggregation,
+    /// Leading-eigenvector spectral modularity (Newman 2006) — the
+    /// paper's "ongoing work" direction, included as an extension.
+    Spectral,
+}
+
+/// A community-detection outcome.
+#[derive(Clone, Debug)]
+pub struct Communities {
+    /// The partition into communities.
+    pub clustering: Clustering,
+    /// Its modularity.
+    pub modularity: f64,
+}
+
+/// An interaction network under exploratory analysis.
+///
+/// Wraps a frozen [`CsrGraph`] and exposes SNAP's analysis pipeline:
+/// topology summary, centrality, community detection, partitioning.
+///
+/// ```
+/// use snap::Network;
+///
+/// let net = Network::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+/// let summary = net.summary();
+/// assert_eq!(summary.n, 5);
+/// assert_eq!(summary.components, 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Network {
+    graph: CsrGraph,
+}
+
+impl Network {
+    /// Wrap an existing graph.
+    pub fn new(graph: CsrGraph) -> Self {
+        Network { graph }
+    }
+
+    /// Build an undirected network from an edge list.
+    pub fn from_edges(n: usize, edges: &[(VertexId, VertexId)]) -> Self {
+        Network {
+            graph: snap_graph::builder::from_edges(n, edges),
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// Vertex count.
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Edge count.
+    pub fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    /// One-call topology report (degree stats, components, clustering
+    /// coefficients, assortativity, path lengths).
+    pub fn summary(&self) -> GraphSummary {
+        snap_metrics::summarize(&self.graph, 0)
+    }
+
+    /// Exact betweenness centrality (vertices and edges), parallel over
+    /// sources.
+    pub fn betweenness(&self) -> BetweennessScores {
+        snap_centrality::par_brandes(&self.graph)
+    }
+
+    /// Sampled approximate betweenness (fraction of sources).
+    pub fn approx_betweenness(&self, frac: f64, seed: u64) -> BetweennessScores {
+        snap_centrality::approx_betweenness(&self.graph, frac, seed)
+    }
+
+    /// Closeness centrality for every vertex.
+    pub fn closeness(&self) -> Vec<f64> {
+        snap_centrality::closeness(&self.graph)
+    }
+
+    /// Weighted betweenness centrality (shortest paths by edge weight;
+    /// equals [`Self::betweenness`] on unweighted graphs).
+    pub fn weighted_betweenness(&self) -> BetweennessScores {
+        snap_centrality::weighted_betweenness(&self.graph)
+    }
+
+    /// Detect communities with the chosen algorithm (default
+    /// configurations).
+    pub fn communities(&self, algorithm: CommunityAlgorithm) -> Communities {
+        let (clustering, modularity) = match algorithm {
+            CommunityAlgorithm::GirvanNewman => {
+                let r = snap_community::girvan_newman(&self.graph, &GnConfig::default());
+                (r.clustering, r.q)
+            }
+            CommunityAlgorithm::Divisive => {
+                let r = snap_community::pbd(&self.graph, &PbdConfig::default());
+                (r.clustering, r.q)
+            }
+            CommunityAlgorithm::Agglomerative => {
+                let r = snap_community::pma(&self.graph, &PmaConfig::default());
+                (r.clustering, r.q)
+            }
+            CommunityAlgorithm::LocalAggregation => {
+                let r = snap_community::pla(&self.graph, &PlaConfig::default());
+                (r.clustering, r.q)
+            }
+            CommunityAlgorithm::Spectral => {
+                let r = snap_community::spectral_communities(
+                    &self.graph,
+                    &SpectralCommunityConfig::default(),
+                );
+                (r.clustering, r.q)
+            }
+        };
+        Communities {
+            clustering,
+            modularity,
+        }
+    }
+
+    /// Modularity of an arbitrary clustering against this network.
+    pub fn modularity(&self, clustering: &Clustering) -> f64 {
+        snap_community::modularity(&self.graph, clustering)
+    }
+
+    /// Partition into `parts` balanced parts.
+    pub fn partition(
+        &self,
+        method: PartitionMethod,
+        parts: usize,
+        seed: u64,
+    ) -> Result<Partition, SpectralError> {
+        snap_partition::partition(&self.graph, method, parts, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn barbell() -> Network {
+        Network::from_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)],
+        )
+    }
+
+    #[test]
+    fn summary_roundtrip() {
+        let net = barbell();
+        let s = net.summary();
+        assert_eq!(s.n, 6);
+        assert_eq!(s.m, 7);
+        assert_eq!(s.components, 1);
+    }
+
+    #[test]
+    fn all_community_algorithms_run() {
+        let net = barbell();
+        for alg in [
+            CommunityAlgorithm::GirvanNewman,
+            CommunityAlgorithm::Divisive,
+            CommunityAlgorithm::Agglomerative,
+            CommunityAlgorithm::LocalAggregation,
+            CommunityAlgorithm::Spectral,
+        ] {
+            let c = net.communities(alg);
+            assert!(c.modularity > 0.2, "{alg:?}: q = {}", c.modularity);
+            assert!((net.modularity(&c.clustering) - c.modularity).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn centrality_finds_the_bridge() {
+        let net = barbell();
+        let bc = net.betweenness();
+        let (e, _) = bc.max_edge().unwrap();
+        assert_eq!(net.graph().edge_endpoints(e), (2, 3));
+    }
+
+    #[test]
+    fn partitioning_works() {
+        let net = barbell();
+        let p = net
+            .partition(PartitionMethod::MultilevelRecursive, 2, 1)
+            .unwrap();
+        assert_eq!(snap_partition::edge_cut(net.graph(), &p), 1);
+    }
+}

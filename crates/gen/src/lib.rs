@@ -1,0 +1,29 @@
+//! # snap-gen
+//!
+//! Seeded synthetic graph generators for the SNAP reproduction.
+//!
+//! The paper's experimental study draws on three graph families
+//! (Table 1: a road network, a sparse random graph, a synthetic
+//! small-world network), six small real networks with community structure
+//! (Table 2), and six large real networks (Table 3). The real datasets are
+//! not redistributable, so this crate provides seeded generators whose
+//! outputs match the originals in size and in the topological properties
+//! each experiment exercises (degree skew for the timing studies, planted
+//! community structure for the modularity studies, near-planarity for the
+//! road network). See `DESIGN.md` §3 for the substitution argument.
+//!
+//! Every generator is deterministic given its seed.
+
+pub mod erdos_renyi;
+pub mod grid;
+pub mod instances;
+pub mod planted;
+pub mod rmat;
+pub mod watts_strogatz;
+
+pub use erdos_renyi::erdos_renyi;
+pub use grid::road_grid;
+pub use instances::{table1_instances, table2_instances, table3_instances, Instance};
+pub use planted::{planted_partition, PlantedConfig};
+pub use rmat::{rmat, RmatConfig};
+pub use watts_strogatz::watts_strogatz;

@@ -1,0 +1,76 @@
+//! Representation-agnostic graph access.
+//!
+//! Kernels are written against [`Graph`] so that they run unchanged on the
+//! static CSR representation, on filtered views with deleted edges, and on
+//! induced subgraphs. The trait exposes arc-level iteration with edge ids
+//! because several SNAP algorithms (edge betweenness, divisive clustering)
+//! are edge-centric.
+
+use crate::{EdgeId, VertexId, Weight};
+
+/// Read access to a (possibly directed) graph.
+///
+/// Terminology follows the paper: a graph has `n` **vertices** and `m`
+/// **edges**; an undirected edge is stored as two **arcs**. `num_edges`
+/// counts logical edges (each undirected edge once), `num_arcs` counts
+/// stored arcs.
+pub trait Graph: Sync {
+    /// Number of vertices `n`. Vertex ids are `0..n`.
+    fn num_vertices(&self) -> usize;
+
+    /// Number of logical edges `m` (undirected edges counted once).
+    fn num_edges(&self) -> usize;
+
+    /// Number of stored arcs (`2m` for undirected graphs, `m` for digraphs).
+    fn num_arcs(&self) -> usize;
+
+    /// Whether edges are directed.
+    fn is_directed(&self) -> bool;
+
+    /// Out-degree of `v`.
+    fn degree(&self, v: VertexId) -> usize;
+
+    /// Iterate over the out-neighbors of `v`.
+    fn neighbors(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_;
+
+    /// Iterate over `(neighbor, edge_id)` pairs for the out-arcs of `v`.
+    /// Both arcs of an undirected edge report the same `EdgeId`.
+    fn neighbors_with_eid(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_;
+
+    /// Endpoints `(u, v)` of edge `e` as stored (for undirected graphs,
+    /// `u <= v` by construction in the builder).
+    fn edge_endpoints(&self, e: EdgeId) -> (VertexId, VertexId);
+
+    /// Exclusive upper bound on edge ids. Equals `num_edges()` for plain
+    /// graphs, but for filtered views it spans the *base* id space, which
+    /// is what per-edge accumulator arrays must be sized to.
+    fn edge_id_bound(&self) -> usize {
+        self.num_edges()
+    }
+
+    /// Iterate over all vertex ids.
+    fn vertices(&self) -> std::ops::Range<VertexId> {
+        0..self.num_vertices() as VertexId
+    }
+
+    /// Sum of degrees over all vertices (equals `num_arcs` when every arc is
+    /// live). Provided for sanity checks and modularity denominators.
+    fn total_degree(&self) -> usize {
+        self.vertices().map(|v| self.degree(v)).sum()
+    }
+}
+
+/// Graphs that carry positive integer edge weights.
+pub trait WeightedGraph: Graph {
+    /// Weight of edge `e` (`1` for unweighted graphs).
+    fn edge_weight(&self, e: EdgeId) -> Weight;
+
+    /// Iterate over `(neighbor, edge_id, weight)` triples for `v`'s out-arcs.
+    fn neighbors_weighted(
+        &self,
+        v: VertexId,
+    ) -> impl Iterator<Item = (VertexId, EdgeId, Weight)> + '_ {
+        self.neighbors_with_eid(v)
+            .map(move |(u, e)| (u, e, self.edge_weight(e)))
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests for the representation layer.
+
+use proptest::prelude::*;
+use snap_graph::{DynGraph, FilteredGraph, Graph, GraphBuilder, Treap, VertexId};
+use std::collections::BTreeSet;
+
+/// Strategy: a random undirected edge list over `n <= 24` vertices.
+fn edge_list() -> impl Strategy<Value = (usize, Vec<(VertexId, VertexId)>)> {
+    (2usize..24).prop_flat_map(|n| {
+        let edges = prop::collection::vec((0..n as u32, 0..n as u32), 0..64);
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    /// CSR construction: arcs are consistent, adjacencies sorted, degrees
+    /// sum to the arc count, and both arcs of an edge share an id.
+    #[test]
+    fn csr_invariants((n, edges) in edge_list()) {
+        let g = GraphBuilder::undirected(n).add_edges(edges).build();
+        g.validate().unwrap();
+        prop_assert_eq!(g.total_degree(), g.num_arcs());
+        for v in g.vertices() {
+            let ns = g.neighbor_slice(v);
+            prop_assert!(ns.windows(2).all(|w| w[0] < w[1]), "sorted, no dups");
+        }
+    }
+
+    /// Treap behaves exactly like a BTreeSet model under a random
+    /// insert/remove/contains workload.
+    #[test]
+    fn treap_matches_btreeset(ops in prop::collection::vec((0u8..3, 0u16..64), 1..200)) {
+        let mut treap = Treap::with_seed(99);
+        let mut model = BTreeSet::new();
+        for (op, key) in ops {
+            match op {
+                0 => prop_assert_eq!(treap.insert(key), model.insert(key)),
+                1 => prop_assert_eq!(treap.remove(&key), model.remove(&key)),
+                _ => prop_assert_eq!(treap.contains(&key), model.contains(&key)),
+            }
+            prop_assert_eq!(treap.len(), model.len());
+        }
+        prop_assert!(treap.check_invariants());
+        let a: Vec<u16> = treap.iter().copied().collect();
+        let b: Vec<u16> = model.iter().copied().collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Treap set algebra agrees with BTreeSet set algebra.
+    #[test]
+    fn treap_set_ops_match_model(
+        xs in prop::collection::btree_set(0u16..64, 0..40),
+        ys in prop::collection::btree_set(0u16..64, 0..40),
+    ) {
+        let tx: Treap<u16> = xs.iter().copied().collect();
+        let ty: Treap<u16> = ys.iter().copied().collect();
+        let union: Vec<u16> = tx.clone().union(ty.clone()).iter().copied().collect();
+        let inter: Vec<u16> = tx.clone().intersection(ty.clone()).iter().copied().collect();
+        let diff: Vec<u16> = tx.difference(ty).iter().copied().collect();
+        prop_assert_eq!(union, xs.union(&ys).copied().collect::<Vec<_>>());
+        prop_assert_eq!(inter, xs.intersection(&ys).copied().collect::<Vec<_>>());
+        prop_assert_eq!(diff, xs.difference(&ys).copied().collect::<Vec<_>>());
+    }
+
+    /// DynGraph round-trips through CSR with identical adjacency sets, at
+    /// every treap threshold.
+    #[test]
+    fn dyngraph_csr_roundtrip((n, edges) in edge_list(), threshold in 0usize..16) {
+        let g = GraphBuilder::undirected(n).add_edges(edges).build();
+        let mut d = DynGraph::with_threshold(n, threshold);
+        for (_, u, v) in g.edges() {
+            d.insert_edge(u, v);
+        }
+        prop_assert_eq!(d.num_edges(), g.num_edges());
+        let back = d.to_csr();
+        for v in g.vertices() {
+            let mut a: Vec<_> = g.neighbors(v).collect();
+            let mut b: Vec<_> = back.neighbors(v).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Deleting then restoring every edge of a FilteredGraph returns it to
+    /// the pristine state.
+    #[test]
+    fn filtered_delete_restore_is_identity((n, edges) in edge_list()) {
+        let g = GraphBuilder::undirected(n).add_edges(edges).build();
+        let mut f = FilteredGraph::new(&g);
+        let ids: Vec<_> = f.live_edge_ids().collect();
+        for &e in &ids {
+            prop_assert!(f.delete_edge(e));
+        }
+        prop_assert_eq!(f.num_edges(), 0);
+        for v in g.vertices() {
+            prop_assert_eq!(f.degree(v), 0);
+        }
+        for &e in &ids {
+            prop_assert!(f.restore_edge(e));
+        }
+        prop_assert_eq!(f.num_edges(), g.num_edges());
+        for v in g.vertices() {
+            prop_assert_eq!(f.degree(v), g.degree(v));
+            let a: Vec<_> = f.neighbors(v).collect();
+            let b: Vec<_> = g.neighbors(v).collect();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// DynGraph::has_edge agrees with an edge-set model under random
+    /// insertions and deletions.
+    #[test]
+    fn dyngraph_matches_model(
+        ops in prop::collection::vec((0u8..2, 0u32..12, 0u32..12), 1..100),
+        threshold in 0usize..8,
+    ) {
+        let mut g = DynGraph::with_threshold(12, threshold);
+        let mut model: BTreeSet<(u32, u32)> = BTreeSet::new();
+        for (op, u, v) in ops {
+            let key = (u.min(v), u.max(v));
+            if op == 0 {
+                let inserted = g.insert_edge(u, v);
+                let model_inserted = u != v && model.insert(key);
+                prop_assert_eq!(inserted, model_inserted);
+            } else {
+                prop_assert_eq!(g.delete_edge(u, v), model.remove(&key));
+            }
+            prop_assert_eq!(g.num_edges(), model.len());
+        }
+        for u in 0..12u32 {
+            for v in 0..12u32 {
+                prop_assert_eq!(g.has_edge(u, v), model.contains(&(u.min(v), u.max(v))));
+            }
+        }
+    }
+}

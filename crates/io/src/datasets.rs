@@ -1,0 +1,152 @@
+//! Embedded reference datasets.
+//!
+//! Zachary's karate club (Zachary 1977) is the first row of the paper's
+//! Table 2 and the canonical community-detection benchmark: 34 members of
+//! a university karate club that split into two factions. It is public
+//! data, small enough to embed, and lets the modularity comparison anchor
+//! on a real network rather than a synthetic stand-in.
+
+use snap_graph::{builder::from_edges, CsrGraph, VertexId};
+
+/// The 78 friendship edges of Zachary's karate club (0-indexed).
+pub const KARATE_EDGES: [(VertexId, VertexId); 78] = [
+    (0, 1),
+    (0, 2),
+    (0, 3),
+    (0, 4),
+    (0, 5),
+    (0, 6),
+    (0, 7),
+    (0, 8),
+    (0, 10),
+    (0, 11),
+    (0, 12),
+    (0, 13),
+    (0, 17),
+    (0, 19),
+    (0, 21),
+    (0, 31),
+    (1, 2),
+    (1, 3),
+    (1, 7),
+    (1, 13),
+    (1, 17),
+    (1, 19),
+    (1, 21),
+    (1, 30),
+    (2, 3),
+    (2, 7),
+    (2, 8),
+    (2, 9),
+    (2, 13),
+    (2, 27),
+    (2, 28),
+    (2, 32),
+    (3, 7),
+    (3, 12),
+    (3, 13),
+    (4, 6),
+    (4, 10),
+    (5, 6),
+    (5, 10),
+    (5, 16),
+    (6, 16),
+    (8, 30),
+    (8, 32),
+    (8, 33),
+    (9, 33),
+    (13, 33),
+    (14, 32),
+    (14, 33),
+    (15, 32),
+    (15, 33),
+    (18, 32),
+    (18, 33),
+    (19, 33),
+    (20, 32),
+    (20, 33),
+    (22, 32),
+    (22, 33),
+    (23, 25),
+    (23, 27),
+    (23, 29),
+    (23, 32),
+    (23, 33),
+    (24, 25),
+    (24, 27),
+    (24, 31),
+    (25, 31),
+    (26, 29),
+    (26, 33),
+    (27, 33),
+    (28, 31),
+    (28, 33),
+    (29, 32),
+    (29, 33),
+    (30, 32),
+    (30, 33),
+    (31, 32),
+    (31, 33),
+    (32, 33),
+];
+
+/// The observed two-faction split after the club's fission: `true` marks
+/// members who followed the instructor (vertex 0), `false` those who
+/// followed the administrator (vertex 33).
+pub const KARATE_FACTIONS: [bool; 34] = [
+    true, true, true, true, true, true, true, true, true, false, true, true, true, true, false,
+    false, true, true, false, true, false, true, false, false, false, false, false, false, false,
+    false, false, false, false, false,
+];
+
+/// Build the karate club graph (34 vertices, 78 edges, undirected).
+pub fn karate_club() -> CsrGraph {
+    from_edges(34, &KARATE_EDGES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_graph::Graph;
+
+    #[test]
+    fn canonical_size() {
+        let g = karate_club();
+        assert_eq!(g.num_vertices(), 34);
+        assert_eq!(g.num_edges(), 78);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn known_hub_degrees() {
+        let g = karate_club();
+        // Instructor and administrator are the two hubs.
+        assert_eq!(g.degree(0), 16);
+        assert_eq!(g.degree(33), 17);
+        assert_eq!(g.degree(32), 12);
+    }
+
+    #[test]
+    fn factions_cover_both_sides() {
+        let inst = KARATE_FACTIONS.iter().filter(|&&f| f).count();
+        assert_eq!(inst, 17);
+        assert!(KARATE_FACTIONS[0]);
+        assert!(!KARATE_FACTIONS[33]);
+    }
+
+    #[test]
+    fn factions_are_assortative() {
+        // Far more intra-faction than inter-faction edges.
+        let g = karate_club();
+        let mut intra = 0;
+        let mut inter = 0;
+        for (_, u, v) in g.edges() {
+            if KARATE_FACTIONS[u as usize] == KARATE_FACTIONS[v as usize] {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > 5 * inter, "intra {intra} inter {inter}");
+    }
+}

@@ -1,0 +1,143 @@
+//! Whitespace-separated edge lists: `u v [w]` per line, `#` or `%`
+//! comments. The most common interchange format for the network datasets
+//! the paper draws on (Newman's collections, SNAP-Stanford dumps).
+
+use crate::{parse_err, IoError};
+use snap_graph::{CsrGraph, Graph, GraphBuilder, VertexId, Weight, WeightedGraph};
+use std::io::{BufRead, Write};
+
+/// Read an edge list. Vertex ids are 0-based; `n` is inferred as
+/// `max id + 1` unless a larger `min_vertices` is given (for graphs with
+/// trailing isolated vertices).
+pub fn read_edge_list<R: BufRead>(
+    reader: R,
+    directed: bool,
+    min_vertices: usize,
+) -> Result<CsrGraph, IoError> {
+    let mut edges: Vec<(VertexId, VertexId, Weight)> = Vec::new();
+    let mut max_id: i64 = min_vertices as i64 - 1;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let u: VertexId = it
+            .next()
+            .ok_or_else(|| parse_err(lineno + 1, "missing source vertex"))?
+            .parse()
+            .map_err(|e| parse_err(lineno + 1, format!("bad source vertex: {e}")))?;
+        let v: VertexId = it
+            .next()
+            .ok_or_else(|| parse_err(lineno + 1, "missing target vertex"))?
+            .parse()
+            .map_err(|e| parse_err(lineno + 1, format!("bad target vertex: {e}")))?;
+        let w: Weight = match it.next() {
+            Some(tok) => tok
+                .parse()
+                .map_err(|e| parse_err(lineno + 1, format!("bad weight: {e}")))?,
+            None => 1,
+        };
+        max_id = max_id.max(u as i64).max(v as i64);
+        edges.push((u, v, w));
+    }
+    let n = (max_id + 1).max(0) as usize;
+    let builder = if directed {
+        GraphBuilder::directed(n)
+    } else {
+        GraphBuilder::undirected(n)
+    };
+    Ok(builder.add_weighted_edges(edges).build())
+}
+
+/// Write a graph as an edge list with a `# n m directed` header comment.
+pub fn write_edge_list<W: Write, G: Graph + WeightedGraph>(
+    mut writer: W,
+    g: &G,
+) -> Result<(), IoError> {
+    writeln!(
+        writer,
+        "# {} {} {}",
+        g.num_vertices(),
+        g.num_edges(),
+        if g.is_directed() { "directed" } else { "undirected" }
+    )?;
+    for e in 0..g.num_edges() as u32 {
+        let (u, v) = g.edge_endpoints(e);
+        let w = g.edge_weight(e);
+        if w == 1 {
+            writeln!(writer, "{u} {v}")?;
+        } else {
+            writeln!(writer, "{u} {v} {w}")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_graph::Graph;
+
+    #[test]
+    fn reads_simple_list() {
+        let text = "# comment\n0 1\n1 2\n% other comment\n2 0\n";
+        let g = read_edge_list(text.as_bytes(), false, 0).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn reads_weights() {
+        let g = read_edge_list("0 1 5\n".as_bytes(), false, 0).unwrap();
+        assert_eq!(g.edge_weight(0), 5);
+    }
+
+    #[test]
+    fn min_vertices_pads_isolated() {
+        let g = read_edge_list("0 1\n".as_bytes(), false, 10).unwrap();
+        assert_eq!(g.num_vertices(), 10);
+    }
+
+    #[test]
+    fn bad_token_reports_line() {
+        let err = read_edge_list("0 1\nx 2\n".as_bytes(), false, 0).unwrap_err();
+        match err {
+            IoError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected: {other}"),
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let g = snap_graph::GraphBuilder::undirected(5)
+            .add_weighted_edges([(0, 1, 1), (1, 2, 3), (3, 4, 1)])
+            .build();
+        let mut buf = Vec::new();
+        write_edge_list(&mut buf, &g).unwrap();
+        let h = read_edge_list(buf.as_slice(), false, 0).unwrap();
+        assert_eq!(h.num_vertices(), 5);
+        assert_eq!(h.num_edges(), 3);
+        assert_eq!(h.edge_weight(1), 3);
+    }
+
+    #[test]
+    fn directed_round_trip() {
+        let g = snap_graph::GraphBuilder::directed(3)
+            .add_edges([(2, 0), (0, 1)])
+            .build();
+        let mut buf = Vec::new();
+        write_edge_list(&mut buf, &g).unwrap();
+        let h = read_edge_list(buf.as_slice(), true, 0).unwrap();
+        assert!(h.is_directed());
+        assert_eq!(h.num_edges(), 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let g = read_edge_list("".as_bytes(), false, 0).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

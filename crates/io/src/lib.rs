@@ -1,0 +1,55 @@
+//! # snap-io
+//!
+//! Graph serialization for the SNAP reproduction: whitespace edge lists,
+//! DIMACS shortest-path format, and METIS adjacency format, plus the
+//! embedded reference datasets used by the paper's Table 2 (Zachary's
+//! karate club, the one redistributable network).
+
+pub mod datasets;
+pub mod dimacs;
+pub mod edgelist;
+pub mod metis;
+
+pub use datasets::karate_club;
+
+use std::fmt;
+
+/// Errors produced by the readers.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed content at a 1-based line number.
+    Parse { line: usize, message: String },
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+pub(crate) fn parse_err(line: usize, message: impl Into<String>) -> IoError {
+    IoError::Parse {
+        line,
+        message: message.into(),
+    }
+}

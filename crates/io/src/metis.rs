@@ -1,0 +1,193 @@
+//! METIS / Chaco adjacency format: header `n m [fmt]`, then one line per
+//! vertex listing its (1-based) neighbors, with interleaved edge weights
+//! when `fmt` has the edge-weight bit (001) set. This is the native input
+//! format of the partitioning packages Table 1 compares against.
+
+use crate::{parse_err, IoError};
+use snap_graph::{CsrGraph, Graph, GraphBuilder, VertexId, Weight, WeightedGraph};
+use std::io::{BufRead, Write};
+
+/// Read a METIS graph file (always undirected, per the format spec).
+pub fn read_metis<R: BufRead>(reader: R) -> Result<CsrGraph, IoError> {
+    let mut lines = reader.lines().enumerate();
+
+    // Header: first non-comment line.
+    let (mut n, mut m, mut has_ewts) = (0usize, 0usize, false);
+    let mut header_seen = false;
+    let mut body_start = 0usize;
+    for (lineno, line) in lines.by_ref() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        n = it
+            .next()
+            .ok_or_else(|| parse_err(lineno + 1, "missing n"))?
+            .parse()
+            .map_err(|e| parse_err(lineno + 1, format!("bad n: {e}")))?;
+        m = it
+            .next()
+            .ok_or_else(|| parse_err(lineno + 1, "missing m"))?
+            .parse()
+            .map_err(|e| parse_err(lineno + 1, format!("bad m: {e}")))?;
+        if let Some(fmt) = it.next() {
+            // fmt is a 3-digit flag string: vertex sizes / vertex weights /
+            // edge weights. Only edge weights are supported here.
+            has_ewts = fmt.ends_with('1');
+            if fmt.len() == 3 && &fmt[..2] != "00" {
+                return Err(parse_err(lineno + 1, "vertex weights not supported"));
+            }
+        }
+        header_seen = true;
+        body_start = lineno + 1;
+        break;
+    }
+    if !header_seen {
+        return Err(parse_err(0, "missing METIS header"));
+    }
+
+    let mut builder = GraphBuilder::undirected(n).with_capacity(m);
+    let mut vertex = 0usize;
+    for (lineno, line) in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.starts_with('%') {
+            continue;
+        }
+        if vertex >= n {
+            if trimmed.is_empty() {
+                continue;
+            }
+            return Err(parse_err(lineno + 1, "more adjacency lines than vertices"));
+        }
+        let mut it = trimmed.split_whitespace();
+        loop {
+            let Some(tok) = it.next() else { break };
+            let nbr: u64 = tok
+                .parse()
+                .map_err(|e| parse_err(lineno + 1, format!("bad neighbor: {e}")))?;
+            if nbr == 0 || nbr as usize > n {
+                return Err(parse_err(lineno + 1, format!("neighbor {nbr} out of range")));
+            }
+            let w: Weight = if has_ewts {
+                it.next()
+                    .ok_or_else(|| parse_err(lineno + 1, "missing edge weight"))?
+                    .parse()
+                    .map_err(|e| parse_err(lineno + 1, format!("bad edge weight: {e}")))?
+            } else {
+                1
+            };
+            let u = vertex as VertexId;
+            let v = (nbr - 1) as VertexId;
+            // Each undirected edge appears in both endpoint lines; add once.
+            if u <= v {
+                builder.add_weighted_edge(u, v, w);
+            }
+        }
+        vertex += 1;
+    }
+    if vertex != n {
+        return Err(parse_err(
+            body_start,
+            format!("expected {n} adjacency lines, found {vertex}"),
+        ));
+    }
+    let g = builder.build();
+    if g.num_edges() != m {
+        return Err(parse_err(
+            body_start,
+            format!("header declared {m} edges, found {}", g.num_edges()),
+        ));
+    }
+    Ok(g)
+}
+
+/// Write an undirected graph in METIS format. Weighted graphs get the
+/// `001` fmt flag with interleaved weights.
+pub fn write_metis<W: Write, G: Graph + WeightedGraph>(
+    mut writer: W,
+    g: &G,
+) -> Result<(), IoError> {
+    assert!(!g.is_directed(), "METIS format is undirected");
+    let weighted = (0..g.num_edges() as u32).any(|e| g.edge_weight(e) != 1);
+    if weighted {
+        writeln!(writer, "{} {} 001", g.num_vertices(), g.num_edges())?;
+    } else {
+        writeln!(writer, "{} {}", g.num_vertices(), g.num_edges())?;
+    }
+    for v in g.vertices() {
+        let mut first = true;
+        for (u, e) in g.neighbors_with_eid(v) {
+            if !first {
+                write!(writer, " ")?;
+            }
+            first = false;
+            if weighted {
+                write!(writer, "{} {}", u + 1, g.edge_weight(e))?;
+            } else {
+                write!(writer, "{}", u + 1)?;
+            }
+        }
+        writeln!(writer)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_graph::builder::from_edges;
+    use snap_graph::Graph;
+
+    #[test]
+    fn reads_triangle() {
+        let text = "3 3\n2 3\n1 3\n1 2\n";
+        let g = read_metis(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn reads_edge_weights() {
+        let text = "2 1 001\n2 7\n1 7\n";
+        let g = read_metis(text.as_bytes()).unwrap();
+        assert_eq!(g.edge_weight(0), 7);
+    }
+
+    #[test]
+    fn comments_and_isolated_vertices() {
+        let text = "% a comment\n3 1\n2\n1\n\n";
+        let g = read_metis(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn edge_count_mismatch_is_error() {
+        let text = "3 2\n2\n1\n\n";
+        assert!(read_metis(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn out_of_range_neighbor_is_error() {
+        let text = "2 1\n3\n\n";
+        assert!(read_metis(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn round_trip() {
+        let g = from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3)]);
+        let mut buf = Vec::new();
+        write_metis(&mut buf, &g).unwrap();
+        let h = read_metis(buf.as_slice()).unwrap();
+        assert_eq!(h.num_vertices(), g.num_vertices());
+        assert_eq!(h.num_edges(), g.num_edges());
+        for v in g.vertices() {
+            let a: Vec<_> = g.neighbors(v).collect();
+            let b: Vec<_> = h.neighbors(v).collect();
+            assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Round-trip properties for every serialization format.
+
+use proptest::prelude::*;
+use snap_graph::{Graph, GraphBuilder, WeightedGraph};
+use snap_io::{dimacs, edgelist, metis};
+
+fn arb_weighted_graph() -> impl Strategy<Value = snap_graph::CsrGraph> {
+    (2usize..20).prop_flat_map(|n| {
+        prop::collection::vec((0..n as u32, 0..n as u32, 1u32..100), 0..40).prop_map(
+            move |edges| {
+                let mut uniq: Vec<(u32, u32, u32)> = edges
+                    .into_iter()
+                    .filter(|&(u, v, _)| u != v)
+                    .map(|(u, v, w)| (u.min(v), u.max(v), w))
+                    .collect();
+                uniq.sort_unstable_by_key(|&(u, v, _)| (u, v));
+                uniq.dedup_by_key(|&mut (u, v, _)| (u, v));
+                GraphBuilder::undirected(n).add_weighted_edges(uniq).build()
+            },
+        )
+    })
+}
+
+fn graphs_equal(a: &snap_graph::CsrGraph, b: &snap_graph::CsrGraph) -> bool {
+    if a.num_vertices() != b.num_vertices() || a.num_edges() != b.num_edges() {
+        return false;
+    }
+    for e in 0..a.num_edges() as u32 {
+        if a.edge_endpoints(e) != b.edge_endpoints(e) || a.edge_weight(e) != b.edge_weight(e) {
+            return false;
+        }
+    }
+    true
+}
+
+proptest! {
+    #[test]
+    fn edge_list_roundtrip(g in arb_weighted_graph()) {
+        let mut buf = Vec::new();
+        edgelist::write_edge_list(&mut buf, &g).unwrap();
+        let h = edgelist::read_edge_list(buf.as_slice(), false, g.num_vertices()).unwrap();
+        prop_assert!(graphs_equal(&g, &h));
+    }
+
+    #[test]
+    fn metis_roundtrip(g in arb_weighted_graph()) {
+        let mut buf = Vec::new();
+        metis::write_metis(&mut buf, &g).unwrap();
+        let h = metis::read_metis(buf.as_slice()).unwrap();
+        prop_assert!(graphs_equal(&g, &h));
+    }
+
+    #[test]
+    fn dimacs_roundtrip(g in arb_weighted_graph()) {
+        let mut buf = Vec::new();
+        dimacs::write_dimacs(&mut buf, &g).unwrap();
+        let h = dimacs::read_dimacs(buf.as_slice(), false).unwrap();
+        prop_assert!(graphs_equal(&g, &h));
+    }
+
+    /// Reader rejects any truncation of a valid METIS file that cuts
+    /// into the adjacency section (header stays intact).
+    #[test]
+    fn metis_truncation_detected(g in arb_weighted_graph()) {
+        prop_assume!(g.num_vertices() >= 3 && g.num_edges() >= 1);
+        let mut buf = Vec::new();
+        metis::write_metis(&mut buf, &g).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // Drop the last vertex line entirely.
+        let truncated = lines[..lines.len() - 1].join("\n");
+        prop_assert!(metis::read_metis(truncated.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,241 @@
+//! Minimum spanning forest via Borůvka's algorithm.
+//!
+//! Borůvka is the natural parallel MST: every round, each component picks
+//! its lightest outgoing edge independently (a rayon fold per component in
+//! our implementation), components merge, and the component count at least
+//! halves — `O(log n)` rounds. This mirrors the lazy-merging parallel MST
+//! kernel SNAP integrates.
+
+use rayon::prelude::*;
+use snap_graph::{EdgeId, WeightedGraph};
+
+/// Minimum spanning forest result.
+#[derive(Clone, Debug)]
+pub struct Msf {
+    /// Chosen edge ids.
+    pub edges: Vec<EdgeId>,
+    /// Total weight of the forest.
+    pub total_weight: u64,
+    /// Number of trees (= connected components of the input).
+    pub trees: usize,
+}
+
+#[derive(Clone)]
+struct DisjointSet {
+    parent: Vec<u32>,
+}
+
+impl DisjointSet {
+    fn new(n: usize) -> Self {
+        DisjointSet {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.parent[ra.max(rb) as usize] = ra.min(rb);
+        true
+    }
+}
+
+/// Compute a minimum spanning forest. Ties are broken by edge id, making
+/// the result deterministic.
+pub fn boruvka_msf<G: WeightedGraph>(g: &G) -> Msf {
+    assert!(!g.is_directed(), "MSF is defined on undirected graphs");
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    let mut dsu = DisjointSet::new(n);
+    let mut chosen: Vec<EdgeId> = Vec::new();
+    let mut total: u64 = 0;
+    if n == 0 {
+        return Msf {
+            edges: chosen,
+            total_weight: 0,
+            trees: 0,
+        };
+    }
+
+    // Precompute edge keys (weight, id) once.
+    let keys: Vec<(u64, u32)> = (0..m as u32)
+        .map(|e| (g.edge_weight(e) as u64, e))
+        .collect();
+
+    loop {
+        // Snapshot component labels so the parallel scan needs no &mut.
+        let label: Vec<u32> = {
+            let mut dsu2 = dsu.clone();
+            (0..n as u32).map(|v| dsu2.find(v)).collect()
+        };
+
+        // For each component, the lightest outgoing edge (min (w, id)).
+        let best = (0..m as u32)
+            .into_par_iter()
+            .fold(
+                || vec![(u64::MAX, u32::MAX); 0],
+                |mut acc, e| {
+                    if acc.is_empty() {
+                        acc = vec![(u64::MAX, u32::MAX); n];
+                    }
+                    let (u, v) = g.edge_endpoints(e);
+                    let (lu, lv) = (label[u as usize], label[v as usize]);
+                    if lu != lv {
+                        let key = keys[e as usize];
+                        if key < acc[lu as usize] {
+                            acc[lu as usize] = key;
+                        }
+                        if key < acc[lv as usize] {
+                            acc[lv as usize] = key;
+                        }
+                    }
+                    acc
+                },
+            )
+            .reduce(
+                || Vec::new(),
+                |mut a, b| {
+                    if a.is_empty() {
+                        return b;
+                    }
+                    if b.is_empty() {
+                        return a;
+                    }
+                    for (x, y) in a.iter_mut().zip(b) {
+                        if y < *x {
+                            *x = y;
+                        }
+                    }
+                    a
+                },
+            );
+        if best.is_empty() {
+            break; // no edges at all
+        }
+
+        let mut merged_any = false;
+        for &(w, e) in &best {
+            if e == u32::MAX {
+                continue;
+            }
+            let (u, v) = g.edge_endpoints(e);
+            if dsu.union(u, v) {
+                chosen.push(e);
+                total += w;
+                merged_any = true;
+            }
+        }
+        if !merged_any {
+            break;
+        }
+    }
+
+    let mut roots = std::collections::HashSet::new();
+    for v in 0..n as u32 {
+        roots.insert(dsu.find(v));
+    }
+    chosen.sort_unstable();
+    Msf {
+        edges: chosen,
+        total_weight: total,
+        trees: roots.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_graph::GraphBuilder;
+
+    fn weighted(n: usize, edges: &[(u32, u32, u32)]) -> snap_graph::CsrGraph {
+        GraphBuilder::undirected(n)
+            .add_weighted_edges(edges.iter().copied())
+            .build()
+    }
+
+    #[test]
+    fn classic_example() {
+        // Square with diagonal: MST must pick the three lightest
+        // non-cyclic edges.
+        let g = weighted(4, &[(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 0, 4), (0, 2, 5)]);
+        let msf = boruvka_msf(&g);
+        assert_eq!(msf.trees, 1);
+        assert_eq!(msf.edges.len(), 3);
+        assert_eq!(msf.total_weight, 1 + 2 + 3);
+    }
+
+    #[test]
+    fn forest_on_disconnected_input() {
+        let g = weighted(5, &[(0, 1, 2), (1, 2, 2), (3, 4, 7)]);
+        let msf = boruvka_msf(&g);
+        assert_eq!(msf.trees, 2);
+        assert_eq!(msf.edges.len(), 3);
+        assert_eq!(msf.total_weight, 11);
+    }
+
+    #[test]
+    fn matches_kruskal_on_random_graph() {
+        use rand::{Rng, SeedableRng};
+        use snap_graph::Graph;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let n = 40;
+        let mut edges = Vec::new();
+        for u in 0..n as u32 {
+            for v in u + 1..n as u32 {
+                if rng.gen::<f64>() < 0.15 {
+                    edges.push((u, v, rng.gen_range(1..100)));
+                }
+            }
+        }
+        let g = weighted(n, &edges);
+        let msf = boruvka_msf(&g);
+
+        // Kruskal reference.
+        let mut by_weight: Vec<u32> = (0..g.num_edges() as u32).collect();
+        by_weight.sort_by_key(|&e| (snap_graph::WeightedGraph::edge_weight(&g, e), e));
+        let mut dsu = DisjointSet::new(n);
+        let mut total = 0u64;
+        let mut count = 0usize;
+        for e in by_weight {
+            let (u, v) = snap_graph::Graph::edge_endpoints(&g, e);
+            if dsu.union(u, v) {
+                total += snap_graph::WeightedGraph::edge_weight(&g, e) as u64;
+                count += 1;
+            }
+        }
+        assert_eq!(msf.total_weight, total);
+        assert_eq!(msf.edges.len(), count);
+    }
+
+    #[test]
+    fn unweighted_graph_counts_edges() {
+        let g = snap_graph::builder::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let msf = boruvka_msf(&g);
+        assert_eq!(msf.total_weight, 3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = snap_graph::builder::from_edges(0, &[]);
+        let msf = boruvka_msf(&g);
+        assert_eq!(msf.trees, 0);
+        assert!(msf.edges.is_empty());
+    }
+}

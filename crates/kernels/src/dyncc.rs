@@ -1,0 +1,169 @@
+//! Incremental connected components over a stream of edge insertions —
+//! part of the dynamic-network support the paper lists as ongoing work
+//! ("we intend to extend SNAP to support the topological analysis of
+//! dynamic networks").
+//!
+//! Insertions are `O(α(n))` amortized via union-find; deletions are not
+//! supported incrementally (fully dynamic connectivity needs heavier
+//! machinery) — callers rebuild from a [`snap_graph::DynGraph`] snapshot
+//! when edges leave, which matches the paper's stream model of mostly
+//! accreting interaction data.
+
+use snap_graph::VertexId;
+
+/// Union-find connectivity over a growing edge stream.
+#[derive(Clone, Debug)]
+pub struct IncrementalComponents {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl IncrementalComponents {
+    /// `n` isolated vertices.
+    pub fn new(n: usize) -> Self {
+        IncrementalComponents {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            components: n,
+        }
+    }
+
+    /// Number of vertices tracked.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when no vertices are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Current number of components.
+    pub fn count(&self) -> usize {
+        self.components
+    }
+
+    fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Record edge `{u, v}`; returns `true` if it merged two components.
+    pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        let (ru, rv) = (self.find(u), self.find(v));
+        if ru == rv {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ru as usize] >= self.rank[rv as usize] {
+            (ru, rv)
+        } else {
+            (rv, ru)
+        };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+        self.components -= 1;
+        true
+    }
+
+    /// Are `u` and `v` currently connected?
+    pub fn connected(&mut self, u: VertexId, v: VertexId) -> bool {
+        self.find(u) == self.find(v)
+    }
+
+    /// Materialize consecutive component labels.
+    pub fn labels(&mut self) -> crate::components::Components {
+        let n = self.len();
+        let raw: Vec<u32> = (0..n as u32).map(|v| self.find(v)).collect();
+        let mut remap = std::collections::HashMap::new();
+        let mut next = 0u32;
+        let comp: Vec<u32> = raw
+            .into_iter()
+            .map(|r| {
+                *remap.entry(r).or_insert_with(|| {
+                    let id = next;
+                    next += 1;
+                    id
+                })
+            })
+            .collect();
+        crate::components::Components {
+            comp,
+            count: next as usize,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::connected_components;
+    use snap_graph::builder::from_edges;
+    use snap_graph::Graph;
+
+    #[test]
+    fn insertions_merge_components() {
+        let mut cc = IncrementalComponents::new(5);
+        assert_eq!(cc.count(), 5);
+        assert!(cc.insert_edge(0, 1));
+        assert!(cc.insert_edge(1, 2));
+        assert!(!cc.insert_edge(0, 2)); // already connected
+        assert_eq!(cc.count(), 3);
+        assert!(cc.connected(0, 2));
+        assert!(!cc.connected(0, 3));
+    }
+
+    #[test]
+    fn matches_batch_components() {
+        let edges = [(0u32, 1u32), (2, 3), (4, 5), (1, 2), (6, 7)];
+        let g = from_edges(9, &edges);
+        let mut cc = IncrementalComponents::new(9);
+        for &(u, v) in &edges {
+            cc.insert_edge(u, v);
+        }
+        let batch = connected_components(&g);
+        let inc = cc.labels();
+        assert_eq!(batch.count, inc.count);
+        for u in 0..g.num_vertices() {
+            for v in 0..g.num_vertices() {
+                assert_eq!(
+                    batch.comp[u] == batch.comp[v],
+                    inc.comp[u] == inc.comp[v],
+                    "({u}, {v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_count_identity() {
+        // #merges = n - #components at all times.
+        let mut cc = IncrementalComponents::new(10);
+        let mut merges = 0;
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (5, 6), (6, 5), (4, 3)] {
+            if cc.insert_edge(u, v) {
+                merges += 1;
+            }
+            assert_eq!(merges, 10 - cc.count());
+        }
+    }
+
+    #[test]
+    fn empty_tracker() {
+        let mut cc = IncrementalComponents::new(0);
+        assert_eq!(cc.count(), 0);
+        assert!(cc.is_empty());
+        assert_eq!(cc.labels().count, 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # snap-kernels
+//!
+//! The fundamental parallel graph kernels of the SNAP framework
+//! (Bader & Madduri, IPDPS 2008, §3): breadth-first search, connected
+//! components, biconnected components (articulation points and bridges),
+//! spanning forests, minimum spanning forests, and single-source shortest
+//! paths.
+//!
+//! Design notes, following the paper:
+//!
+//! * **Level-synchronous traversal** with lock-free visited claims and
+//!   degree-aware work splitting ([`bfs::par_bfs`]) — the building block
+//!   for centrality and the divisive clustering algorithms.
+//! * **Fine-grained synchronization kept cheap**: atomic bitmaps and
+//!   label arrays instead of locks throughout.
+//! * Everything is generic over [`snap_graph::Graph`], so the same kernel
+//!   runs on a frozen CSR graph, a filtered view with deleted edges, or an
+//!   extracted component.
+//!
+//! Parallel kernels use the ambient rayon thread pool; callers control
+//! parallelism by installing a pool (`ThreadPool::install`).
+
+pub mod bfs;
+pub mod bicc;
+pub mod boruvka;
+pub mod components;
+pub mod dyncc;
+pub mod spanning;
+pub mod stcon;
+pub mod sssp;
+
+pub use bfs::{bfs, bfs_limited, par_bfs, par_bfs_vertex_partitioned, BfsResult, NO_PARENT, UNREACHABLE};
+pub use bicc::{biconnected_components, Bicc};
+pub use boruvka::{boruvka_msf, Msf};
+pub use components::{connected_components, par_components_lp, par_components_sv, Components};
+pub use dyncc::IncrementalComponents;
+pub use stcon::{st_connectivity, StResult};
+pub use spanning::{par_spanning_forest, spanning_forest, SpanningForest};
+pub use sssp::{delta_stepping, dijkstra, SsspResult, INF};

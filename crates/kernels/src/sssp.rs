@@ -1,0 +1,214 @@
+//! Single-source shortest paths: Dijkstra (reference) and Δ-stepping
+//! (Meyer & Sanders), the parallel SSSP formulation used by SNAP
+//! (Madduri, Bader, Berry & Crobak, ALENEX 2007).
+//!
+//! Δ-stepping buckets tentative distances in width-Δ ranges; within a
+//! bucket, *light* edges (w ≤ Δ) are relaxed to a fixpoint with the
+//! relaxation requests generated in parallel, then *heavy* edges are
+//! relaxed once. With Δ = max weight this degrades to Bellman-Ford-ish
+//! phases; with Δ = 1 (unweighted) it is level-synchronous BFS.
+
+use rayon::prelude::*;
+use snap_graph::{VertexId, WeightedGraph};
+
+/// Distance assigned to unreachable vertices.
+pub const INF: u64 = u64::MAX;
+
+/// Shortest-path distances from a single source.
+#[derive(Clone, Debug)]
+pub struct SsspResult {
+    /// Weighted distance from the source (`INF` if unreachable).
+    pub dist: Vec<u64>,
+}
+
+/// Binary-heap Dijkstra. Ground truth for Δ-stepping.
+pub fn dijkstra<G: WeightedGraph>(g: &G, source: VertexId) -> SsspResult {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let n = g.num_vertices();
+    let mut dist = vec![INF; n];
+    let mut heap = BinaryHeap::new();
+    dist[source as usize] = 0;
+    heap.push(Reverse((0u64, source)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        for (v, _, w) in g.neighbors_weighted(u) {
+            let nd = d + w as u64;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    SsspResult { dist }
+}
+
+/// Δ-stepping SSSP. `delta = 0` selects a heuristic Δ (average edge
+/// weight, clamped to ≥ 1).
+pub fn delta_stepping<G: WeightedGraph>(g: &G, source: VertexId, delta: u64) -> SsspResult {
+    let n = g.num_vertices();
+    let m = g.num_edges().max(1);
+    let delta = if delta == 0 {
+        let total: u64 = (0..m as u32).map(|e| g.edge_weight(e) as u64).sum();
+        (total / m as u64).max(1)
+    } else {
+        delta
+    };
+
+    let mut dist = vec![INF; n];
+    dist[source as usize] = 0;
+    // Buckets by floor(dist / delta); grown on demand.
+    let mut buckets: Vec<Vec<VertexId>> = vec![vec![source]];
+    let mut bucket_of = vec![usize::MAX; n];
+    bucket_of[source as usize] = 0;
+
+    let mut i = 0usize;
+    while i < buckets.len() {
+        let mut settled: Vec<VertexId> = Vec::new();
+        // Light-edge fixpoint within bucket i.
+        while !buckets[i].is_empty() {
+            let current = std::mem::take(&mut buckets[i]);
+            // Generate relaxation requests for light edges in parallel.
+            let requests: Vec<(VertexId, u64)> = current
+                .par_iter()
+                .filter(|&&u| bucket_of[u as usize] == i) // skip stale entries
+                .flat_map_iter(|&u| {
+                    let du = dist[u as usize];
+                    g.neighbors_weighted(u).filter_map(move |(v, _, w)| {
+                        let w = w as u64;
+                        if w <= delta {
+                            Some((v, du + w))
+                        } else {
+                            None
+                        }
+                    })
+                })
+                .collect();
+            for &u in &current {
+                if bucket_of[u as usize] == i {
+                    bucket_of[u as usize] = usize::MAX;
+                    settled.push(u);
+                }
+            }
+            apply_requests(requests, &mut dist, &mut buckets, &mut bucket_of, delta, i);
+        }
+        // Heavy edges of settled vertices, relaxed once.
+        let requests: Vec<(VertexId, u64)> = settled
+            .par_iter()
+            .flat_map_iter(|&u| {
+                let du = dist[u as usize];
+                g.neighbors_weighted(u).filter_map(move |(v, _, w)| {
+                    let w = w as u64;
+                    if w > delta {
+                        Some((v, du + w))
+                    } else {
+                        None
+                    }
+                })
+            })
+            .collect();
+        apply_requests(requests, &mut dist, &mut buckets, &mut bucket_of, delta, i);
+        i += 1;
+    }
+    SsspResult { dist }
+}
+
+fn apply_requests(
+    requests: Vec<(VertexId, u64)>,
+    dist: &mut [u64],
+    buckets: &mut Vec<Vec<VertexId>>,
+    bucket_of: &mut [usize],
+    delta: u64,
+    current_bucket: usize,
+) {
+    for (v, nd) in requests {
+        if nd < dist[v as usize] {
+            dist[v as usize] = nd;
+            let b = (nd / delta) as usize;
+            let b = b.max(current_bucket); // light relaxations can't go backwards
+            if b >= buckets.len() {
+                buckets.resize_with(b + 1, Vec::new);
+            }
+            // Lazy deletion: the old bucket entry becomes stale; the
+            // bucket_of check on pop skips it.
+            buckets[b].push(v);
+            bucket_of[v as usize] = b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_graph::GraphBuilder;
+
+    fn weighted(n: usize, edges: &[(u32, u32, u32)]) -> snap_graph::CsrGraph {
+        GraphBuilder::undirected(n)
+            .add_weighted_edges(edges.iter().copied())
+            .build()
+    }
+
+    #[test]
+    fn dijkstra_on_weighted_path() {
+        let g = weighted(4, &[(0, 1, 5), (1, 2, 3), (2, 3, 2)]);
+        let r = dijkstra(&g, 0);
+        assert_eq!(r.dist, vec![0, 5, 8, 10]);
+    }
+
+    #[test]
+    fn dijkstra_prefers_light_detour() {
+        let g = weighted(3, &[(0, 2, 10), (0, 1, 3), (1, 2, 3)]);
+        let r = dijkstra(&g, 0);
+        assert_eq!(r.dist[2], 6);
+    }
+
+    #[test]
+    fn delta_stepping_matches_dijkstra_small() {
+        let g = weighted(
+            6,
+            &[(0, 1, 7), (0, 2, 9), (0, 5, 14), (1, 2, 10), (1, 3, 15), (2, 3, 11), (2, 5, 2), (3, 4, 6), (4, 5, 9)],
+        );
+        let a = dijkstra(&g, 0);
+        for delta in [1, 3, 5, 20, 0] {
+            let b = delta_stepping(&g, 0, delta);
+            assert_eq!(a.dist, b.dist, "delta = {delta}");
+        }
+    }
+
+    #[test]
+    fn delta_stepping_matches_dijkstra_random() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let n = 60;
+        let mut edges = Vec::new();
+        for u in 0..n as u32 {
+            for v in u + 1..n as u32 {
+                if rng.gen::<f64>() < 0.1 {
+                    edges.push((u, v, rng.gen_range(1..50)));
+                }
+            }
+        }
+        let g = weighted(n, &edges);
+        let a = dijkstra(&g, 0);
+        let b = delta_stepping(&g, 0, 0);
+        assert_eq!(a.dist, b.dist);
+    }
+
+    #[test]
+    fn unreachable_vertices() {
+        let g = weighted(4, &[(0, 1, 2)]);
+        let r = dijkstra(&g, 0);
+        assert_eq!(r.dist[2], INF);
+        let d = delta_stepping(&g, 0, 1);
+        assert_eq!(d.dist[2], INF);
+    }
+
+    #[test]
+    fn unweighted_delta_one_is_bfs() {
+        let g = snap_graph::builder::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let d = delta_stepping(&g, 0, 1);
+        assert_eq!(d.dist, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests: parallel kernels agree with sequential ground truth on
+//! randomized small-world inputs.
+
+use proptest::prelude::*;
+use snap_graph::{Graph, GraphBuilder, VertexId};
+use snap_kernels::*;
+
+fn arb_graph() -> impl Strategy<Value = snap_graph::CsrGraph> {
+    (2usize..30).prop_flat_map(|n| {
+        prop::collection::vec((0..n as u32, 0..n as u32), 0..80).prop_map(move |edges| {
+            // Deduplicate canonical pairs: the builder sums weights of
+            // duplicate edges, and these tests assume unit weights.
+            let mut uniq: Vec<(u32, u32)> = edges
+                .into_iter()
+                .map(|(u, v)| (u.min(v), u.max(v)))
+                .collect();
+            uniq.sort_unstable();
+            uniq.dedup();
+            GraphBuilder::undirected(n).add_edges(uniq).build()
+        })
+    })
+}
+
+proptest! {
+    /// Parallel BFS distances equal sequential BFS distances from every
+    /// source.
+    #[test]
+    fn par_bfs_matches_seq(g in arb_graph()) {
+        for s in 0..g.num_vertices().min(5) {
+            let a = bfs(&g, s as VertexId);
+            let b = par_bfs(&g, s as VertexId);
+            prop_assert_eq!(&a.dist, &b.dist);
+        }
+    }
+
+    /// All three component algorithms produce the same partition.
+    #[test]
+    fn component_algorithms_agree(g in arb_graph()) {
+        let seq = connected_components(&g);
+        let lp = par_components_lp(&g);
+        let sv = par_components_sv(&g);
+        prop_assert_eq!(seq.count, lp.count);
+        prop_assert_eq!(seq.count, sv.count);
+        let n = g.num_vertices();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                let same = seq.comp[u] == seq.comp[v];
+                prop_assert_eq!(same, lp.comp[u] == lp.comp[v]);
+                prop_assert_eq!(same, sv.comp[u] == sv.comp[v]);
+            }
+        }
+    }
+
+    /// Removing any bridge increases the component count; removing any
+    /// non-bridge does not.
+    #[test]
+    fn bridges_are_exactly_the_cut_edges(g in arb_graph()) {
+        let bicc = biconnected_components(&g);
+        let base = connected_components(&g).count;
+        for e in 0..g.num_edges() as u32 {
+            let mut f = snap_graph::FilteredGraph::new(&g);
+            f.delete_edge(e);
+            let after = connected_components(&f).count;
+            if bicc.is_bridge(e) {
+                prop_assert_eq!(after, base + 1, "bridge {} must disconnect", e);
+            } else {
+                prop_assert_eq!(after, base, "non-bridge {} must not disconnect", e);
+            }
+        }
+    }
+
+    /// The spanning forest has exactly n - #components edges and spans:
+    /// contracting tree edges yields the same component structure.
+    #[test]
+    fn spanning_forest_spans(g in arb_graph()) {
+        let f = spanning_forest(&g);
+        let c = connected_components(&g);
+        prop_assert_eq!(f.trees, c.count);
+        prop_assert!(f.edge_count_consistent());
+    }
+
+    /// Delta-stepping equals Dijkstra for arbitrary graphs and deltas.
+    #[test]
+    fn delta_stepping_correct(g in arb_graph(), delta in 0u64..8) {
+        let a = dijkstra(&g, 0);
+        let b = delta_stepping(&g, 0, delta);
+        prop_assert_eq!(a.dist, b.dist);
+    }
+
+    /// BFS distance equals Dijkstra distance on unit weights.
+    #[test]
+    fn bfs_is_unit_dijkstra(g in arb_graph()) {
+        let a = bfs(&g, 0);
+        let b = dijkstra(&g, 0);
+        for v in 0..g.num_vertices() {
+            let bd = if a.dist[v] == UNREACHABLE { INF } else { a.dist[v] as u64 };
+            prop_assert_eq!(bd, b.dist[v]);
+        }
+    }
+
+    /// MSF weight is invariant under edge order (determinism) and the MSF
+    /// connects exactly the input's components.
+    #[test]
+    fn msf_structure(g in arb_graph()) {
+        let msf = boruvka_msf(&g);
+        let c = connected_components(&g);
+        prop_assert_eq!(msf.trees, c.count);
+        prop_assert_eq!(msf.edges.len(), g.num_vertices() - c.count);
+    }
+}
+
+/// Larger randomized agreement check on an R-MAT instance (not proptest —
+/// one fixed seed keeps runtime bounded).
+#[test]
+fn rmat_kernels_agree() {
+    let g = snap_gen::rmat(&snap_gen::RmatConfig::small_world(10, 4096), 99);
+    let seq = connected_components(&g);
+    let sv = par_components_sv(&g);
+    assert_eq!(seq.count, sv.count);
+    let a = bfs(&g, 0);
+    let b = par_bfs(&g, 0);
+    assert_eq!(a.dist, b.dist);
+}

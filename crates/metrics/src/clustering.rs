@@ -1,0 +1,144 @@
+//! Clustering coefficients via parallel triangle counting.
+//!
+//! Uses the sorted-adjacency merge intersection: for each edge (u, v),
+//! |N(u) ∩ N(v)| triangles, counted once per edge and accumulated to both
+//! endpoints. `O(Σ_v deg(v)^2)` worst case but cache-friendly and
+//! embarrassingly parallel over vertices.
+
+use rayon::prelude::*;
+use snap_graph::{CsrGraph, Graph, VertexId};
+
+/// Number of triangles through each vertex.
+pub fn triangles_per_vertex(g: &CsrGraph) -> Vec<u64> {
+    assert!(!g.is_directed(), "triangle counting assumes undirected input");
+    let n = g.num_vertices();
+    // Count per-vertex by summing, for each vertex u, the triangles on its
+    // incident edges (u, v) with v > u; each triangle (u, v, w) is found
+    // exactly once from its smallest vertex... counting per-vertex instead:
+    // for vertex u, triangles(u) = (1/2) Σ_{v ∈ N(u)} |N(u) ∩ N(v)|.
+    (0..n as VertexId)
+        .into_par_iter()
+        .map(|u| {
+            let nu = g.neighbor_slice(u);
+            let mut count = 0u64;
+            for &v in nu {
+                count += sorted_intersection_size(nu, g.neighbor_slice(v));
+            }
+            count / 2
+        })
+        .collect()
+}
+
+/// Total number of triangles in the graph.
+pub fn triangle_count(g: &CsrGraph) -> u64 {
+    triangles_per_vertex(g).into_iter().sum::<u64>() / 3
+}
+
+fn sorted_intersection_size(a: &[VertexId], b: &[VertexId]) -> u64 {
+    let (mut i, mut j, mut c) = (0usize, 0usize, 0u64);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                c += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    c
+}
+
+/// Local clustering coefficient of every vertex:
+/// `C(v) = 2·T(v) / (deg(v)·(deg(v) - 1))`, 0 for degree < 2.
+pub fn local_clustering(g: &CsrGraph) -> Vec<f64> {
+    triangles_per_vertex(g)
+        .into_iter()
+        .enumerate()
+        .map(|(v, t)| {
+            let d = g.degree(v as VertexId) as u64;
+            if d < 2 {
+                0.0
+            } else {
+                2.0 * t as f64 / (d * (d - 1)) as f64
+            }
+        })
+        .collect()
+}
+
+/// Average of the local clustering coefficients (Watts–Strogatz "C").
+pub fn average_clustering(g: &CsrGraph) -> f64 {
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0.0;
+    }
+    local_clustering(g).iter().sum::<f64>() / n as f64
+}
+
+/// Global transitivity: `3·triangles / open-or-closed wedges`.
+pub fn transitivity(g: &CsrGraph) -> f64 {
+    let wedges: u64 = (0..g.num_vertices() as VertexId)
+        .map(|v| {
+            let d = g.degree(v) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum();
+    if wedges == 0 {
+        return 0.0;
+    }
+    3.0 * triangle_count(g) as f64 / wedges as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_graph::builder::from_edges;
+
+    #[test]
+    fn triangle_graph() {
+        let g = from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(triangle_count(&g), 1);
+        assert_eq!(triangles_per_vertex(&g), vec![1, 1, 1]);
+        assert_eq!(local_clustering(&g), vec![1.0, 1.0, 1.0]);
+        assert!((transitivity(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn square_has_no_triangles() {
+        let g = from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(triangle_count(&g), 0);
+        assert_eq!(average_clustering(&g), 0.0);
+    }
+
+    #[test]
+    fn square_with_diagonal() {
+        let g = from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        assert_eq!(triangle_count(&g), 2);
+        // Vertices 0 and 2 have degree 3, each in 2 triangles: C = 2/3.
+        let c = local_clustering(&g);
+        assert!((c[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complete_graph_k5() {
+        let mut edges = Vec::new();
+        for u in 0..5u32 {
+            for v in u + 1..5 {
+                edges.push((u, v));
+            }
+        }
+        let g = from_edges(5, &edges);
+        assert_eq!(triangle_count(&g), 10); // C(5,3)
+        assert!((average_clustering(&g) - 1.0).abs() < 1e-12);
+        assert!((transitivity(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_has_zero_clustering() {
+        let g = from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(triangle_count(&g), 0);
+        assert_eq!(transitivity(&g), 0.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Shortest-path-length statistics: average path length, diameter, and
+//! the sampled estimators the paper's exploratory workflow uses on large
+//! graphs (where all-pairs BFS is out of reach).
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use snap_graph::{Graph, VertexId};
+use snap_kernels::bfs::{bfs, UNREACHABLE};
+
+/// Path-length statistics over (a sample of) source vertices.
+#[derive(Clone, Copy, Debug)]
+pub struct PathStats {
+    /// Mean distance over reachable ordered pairs.
+    pub average: f64,
+    /// Maximum observed distance (the diameter when exact).
+    pub max: u32,
+    /// 90th-percentile distance ("effective diameter").
+    pub effective_diameter: f64,
+    /// Ordered reachable pairs observed.
+    pub pairs: u64,
+}
+
+/// Exact statistics via all-pairs BFS (`O(n(m + n))`; small graphs only).
+pub fn path_stats_exact<G: Graph>(g: &G) -> PathStats {
+    let sources: Vec<VertexId> = (0..g.num_vertices() as VertexId).collect();
+    path_stats_from_sources(g, &sources)
+}
+
+/// Sampled statistics from `k` random sources.
+pub fn path_stats_sampled<G: Graph>(g: &G, k: usize, seed: u64) -> PathStats {
+    let n = g.num_vertices();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut sources: Vec<VertexId> = (0..n as VertexId).collect();
+    sources.shuffle(&mut rng);
+    sources.truncate(k.max(1).min(n.max(1)));
+    path_stats_from_sources(g, &sources)
+}
+
+fn path_stats_from_sources<G: Graph>(g: &G, sources: &[VertexId]) -> PathStats {
+    // Histogram of distances (small-world graphs have tiny diameters, so
+    // a growable histogram beats storing all pair distances).
+    let hist = sources
+        .par_iter()
+        .fold(
+            || Vec::<u64>::new(),
+            |mut acc, &s| {
+                let r = bfs(g, s);
+                for (v, &d) in r.dist.iter().enumerate() {
+                    if d != UNREACHABLE && v as VertexId != s {
+                        if d as usize >= acc.len() {
+                            acc.resize(d as usize + 1, 0);
+                        }
+                        acc[d as usize] += 1;
+                    }
+                }
+                acc
+            },
+        )
+        .reduce(
+            || Vec::new(),
+            |mut a, b| {
+                if a.len() < b.len() {
+                    a.resize(b.len(), 0);
+                }
+                for (i, y) in b.into_iter().enumerate() {
+                    a[i] += y;
+                }
+                a
+            },
+        );
+
+    let pairs: u64 = hist.iter().sum();
+    if pairs == 0 {
+        return PathStats {
+            average: 0.0,
+            max: 0,
+            effective_diameter: 0.0,
+            pairs: 0,
+        };
+    }
+    let total: u64 = hist
+        .iter()
+        .enumerate()
+        .map(|(d, &c)| d as u64 * c)
+        .sum();
+    let max = (hist.len() - 1) as u32;
+    // Effective diameter: smallest d such that >= 90% of pairs are within
+    // d, with linear interpolation inside the bucket.
+    let target = 0.9 * pairs as f64;
+    let mut cum = 0u64;
+    let mut eff = max as f64;
+    for (d, &c) in hist.iter().enumerate() {
+        let prev = cum as f64;
+        cum += c;
+        if cum as f64 >= target {
+            let need = target - prev;
+            eff = if c == 0 {
+                d as f64
+            } else {
+                (d as f64 - 1.0) + need / c as f64
+            };
+            break;
+        }
+    }
+    PathStats {
+        average: total as f64 / pairs as f64,
+        max,
+        effective_diameter: eff.max(0.0),
+        pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_graph::builder::from_edges;
+
+    #[test]
+    fn path_graph_stats() {
+        // Path 0-1-2-3: ordered pairs symmetric; avg = (1*6 + 2*4 + 3*2)/12.
+        let g = from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let s = path_stats_exact(&g);
+        assert_eq!(s.max, 3);
+        assert_eq!(s.pairs, 12);
+        assert!((s.average - (6.0 + 8.0 + 6.0) / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complete_graph_diameter_one() {
+        let g = from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let s = path_stats_exact(&g);
+        assert_eq!(s.max, 1);
+        assert!((s.average - 1.0).abs() < 1e-12);
+        assert!(s.effective_diameter <= 1.0);
+    }
+
+    #[test]
+    fn disconnected_pairs_ignored() {
+        let g = from_edges(4, &[(0, 1), (2, 3)]);
+        let s = path_stats_exact(&g);
+        assert_eq!(s.pairs, 4);
+        assert_eq!(s.max, 1);
+    }
+
+    #[test]
+    fn sampled_full_equals_exact() {
+        let g = from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let a = path_stats_exact(&g);
+        let b = path_stats_sampled(&g, 5, 3);
+        assert_eq!(a.pairs, b.pairs);
+        assert!((a.average - b.average).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = from_edges(2, &[]);
+        let s = path_stats_exact(&g);
+        assert_eq!(s.pairs, 0);
+        assert_eq!(s.average, 0.0);
+    }
+
+    #[test]
+    fn effective_diameter_below_max() {
+        // Star + long tail: most pairs are short, the tail stretches max.
+        let g = from_edges(
+            8,
+            &[(0, 1), (0, 2), (0, 3), (0, 4), (4, 5), (5, 6), (6, 7)],
+        );
+        let s = path_stats_exact(&g);
+        assert!(s.effective_diameter < s.max as f64);
+    }
+}

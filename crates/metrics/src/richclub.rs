@@ -1,0 +1,89 @@
+//! Rich-club coefficient: `φ(k) = 2·E_{>k} / (N_{>k}·(N_{>k} - 1))`,
+//! the edge density among vertices of degree greater than `k`. A rising
+//! φ(k) means hubs preferentially interconnect — one of the paper's
+//! listed SNA metrics.
+
+use snap_graph::{Graph, VertexId};
+
+/// Rich-club coefficient for a single threshold `k` (density among
+/// vertices with degree > k). Returns `None` when fewer than two vertices
+/// qualify.
+pub fn rich_club_coefficient<G: Graph>(g: &G, k: usize) -> Option<f64> {
+    let members: Vec<VertexId> = (0..g.num_vertices() as VertexId)
+        .filter(|&v| g.degree(v) > k)
+        .collect();
+    let nk = members.len();
+    if nk < 2 {
+        return None;
+    }
+    let in_club = {
+        let mut mark = vec![false; g.num_vertices()];
+        for &v in &members {
+            mark[v as usize] = true;
+        }
+        mark
+    };
+    let mut ek = 0u64;
+    for &v in &members {
+        for u in g.neighbors(v) {
+            if in_club[u as usize] {
+                ek += 1;
+            }
+        }
+    }
+    // Each intra-club edge counted from both endpoints.
+    let ek = ek / 2;
+    Some(2.0 * ek as f64 / (nk as f64 * (nk as f64 - 1.0)))
+}
+
+/// The full rich-club curve: `(k, φ(k))` for every threshold where it is
+/// defined, `k` from 0 to the maximum degree.
+pub fn rich_club_curve<G: Graph>(g: &G) -> Vec<(usize, f64)> {
+    let max_deg = (0..g.num_vertices() as VertexId)
+        .map(|v| g.degree(v))
+        .max()
+        .unwrap_or(0);
+    (0..max_deg)
+        .filter_map(|k| rich_club_coefficient(g, k).map(|phi| (k, phi)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap_graph::builder::from_edges;
+
+    #[test]
+    fn complete_graph_is_full_club() {
+        let g = from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(rich_club_coefficient(&g, 0), Some(1.0));
+        assert_eq!(rich_club_coefficient(&g, 2), Some(1.0));
+    }
+
+    #[test]
+    fn star_has_no_club() {
+        let g = from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        // Only the hub has degree > 1.
+        assert_eq!(rich_club_coefficient(&g, 1), None);
+        // Degree > 0: everyone, density = 3/6.
+        assert_eq!(rich_club_coefficient(&g, 0), Some(0.5));
+    }
+
+    #[test]
+    fn hub_interconnection_detected() {
+        // Two hubs (0, 1) connected to each other and to leaves.
+        let g = from_edges(6, &[(0, 1), (0, 2), (0, 3), (1, 4), (1, 5)]);
+        // Degree > 2: just the two hubs, and they share an edge: φ = 1.
+        assert_eq!(rich_club_coefficient(&g, 2), Some(1.0));
+    }
+
+    #[test]
+    fn curve_is_well_formed() {
+        let g = from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3)]);
+        let curve = rich_club_curve(&g);
+        assert!(!curve.is_empty());
+        for (_, phi) in curve {
+            assert!((0.0..=1.0).contains(&phi));
+        }
+    }
+}

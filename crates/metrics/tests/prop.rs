@@ -1,0 +1,121 @@
+//! Property tests for the topology metrics.
+
+use proptest::prelude::*;
+use snap_graph::{Graph, GraphBuilder, VertexId};
+use snap_metrics::*;
+
+fn arb_graph() -> impl Strategy<Value = snap_graph::CsrGraph> {
+    (3usize..24).prop_flat_map(|n| {
+        prop::collection::vec((0..n as u32, 0..n as u32), 0..60).prop_map(move |edges| {
+            let mut uniq: Vec<(u32, u32)> = edges
+                .into_iter()
+                .filter(|&(u, v)| u != v)
+                .map(|(u, v)| (u.min(v), u.max(v)))
+                .collect();
+            uniq.sort_unstable();
+            uniq.dedup();
+            GraphBuilder::undirected(n).add_edges(uniq).build()
+        })
+    })
+}
+
+/// Brute-force triangle count over vertex triples.
+fn triangles_brute(g: &snap_graph::CsrGraph) -> u64 {
+    let n = g.num_vertices();
+    let adj = |a: u32, b: u32| g.neighbors(a).any(|x| x == b);
+    let mut count = 0;
+    for a in 0..n as u32 {
+        for b in a + 1..n as u32 {
+            for c in b + 1..n as u32 {
+                if adj(a, b) && adj(b, c) && adj(a, c) {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+proptest! {
+    /// Merge-based triangle counting equals brute force.
+    #[test]
+    fn triangle_count_exact(g in arb_graph()) {
+        prop_assert_eq!(triangle_count(&g), triangles_brute(&g));
+    }
+
+    /// Per-vertex triangles sum to 3x the total.
+    #[test]
+    fn triangle_sum_identity(g in arb_graph()) {
+        let per: u64 = triangles_per_vertex(&g).iter().sum();
+        prop_assert_eq!(per, 3 * triangle_count(&g));
+    }
+
+    /// Clustering coefficients and transitivity are in [0, 1].
+    #[test]
+    fn clustering_bounds(g in arb_graph()) {
+        for c in local_clustering(&g) {
+            prop_assert!((0.0..=1.0).contains(&c));
+        }
+        let t = transitivity(&g);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&t));
+        let avg = average_clustering(&g);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&avg));
+    }
+
+    /// Assortativity is a correlation: within [-1, 1].
+    #[test]
+    fn assortativity_bounds(g in arb_graph()) {
+        let r = degree_assortativity(&g);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "r = {r}");
+    }
+
+    /// Degree histogram sums to n; CCDF is non-increasing and ends at 0.
+    #[test]
+    fn degree_distribution_wellformed(g in arb_graph()) {
+        let h = degree_histogram(&g);
+        prop_assert_eq!(h.iter().sum::<usize>(), g.num_vertices());
+        let c = degree_ccdf(&g);
+        prop_assert!(c.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+        if let Some(&last) = c.last() {
+            prop_assert!(last.abs() < 1e-12);
+        }
+    }
+
+    /// Exact path stats: pairs is even (symmetric), average >= 1 when any
+    /// pair exists, effective diameter <= max.
+    #[test]
+    fn path_stats_sane(g in arb_graph()) {
+        let s = path_stats_exact(&g);
+        prop_assert_eq!(s.pairs % 2, 0);
+        if s.pairs > 0 {
+            prop_assert!(s.average >= 1.0);
+            prop_assert!(s.effective_diameter <= s.max as f64 + 1e-9);
+        }
+    }
+
+    /// Rich-club coefficients are densities in [0, 1], and the k = 0 club
+    /// over the whole graph matches the global density.
+    #[test]
+    fn rich_club_is_density(g in arb_graph()) {
+        let n = g.num_vertices();
+        for (_, phi) in rich_club_curve(&g) {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&phi));
+        }
+        let non_isolated: Vec<VertexId> = (0..n as u32).filter(|&v| g.degree(v) > 0).collect();
+        if non_isolated.len() == n && n >= 2 {
+            let phi0 = rich_club_coefficient(&g, 0).unwrap();
+            let density = 2.0 * g.num_edges() as f64 / (n as f64 * (n as f64 - 1.0));
+            prop_assert!((phi0 - density).abs() < 1e-12);
+        }
+    }
+
+    /// Summary is internally consistent with its parts.
+    #[test]
+    fn summary_consistency(g in arb_graph()) {
+        let s = summarize(&g, 1);
+        prop_assert_eq!(s.n, g.num_vertices());
+        prop_assert_eq!(s.m, g.num_edges());
+        prop_assert_eq!(s.components, snap_kernels::connected_components(&g).count);
+        prop_assert!((s.clustering - average_clustering(&g)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,124 @@
+//! End-to-end tests of the `snap-cli` binary.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_snap-cli"))
+}
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("snap-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = cli().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn generate_then_summary_then_communities() {
+    let path = scratch("g.txt");
+    let out = cli()
+        .args([
+            "generate", "planted", "--scale", "8", "--out",
+            path.to_str().unwrap(), "--seed", "5",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("n = 256"));
+
+    let out = cli()
+        .args(["summary", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("n = 256"), "{text}");
+    assert!(text.contains("clustering:"));
+
+    let out = cli()
+        .args(["communities", path.to_str().unwrap(), "--algorithm", "pma"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("modularity"), "{text}");
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn partition_reports_cut() {
+    let path = scratch("p.txt");
+    cli()
+        .args([
+            "generate", "grid", "--scale", "8", "--out",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let out = cli()
+        .args([
+            "partition", path.to_str().unwrap(), "--parts", "4", "--method", "recur",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("edge cut"), "{text}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn centrality_lists_top_vertices() {
+    let path = scratch("c.txt");
+    cli()
+        .args([
+            "generate", "rmat", "--scale", "8", "--edges", "1024", "--out",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let out = cli()
+        .args([
+            "centrality", path.to_str().unwrap(), "--approx", "0.2", "--top", "3",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("betweenness"), "{text}");
+    assert!(text.lines().count() >= 4, "{text}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let out = cli()
+        .args(["summary", "/nonexistent/definitely-missing.txt"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot open"));
+}
+
+#[test]
+fn bad_algorithm_rejected() {
+    let path = scratch("b.txt");
+    cli()
+        .args(["generate", "er", "--scale", "6", "--edges", "128", "--out", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    let out = cli()
+        .args(["communities", path.to_str().unwrap(), "--algorithm", "bogus"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown algorithm"));
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,98 @@
+//! File-level I/O round trips through all supported formats.
+
+use snap::graph::{Graph, WeightedGraph};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+fn scratch_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("snap-io-test-{}-{name}", std::process::id()));
+    p
+}
+
+fn sample_graph() -> snap::graph::CsrGraph {
+    snap::gen::rmat(&snap::gen::RmatConfig::small_world(7, 256), 9)
+}
+
+#[test]
+fn edge_list_file_roundtrip() {
+    let g = sample_graph();
+    let path = scratch_path("edges.txt");
+    {
+        let f = BufWriter::new(File::create(&path).unwrap());
+        snap::io::edgelist::write_edge_list(f, &g).unwrap();
+    }
+    let h = snap::io::edgelist::read_edge_list(
+        BufReader::new(File::open(&path).unwrap()),
+        false,
+        g.num_vertices(),
+    )
+    .unwrap();
+    assert_eq!(h.num_vertices(), g.num_vertices());
+    assert_eq!(h.num_edges(), g.num_edges());
+    for v in g.vertices() {
+        let a: Vec<_> = g.neighbors(v).collect();
+        let b: Vec<_> = h.neighbors(v).collect();
+        assert_eq!(a, b);
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn metis_file_roundtrip() {
+    let g = sample_graph();
+    let path = scratch_path("graph.metis");
+    {
+        let f = BufWriter::new(File::create(&path).unwrap());
+        snap::io::metis::write_metis(f, &g).unwrap();
+    }
+    let h = snap::io::metis::read_metis(BufReader::new(File::open(&path).unwrap())).unwrap();
+    assert_eq!(h.num_edges(), g.num_edges());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn dimacs_file_roundtrip_weighted() {
+    let g = snap::graph::GraphBuilder::undirected(6)
+        .add_weighted_edges([(0, 1, 3), (1, 2, 1), (2, 3, 9), (3, 4, 2), (4, 5, 4)])
+        .build();
+    let path = scratch_path("graph.gr");
+    {
+        let f = BufWriter::new(File::create(&path).unwrap());
+        snap::io::dimacs::write_dimacs(f, &g).unwrap();
+    }
+    let h = snap::io::dimacs::read_dimacs(BufReader::new(File::open(&path).unwrap()), false)
+        .unwrap();
+    assert_eq!(h.num_edges(), g.num_edges());
+    for e in 0..g.num_edges() as u32 {
+        assert_eq!(h.edge_weight(e), g.edge_weight(e));
+    }
+    // Shortest paths computed on the round-tripped graph agree.
+    let a = snap::kernels::dijkstra(&g, 0);
+    let b = snap::kernels::dijkstra(&h, 0);
+    assert_eq!(a.dist, b.dist);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn analysis_results_survive_serialization() {
+    // Modularity of a clustering must be identical before and after an
+    // edge-list round trip (graph identity check via an invariant).
+    let g = snap::io::karate_club();
+    let path = scratch_path("karate.txt");
+    {
+        let f = BufWriter::new(File::create(&path).unwrap());
+        snap::io::edgelist::write_edge_list(f, &g).unwrap();
+    }
+    let h = snap::io::edgelist::read_edge_list(
+        BufReader::new(File::open(&path).unwrap()),
+        false,
+        34,
+    )
+    .unwrap();
+    let c = snap::community::pma(&g, &snap::community::PmaConfig::default());
+    let q_orig = snap::community::modularity(&g, &c.clustering);
+    let q_rt = snap::community::modularity(&h, &c.clustering);
+    assert!((q_orig - q_rt).abs() < 1e-12);
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,109 @@
+//! Cross-crate integration: full generate → summarize → analyze →
+//! cluster pipelines through the public API.
+
+use snap::prelude::*;
+use snap::{CommunityAlgorithm, Network};
+
+#[test]
+fn karate_full_pipeline() {
+    let net = Network::new(snap::io::karate_club());
+    let summary = net.summary();
+    assert_eq!(summary.n, 34);
+    assert_eq!(summary.m, 78);
+    assert_eq!(summary.components, 1);
+    // The karate club is famously clustered and disassortative.
+    assert!(summary.clustering > 0.4);
+    assert!(summary.assortativity < 0.0);
+    assert!(summary.paths.average < 3.0);
+
+    for alg in [
+        CommunityAlgorithm::GirvanNewman,
+        CommunityAlgorithm::Divisive,
+        CommunityAlgorithm::Agglomerative,
+        CommunityAlgorithm::LocalAggregation,
+    ] {
+        let c = net.communities(alg);
+        c.clustering.validate().unwrap();
+        assert!(
+            c.modularity > 0.3,
+            "{alg:?} modularity {} below the paper's significance bar",
+            c.modularity
+        );
+        // Reported q must equal independent re-evaluation.
+        assert!((net.modularity(&c.clustering) - c.modularity).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn planted_partition_recovered_by_all_algorithms() {
+    let cfg = snap::gen::PlantedConfig::uniform(5, 30, 0.4, 0.01);
+    let (g, truth) = snap::gen::planted_partition(&cfg, 11);
+    let net = Network::new(g);
+    let truth_c = Clustering::from_labels(&truth);
+
+    for alg in [
+        CommunityAlgorithm::Divisive,
+        CommunityAlgorithm::Agglomerative,
+        CommunityAlgorithm::LocalAggregation,
+    ] {
+        let c = net.communities(alg);
+        let nmi = snap::community::normalized_mutual_information(&c.clustering, &truth_c);
+        assert!(nmi > 0.6, "{alg:?} nmi = {nmi}");
+    }
+}
+
+#[test]
+fn generated_instances_flow_through_metrics_and_kernels() {
+    // A mid-size R-MAT instance through summary, components, BFS, BC.
+    let g = snap::gen::rmat(&snap::gen::RmatConfig::small_world(10, 4096), 5);
+    let summary = snap::metrics::summarize(&g, 0);
+    assert_eq!(summary.n, 1024);
+    assert!(summary.degrees.skew_ratio > 3.0, "R-MAT must be skewed");
+
+    let comps = snap::kernels::connected_components(&g);
+    assert!(comps.giant_size() > 512, "giant component expected");
+
+    let bc = snap::centrality::approx_betweenness(&g, 0.1, 3);
+    let (top_v, top_score) = bc.max_vertex().unwrap();
+    assert!(top_score > 0.0);
+    // The top-betweenness vertex of a small-world graph is a hub-ish
+    // vertex: its degree should be far above the mean.
+    let deg = snap::graph::Graph::degree(&g, top_v) as f64;
+    assert!(deg > summary.degrees.mean);
+}
+
+#[test]
+fn partition_quality_ordering_road_vs_smallworld() {
+    // Mini Table 1: the road grid must cut far cheaper than the
+    // small-world graph of identical size.
+    let road = snap::gen::road_grid(40, 40, 0.0, 1.0, 3);
+    let sw = {
+        let mut c = snap::gen::RmatConfig::small_world(11, snap::graph::Graph::num_edges(&road));
+        c.vertices = Some(1600);
+        snap::gen::rmat(&c, 3)
+    };
+    let p_road = snap::partition::partition(&road, PartitionMethod::MultilevelRecursive, 8, 1)
+        .expect("multilevel always succeeds");
+    let p_sw = snap::partition::partition(&sw, PartitionMethod::MultilevelRecursive, 8, 1)
+        .expect("multilevel always succeeds");
+    let cut_road = snap::partition::edge_cut(&road, &p_road);
+    let cut_sw = snap::partition::edge_cut(&sw, &p_sw);
+    assert!(
+        cut_sw > 3 * cut_road,
+        "small-world cut {cut_sw} must dwarf road cut {cut_road}"
+    );
+}
+
+#[test]
+fn dynamic_graph_to_analysis() {
+    // Build dynamically, freeze, analyze.
+    let mut d = snap::graph::DynGraph::new(8);
+    for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3), (6, 7)] {
+        d.insert_edge(u, v);
+    }
+    d.delete_edge(6, 7);
+    let g = d.to_csr();
+    let net = Network::new(g);
+    let c = net.communities(CommunityAlgorithm::Agglomerative);
+    assert!(c.modularity > 0.2);
+}
