@@ -30,9 +30,11 @@ fn bench_bridges(c: &mut Criterion) {
 
     for (name, preprocess) in [("pbd-with-bridges", true), ("pbd-without-bridges", false)] {
         group.bench_function(name, |b| {
-            let mut cfg = PbdConfig::default();
-            cfg.bridge_preprocess = preprocess;
-            cfg.patience = Some(40);
+            let cfg = PbdConfig {
+                bridge_preprocess: preprocess,
+                patience: Some(40),
+                ..Default::default()
+            };
             b.iter(|| pbd(&g, &cfg))
         });
     }

@@ -23,9 +23,7 @@ fn bench_dq(c: &mut Criterion) {
     group.bench_function("pma-parallel-rows", |b| {
         b.iter(|| pma(&g, &PmaConfig { par_threshold: 64 }))
     });
-    group.bench_function("pma-default", |b| {
-        b.iter(|| pma(&g, &PmaConfig::default()))
-    });
+    group.bench_function("pma-default", |b| b.iter(|| pma(&g, &PmaConfig::default())));
     group.finish();
 }
 

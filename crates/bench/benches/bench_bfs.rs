@@ -1,8 +1,13 @@
 //! BFS kernel micro-benchmarks, including the degree-aware vs naive
-//! work-assignment ablation (DESIGN.md ablation 3).
+//! work-assignment ablation (DESIGN.md ablation 3) and the
+//! direction-optimizing hybrid vs push-only comparison on low-diameter
+//! R-MAT instances.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use snap::kernels::{bfs, par_bfs, par_bfs_vertex_partitioned};
+use snap::kernels::{
+    bfs, par_bfs_hybrid, par_bfs_hybrid_stats, par_bfs_push, par_bfs_vertex_partitioned,
+    HybridConfig,
+};
 
 fn bench_bfs(c: &mut Criterion) {
     let mut group = c.benchmark_group("bfs");
@@ -15,13 +20,35 @@ fn bench_bfs(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("sequential", scale), &g, |b, g| {
             b.iter(|| bfs(g, 0))
         });
-        group.bench_with_input(BenchmarkId::new("parallel-degree-aware", scale), &g, |b, g| {
-            b.iter(|| par_bfs(g, 0))
+        group.bench_with_input(BenchmarkId::new("hybrid", scale), &g, |b, g| {
+            b.iter(|| par_bfs_hybrid(g, 0))
+        });
+        group.bench_with_input(BenchmarkId::new("push-only", scale), &g, |b, g| {
+            b.iter(|| par_bfs_push(g, 0))
         });
         group.bench_with_input(
             BenchmarkId::new("parallel-vertex-partitioned", scale),
             &g,
             |b, g| b.iter(|| par_bfs_vertex_partitioned(g, 0)),
+        );
+
+        // Work ablation, printed once per instance: on a low-diameter
+        // R-MAT graph the hybrid's pull levels examine a fraction of the
+        // arcs the push-only engine must touch.
+        let (_, hybrid) = par_bfs_hybrid_stats(&g, 0, &HybridConfig::default());
+        let (_, push) = par_bfs_hybrid_stats(
+            &g,
+            0,
+            &HybridConfig {
+                alpha: 0.0,
+                beta: 24.0,
+            },
+        );
+        eprintln!(
+            "rmat scale {scale}: hybrid examines {} edges ({} pull levels) vs push-only {}",
+            hybrid.total_edges_examined(),
+            hybrid.pull_levels(),
+            push.total_edges_examined(),
         );
     }
     group.finish();

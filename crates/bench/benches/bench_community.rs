@@ -3,8 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use snap::community::{
-    pbd, pla, pma, spectral_communities, PbdConfig, PlaConfig, PmaConfig,
-    SpectralCommunityConfig,
+    pbd, pla, pma, spectral_communities, PbdConfig, PlaConfig, PmaConfig, SpectralCommunityConfig,
 };
 
 fn bench_community(c: &mut Criterion) {
@@ -15,9 +14,11 @@ fn bench_community(c: &mut Criterion) {
         5,
     );
     group.bench_function("pbd-2k", |b| {
-        let mut cfg = PbdConfig::default();
-        cfg.patience = Some(25);
-        cfg.batch = 8;
+        let cfg = PbdConfig {
+            patience: Some(25),
+            batch: 8,
+            ..Default::default()
+        };
         b.iter(|| pbd(&g, &cfg))
     });
     group.bench_function("pma-2k", |b| b.iter(|| pma(&g, &PmaConfig::default())));

@@ -2,15 +2,19 @@
 //! dynamic graph, under a hub-heavy insert/delete/query workload.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use snap::graph::DynGraph;
 use rand::{Rng, SeedableRng};
+use snap::graph::DynGraph;
 
 fn workload(n: u32, ops: usize, seed: u64) -> Vec<(u8, u32, u32)> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     (0..ops)
         .map(|_| {
             // Zipf-flavored endpoint choice: hub 0 involved in half the ops.
-            let u = if rng.gen_bool(0.5) { 0 } else { rng.gen_range(0..n) };
+            let u = if rng.gen_bool(0.5) {
+                0
+            } else {
+                rng.gen_range(0..n)
+            };
             let v = rng.gen_range(0..n);
             (rng.gen_range(0..3u8), u, v)
         })

@@ -15,11 +15,9 @@ fn bench_partition(c: &mut Criterion) {
             Method::MultilevelRecursive,
             Method::SpectralRqi,
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(method.label(), label),
-                g,
-                |b, g| b.iter(|| snap::partition::partition(g, method, 8, 1)),
-            );
+            group.bench_with_input(BenchmarkId::new(method.label(), label), g, |b, g| {
+                b.iter(|| snap::partition::partition(g, method, 8, 1))
+            });
         }
     }
     group.finish();

@@ -8,7 +8,9 @@ use std::collections::BTreeSet;
 const N: u32 = 10_000;
 
 fn keys() -> Vec<u32> {
-    (0..N).map(|i| i.wrapping_mul(2_654_435_761) % 65_536).collect()
+    (0..N)
+        .map(|i| i.wrapping_mul(2_654_435_761) % 65_536)
+        .collect()
 }
 
 fn bench_treap(c: &mut Criterion) {
@@ -47,7 +49,10 @@ fn bench_treap(c: &mut Criterion) {
     });
     group.bench_function("intersection-5k-5k", |b| {
         let a: Treap<u32> = ks[..(N as usize) / 2].iter().copied().collect();
-        let z: Treap<u32> = ks[(N as usize) / 4..3 * (N as usize) / 4].iter().copied().collect();
+        let z: Treap<u32> = ks[(N as usize) / 4..3 * (N as usize) / 4]
+            .iter()
+            .copied()
+            .collect();
         b.iter(|| a.clone().intersection(z.clone()).len())
     });
     group.finish();

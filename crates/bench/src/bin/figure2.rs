@@ -41,12 +41,11 @@ fn main() {
     // pBD at figure-2 scale runs the quick schedule: 1% sampling, batched
     // cuts, patience-based stop (the full per-edge schedule is the
     // paper-faithful setting but needs the full removal budget).
-    let pbd_cfg = {
-        let mut c = PbdConfig::default();
-        c.sample_frac = 0.01;
-        c.batch = (g.num_edges() / 100).max(1);
-        c.patience = Some(15);
-        c
+    let pbd_cfg = PbdConfig {
+        sample_frac: 0.01,
+        batch: (g.num_edges() / 100).max(1),
+        patience: Some(15),
+        ..Default::default()
     };
 
     let mut baselines: Vec<Option<f64>> = vec![None, None, None];
@@ -58,7 +57,11 @@ fn main() {
         let (pbd_r, t_pbd) = with_threads(t, || time(|| pbd(&g, &pbd_cfg)));
         let (pma_r, t_pma) = with_threads(t, || time(|| pma(&g, &PmaConfig::default())));
         let (pla_r, t_pla) = with_threads(t, || time(|| pla(&g, &PlaConfig::default())));
-        let times = [t_pbd.as_secs_f64(), t_pma.as_secs_f64(), t_pla.as_secs_f64()];
+        let times = [
+            t_pbd.as_secs_f64(),
+            t_pma.as_secs_f64(),
+            t_pla.as_secs_f64(),
+        ];
         let mut cells = Vec::new();
         for (b, &tt) in baselines.iter_mut().zip(&times) {
             let base = *b.get_or_insert(tt);

@@ -28,7 +28,10 @@ const PAPER_TOTAL: [(&str, f64); 4] = [
 
 fn main() {
     let args = parse_args(16);
-    banner("Figure 3: pBD vs GN speedup decomposition; pMA/pLA speedups", &args);
+    banner(
+        "Figure 3: pBD vs GN speedup decomposition; pMA/pLA speedups",
+        &args,
+    );
     let removals = 3;
     let max_threads = args.threads.iter().copied().max().unwrap_or(1);
 
@@ -74,12 +77,11 @@ fn main() {
         });
 
         // pBD fine phase only, same removal count, single thread.
-        let timing_cfg = {
-            let mut c = PbdConfig::default();
-            c.bridge_preprocess = false;
-            c.exact_threshold = 0;
-            c.max_removals = Some(removals);
-            c
+        let timing_cfg = PbdConfig {
+            bridge_preprocess: false,
+            exact_threshold: 0,
+            max_removals: Some(removals),
+            ..Default::default()
         };
         let (_, t_pbd1) = with_threads(1, || time(|| pbd(&g, &timing_cfg)));
         let (_, t_pbdp) = with_threads(max_threads, || time(|| pbd(&g, &timing_cfg)));

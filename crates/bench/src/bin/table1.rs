@@ -18,7 +18,10 @@ use snap_bench::{banner, fmt_duration, parse_args, time};
 /// Paper-reported cuts, for the side-by-side print.
 const PAPER: [(&str, [&str; 4]); 3] = [
     ("Physical (road)", ["1,856", "1,703", "2,937", "3,913"]),
-    ("Sparse random", ["685,211", "706,625", "717,960", "737,747"]),
+    (
+        "Sparse random",
+        ["685,211", "706,625", "717,960", "737,747"],
+    ),
     ("Small-world", ["805,903", "736,560", "-", "-"]),
 ];
 
@@ -81,12 +84,16 @@ fn main() {
         );
         println!(
             "{:<18} {:>9} {:>9} | {:>13} {:>13} {:>13} {:>13}   (paper, full scale)",
-            "", "200,000~", "1,000,000~", PAPER[idx].1[0], PAPER[idx].1[1], PAPER[idx].1[2], PAPER[idx].1[3]
+            "",
+            "200,000~",
+            "1,000,000~",
+            PAPER[idx].1[0],
+            PAPER[idx].1[1],
+            PAPER[idx].1[2],
+            PAPER[idx].1[3]
         );
     }
     println!();
-    println!(
-        "shape check: road cut should sit orders of magnitude below the random and"
-    );
+    println!("shape check: road cut should sit orders of magnitude below the random and");
     println!("small-world cuts, and spectral methods may fail ('-') on the small-world row.");
 }

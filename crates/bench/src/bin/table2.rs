@@ -12,8 +12,8 @@
 //! stop (the reported value is a lower bound on full-schedule GN).
 
 use snap::community::{
-    anneal, girvan_newman, modularity, pbd, pla, pma, AnnealConfig, GnConfig, PbdConfig,
-    PlaConfig, PmaConfig,
+    anneal, girvan_newman, modularity, pbd, pla, pma, AnnealConfig, GnConfig, PbdConfig, PlaConfig,
+    PmaConfig,
 };
 use snap::graph::{CsrGraph, Graph};
 use snap_bench::{banner, fmt_duration, parse_args, time};
@@ -73,13 +73,25 @@ fn main() {
             }
         };
         let (pbd_r, t_pbd) = time(|| pbd(g, &pbd_cfg));
-        eprintln!("[{label}] pBD: q = {:.3} in {}", pbd_r.q, fmt_duration(t_pbd));
+        eprintln!(
+            "[{label}] pBD: q = {:.3} in {}",
+            pbd_r.q,
+            fmt_duration(t_pbd)
+        );
 
         let (pma_r, t_pma) = time(|| pma(g, &PmaConfig::default()));
-        eprintln!("[{label}] pMA: q = {:.3} in {}", pma_r.q, fmt_duration(t_pma));
+        eprintln!(
+            "[{label}] pMA: q = {:.3} in {}",
+            pma_r.q,
+            fmt_duration(t_pma)
+        );
 
         let (pla_r, t_pla) = time(|| pla(g, &PlaConfig::default()));
-        eprintln!("[{label}] pLA: q = {:.3} in {}", pla_r.q, fmt_duration(t_pla));
+        eprintln!(
+            "[{label}] pLA: q = {:.3} in {}",
+            pla_r.q,
+            fmt_duration(t_pla)
+        );
 
         // Best-known reference: anneal from the strongest heuristic
         // clustering (plus the default pMA/pLA warm starts inside

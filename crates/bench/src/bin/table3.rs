@@ -32,7 +32,11 @@ fn main() {
             g.num_vertices(),
             g.num_edges(),
             fmt_duration(t),
-            if g.is_directed() { "directed" } else { "undirected" },
+            if g.is_directed() {
+                "directed"
+            } else {
+                "undirected"
+            },
         );
     }
     println!();

@@ -122,10 +122,7 @@ mod tests {
     use snap_graph::builder::from_edges;
 
     fn barbell() -> snap_graph::CsrGraph {
-        from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)],
-        )
+        from_edges(6, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)])
     }
 
     #[test]
@@ -148,7 +145,19 @@ mod tests {
 
     #[test]
     fn adaptive_estimates_star_center() {
-        let g = from_edges(9, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (0, 7), (0, 8)]);
+        let g = from_edges(
+            9,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (0, 5),
+                (0, 6),
+                (0, 7),
+                (0, 8),
+            ],
+        );
         let exact = brandes(&g).vertex[0]; // C(8,2) = 28
         assert!((exact - 28.0).abs() < 1e-9);
         let est = adaptive_vertex_betweenness(&g, 0, 0.5, 7);

@@ -240,7 +240,11 @@ fn betweenness_from_sources_scaled<G: Graph>(
                 (va, ea)
             },
         );
-    let vertex = if vertex.is_empty() { vec![0.0; n] } else { vertex };
+    let vertex = if vertex.is_empty() {
+        vec![0.0; n]
+    } else {
+        vertex
+    };
     let edge = if edge.is_empty() { vec![0.0; m] } else { edge };
     let vertex = vertex.into_iter().map(|x| x * scale).collect();
     let edge = edge.into_iter().map(|x| x * scale).collect();
@@ -307,10 +311,7 @@ mod tests {
 
     #[test]
     fn barbell_bridge_dominates() {
-        let g = from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)],
-        );
+        let g = from_edges(6, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)]);
         let bc = brandes(&g);
         let (e, _) = bc.max_edge().unwrap();
         assert_eq!(g.edge_endpoints(e), (2, 3));
@@ -322,7 +323,17 @@ mod tests {
     fn par_matches_seq() {
         let g = from_edges(
             8,
-            &[(0, 1), (1, 2), (2, 3), (3, 0), (2, 4), (4, 5), (5, 6), (6, 7), (7, 4)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (2, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 4),
+            ],
         );
         let a = brandes(&g);
         let b = par_brandes(&g);

@@ -9,7 +9,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rayon::prelude::*;
 use snap_graph::{Graph, VertexId};
-use snap_kernels::bfs::{bfs, UNREACHABLE};
+use snap_kernels::bfs::{bfs, par_bfs_hybrid, UNREACHABLE};
 
 /// Exact closeness for every vertex, parallel over sources.
 ///
@@ -20,22 +20,33 @@ use snap_kernels::bfs::{bfs, UNREACHABLE};
 /// vertices score 0.
 pub fn closeness<G: Graph>(g: &G) -> Vec<f64> {
     let n = g.num_vertices();
+    if n <= 1 {
+        return vec![0.0; n];
+    }
+    // One sequential BFS per worker: with n sources there is plenty of
+    // outer parallelism, so the cheapest traversal per source wins.
     (0..n as VertexId)
         .into_par_iter()
-        .map(|v| closeness_of(g, v))
+        .map(|v| closeness_from_distances(n, &bfs(g, v).dist))
         .collect()
 }
 
 /// Closeness of a single vertex.
+///
+/// A lone query has no source-level parallelism to exploit, so the
+/// traversal itself runs on the parallel direction-optimizing BFS.
 pub fn closeness_of<G: Graph>(g: &G, v: VertexId) -> f64 {
     let n = g.num_vertices();
     if n <= 1 {
         return 0.0;
     }
-    let r = bfs(g, v);
+    closeness_from_distances(n, &par_bfs_hybrid(g, v).dist)
+}
+
+fn closeness_from_distances(n: usize, dist: &[u32]) -> f64 {
     let mut sum = 0u64;
     let mut reached = 0u64;
-    for &d in &r.dist {
+    for &d in dist {
         if d != UNREACHABLE {
             sum += d as u64;
             reached += 1;

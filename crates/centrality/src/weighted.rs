@@ -7,7 +7,7 @@
 
 use crate::brandes::BetweennessScores;
 use rayon::prelude::*;
-use snap_graph::{Graph, VertexId, WeightedGraph};
+use snap_graph::{VertexId, WeightedGraph};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -95,7 +95,11 @@ pub fn weighted_betweenness<G: WeightedGraph>(g: &G) -> BetweennessScores {
                 (va, ea)
             },
         );
-    let mut vertex = if vertex.is_empty() { vec![0.0; n] } else { vertex };
+    let mut vertex = if vertex.is_empty() {
+        vec![0.0; n]
+    } else {
+        vertex
+    };
     let mut edge = if edge.is_empty() { vec![0.0; m] } else { edge };
     if !g.is_directed() {
         for x in vertex.iter_mut() {
@@ -119,7 +123,17 @@ mod tests {
     fn equals_bfs_brandes_on_unit_weights() {
         let g = from_edges(
             8,
-            &[(0, 1), (1, 2), (2, 3), (3, 0), (2, 4), (4, 5), (5, 6), (6, 7), (7, 4)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (2, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 4),
+            ],
         );
         let a = brandes(&g);
         let b = weighted_betweenness(&g);
@@ -161,9 +175,13 @@ mod tests {
     fn weighted_bridge_dominates() {
         let g = GraphBuilder::undirected(6)
             .add_weighted_edges([
-                (0, 1, 1), (1, 2, 1), (0, 2, 1),
+                (0, 1, 1),
+                (1, 2, 1),
+                (0, 2, 1),
                 (2, 3, 5),
-                (3, 4, 1), (4, 5, 1), (3, 5, 1),
+                (3, 4, 1),
+                (4, 5, 1),
+                (3, 5, 1),
             ])
             .build();
         let bc = weighted_betweenness(&g);

@@ -192,15 +192,16 @@ mod tests {
             greedy.q
         );
         // Paper Table 2: best known = 0.431 for Karate.
-        assert!(annealed.q > 0.40, "karate best-known stand-in q = {}", annealed.q);
+        assert!(
+            annealed.q > 0.40,
+            "karate best-known stand-in q = {}",
+            annealed.q
+        );
     }
 
     #[test]
     fn splits_barbell_optimally() {
-        let g = from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)],
-        );
+        let g = from_edges(6, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)]);
         let r = anneal(&g, &AnnealConfig::default());
         assert_eq!(r.clustering.count, 2);
     }
@@ -208,8 +209,20 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let g = snap_io::karate_club();
-        let a = anneal(&g, &AnnealConfig { sweeps: 30, ..Default::default() });
-        let b = anneal(&g, &AnnealConfig { sweeps: 30, ..Default::default() });
+        let a = anneal(
+            &g,
+            &AnnealConfig {
+                sweeps: 30,
+                ..Default::default()
+            },
+        );
+        let b = anneal(
+            &g,
+            &AnnealConfig {
+                sweeps: 30,
+                ..Default::default()
+            },
+        );
         assert_eq!(a.clustering, b.clustering);
     }
 

@@ -143,8 +143,16 @@ pub fn normalized_mutual_information(a: &Clustering, b: &Clustering) -> f64 {
             }
         }
     }
-    let ha: f64 = -pa.iter().filter(|&&p| p > 0.0).map(|&p| p * p.ln()).sum::<f64>();
-    let hb: f64 = -pb.iter().filter(|&&p| p > 0.0).map(|&p| p * p.ln()).sum::<f64>();
+    let ha: f64 = -pa
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| p * p.ln())
+        .sum::<f64>();
+    let hb: f64 = -pb
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| p * p.ln())
+        .sum::<f64>();
     if ha <= 0.0 || hb <= 0.0 {
         return if mi.abs() < 1e-12 { 1.0 } else { 0.0 };
     }

@@ -60,9 +60,7 @@ impl<'g> DivisiveEngine<'g> {
         let n = base.num_vertices();
         let k = comps.count;
         let deg: Vec<f64> = (0..n)
-            .map(|v| {
-                base.degree(v as VertexId) as f64 + bonus.map_or(0.0, |b| b[v])
-            })
+            .map(|v| base.degree(v as VertexId) as f64 + bonus.map_or(0.0, |b| b[v]))
             .collect();
         let mut intra = vec![0.0; k];
         let mut degsum = vec![0.0; k];
@@ -205,8 +203,13 @@ impl<'g> DivisiveEngine<'g> {
         loop {
             // Expand the side that has explored less so far.
             if side_u.len() <= side_v.len() {
-                if expand_level(&self.view, &mut front_u, &mut side_u, &mut self.mark, &self.mark2)
-                {
+                if expand_level(
+                    &self.view,
+                    &mut front_u,
+                    &mut side_u,
+                    &mut self.mark,
+                    &self.mark2,
+                ) {
                     connected = true;
                     break;
                 }
@@ -215,8 +218,13 @@ impl<'g> DivisiveEngine<'g> {
                     break;
                 }
             } else {
-                if expand_level(&self.view, &mut front_v, &mut side_v, &mut self.mark2, &self.mark)
-                {
+                if expand_level(
+                    &self.view,
+                    &mut front_v,
+                    &mut side_v,
+                    &mut self.mark2,
+                    &self.mark,
+                ) {
                     connected = true;
                     break;
                 }
@@ -314,10 +322,7 @@ mod tests {
     use snap_graph::builder::from_edges;
 
     fn barbell() -> CsrGraph {
-        from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)],
-        )
+        from_edges(6, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)])
     }
 
     #[test]
@@ -372,7 +377,19 @@ mod tests {
 
     #[test]
     fn every_q_along_the_way_matches_direct() {
-        let g = from_edges(7, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 6), (6, 4)]);
+        let g = from_edges(
+            7,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 4),
+            ],
+        );
         let mut eng = DivisiveEngine::new(&g, g.num_edges() as f64);
         for e in 0..g.num_edges() as u32 {
             let q = eng.delete_edge(e);

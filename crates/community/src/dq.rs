@@ -75,7 +75,12 @@ impl DqMatrix {
     /// Initialize from adjacency: `edges[i]` lists `(j, m_ij)` pairs with
     /// `m_ij` the edge count between singleton communities i and j;
     /// `a[i] = d_i / 2m`.
-    pub fn new(neighbor_edges: Vec<Vec<(u32, f64)>>, a: Vec<f64>, m: f64, par_threshold: usize) -> Self {
+    pub fn new(
+        neighbor_edges: Vec<Vec<(u32, f64)>>,
+        a: Vec<f64>,
+        m: f64,
+        par_threshold: usize,
+    ) -> Self {
         let n = a.len();
         let mut rows = Vec::with_capacity(n);
         let mut heap = BinaryHeap::new();
@@ -89,11 +94,7 @@ impl DqMatrix {
             row.dedup_by_key(|&mut (c, _)| c);
             for &(j, dq) in &row {
                 if (i as u32) < j {
-                    heap.push(Entry {
-                        dq,
-                        i: i as u32,
-                        j,
-                    });
+                    heap.push(Entry { dq, i: i as u32, j });
                 }
             }
             rows.push(row);

@@ -13,7 +13,7 @@ use snap_centrality::brandes::betweenness_from_sources;
 use snap_graph::{CsrGraph, EdgeId, Graph, VertexId};
 
 /// Configuration for [`girvan_newman`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct GnConfig {
     /// Stop after this many edge removals (`None` = remove every edge,
     /// the full Newman–Girvan schedule).
@@ -22,15 +22,6 @@ pub struct GnConfig {
     /// (`None` = no early stop). The full schedule is exact but wasteful
     /// once the partition has disintegrated past the modularity peak.
     pub patience: Option<usize>,
-}
-
-impl Default for GnConfig {
-    fn default() -> Self {
-        GnConfig {
-            max_removals: None,
-            patience: None,
-        }
-    }
 }
 
 /// Result of a divisive clustering run.
@@ -97,10 +88,7 @@ mod tests {
     use snap_graph::builder::from_edges;
 
     fn barbell() -> CsrGraph {
-        from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)],
-        )
+        from_edges(6, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)])
     }
 
     #[test]
@@ -156,7 +144,17 @@ mod tests {
         // Squares {0..3} and {4..7} joined by one edge.
         let g = from_edges(
             8,
-            &[(0, 1), (1, 2), (2, 3), (3, 0), (4, 5), (5, 6), (6, 7), (7, 4), (0, 4)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 4),
+                (0, 4),
+            ],
         );
         let r = girvan_newman(&g, &GnConfig::default());
         assert!(r.clustering.count >= 2);

@@ -141,8 +141,7 @@ impl ModularityTracker {
             }
         }
         for v in 0..g.num_vertices() {
-            degsum[clustering.cluster_of(v as VertexId) as usize] +=
-                g.degree(v as VertexId) as f64;
+            degsum[clustering.cluster_of(v as VertexId) as usize] += g.degree(v as VertexId) as f64;
         }
         let m = g.num_edges() as f64;
         let mut t = ModularityTracker {
@@ -205,7 +204,13 @@ impl ModularityTracker {
     /// whose label is returned. `cut` is the number of base-graph edges
     /// between the part and the remainder of `c` (those become
     /// inter-cluster). Returns `(new_label, new_q)`.
-    pub fn apply_split(&mut self, c: u32, part_intra: f64, part_degsum: f64, cut: f64) -> (u32, f64) {
+    pub fn apply_split(
+        &mut self,
+        c: u32,
+        part_intra: f64,
+        part_degsum: f64,
+        cut: f64,
+    ) -> (u32, f64) {
         let new = self.intra.len() as u32;
         self.intra.push(part_intra);
         self.degsum.push(part_degsum);
@@ -232,10 +237,7 @@ mod tests {
     use snap_graph::builder::from_edges;
 
     fn barbell() -> snap_graph::CsrGraph {
-        from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)],
-        )
+        from_edges(6, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)])
     }
 
     #[test]
@@ -353,9 +355,13 @@ mod tests {
         // two-cluster split scores higher under weighted modularity.
         let heavy = snap_graph::GraphBuilder::undirected(6)
             .add_weighted_edges([
-                (0, 1, 10), (1, 2, 10), (0, 2, 10),
+                (0, 1, 10),
+                (1, 2, 10),
+                (0, 2, 10),
                 (2, 3, 1),
-                (3, 4, 10), (4, 5, 10), (3, 5, 10),
+                (3, 4, 10),
+                (4, 5, 10),
+                (3, 5, 10),
             ])
             .build();
         let split = Clustering::from_labels(&[0, 0, 0, 1, 1, 1]);
@@ -378,8 +384,6 @@ mod tests {
             .add_weighted_edges([(0, 1, 6), (1, 2, 12), (2, 3, 6), (3, 0, 12)])
             .build();
         let c = Clustering::from_labels(&[0, 0, 1, 1]);
-        assert!(
-            (weighted_modularity(&g1, &c) - weighted_modularity(&g3, &c)).abs() < 1e-12
-        );
+        assert!((weighted_modularity(&g1, &c) - weighted_modularity(&g3, &c)).abs() < 1e-12);
     }
 }

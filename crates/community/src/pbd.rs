@@ -20,6 +20,8 @@
 
 use crate::divisive::DivisiveEngine;
 use crate::gn::DivisiveResult;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
 use rayon::prelude::*;
 use snap_centrality::approx_betweenness;
 use snap_centrality::brandes::betweenness_from_sources;
@@ -163,10 +165,82 @@ pub fn pbd(g: &CsrGraph, cfg: &PbdConfig) -> DivisiveResult {
         }
     }
 
+    // --- Granularity bridge: patience (or the removal cap) can stop the
+    // fine phase while components larger than the exact threshold remain.
+    // The coarse phase cannot afford exact betweenness on those, and
+    // leaving them be degenerates the answer into one monolithic cluster
+    // holding most of the graph. Keep decomposing the largest oversized
+    // component with sampled betweenness — sources drawn from that
+    // component only, so each round costs work proportional to it — until
+    // every piece fits the exact phase, the cap is reached, or its edges
+    // run out.
+    loop {
+        if removals.len() >= cap {
+            break;
+        }
+        let members = engine.cluster_members();
+        let biggest = members
+            .iter()
+            .max_by_key(|(&label, verts)| (verts.len(), std::cmp::Reverse(label)))
+            .map(|(&label, verts)| (label, verts.clone()));
+        let Some((label, verts)) = biggest else {
+            break;
+        };
+        if verts.len() <= cfg.exact_threshold {
+            break;
+        }
+        let size = verts.len();
+        let frac = cfg
+            .sample_frac
+            .max(cfg.min_sources as f64 / size as f64)
+            .min(1.0);
+        let k = ((size as f64 * frac).ceil() as usize).clamp(1, size);
+        let mut sources = verts;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ 0x6272_6467 ^ round);
+        sources.shuffle(&mut rng);
+        sources.truncate(k);
+        let bc = betweenness_from_sources(&engine.view, &sources);
+        round += 1;
+        // Only edges internal to the oversized component are candidates;
+        // paths from its sources never leave it, so other components'
+        // scores are all zero anyway.
+        let labels = engine.labels();
+        let mut cand: Vec<u32> = engine
+            .view
+            .live_edge_ids()
+            .filter(|&e| {
+                let (u, v) = g.edge_endpoints(e);
+                labels[u as usize] == label && labels[v as usize] == label
+            })
+            .collect();
+        if cand.is_empty() {
+            break;
+        }
+        let batch = cfg.batch.max(1).min(cand.len());
+        let cmp = |a: &u32, b: &u32| {
+            bc.edge[*b as usize]
+                .partial_cmp(&bc.edge[*a as usize])
+                .unwrap()
+                .then(a.cmp(b))
+        };
+        if batch < cand.len() {
+            cand.select_nth_unstable_by(batch - 1, cmp);
+            cand.truncate(batch);
+        }
+        cand.sort_by(cmp);
+        for &e in cand.iter().take(batch) {
+            if removals.len() >= cap {
+                break;
+            }
+            let q = engine.delete_edge(e);
+            removals.push((e, q));
+        }
+    }
+
     // --- Coarse-grained phase: exact refinement per component.
-    // Components still larger than the threshold (possible when patience
-    // or the removal cap stopped the fine phase early) are left as-is:
-    // the exact pass is only affordable on small components.
+    // Components still larger than the threshold (possible only when the
+    // removal cap stopped the bridge loop above) are left as-is: the
+    // exact pass is only affordable on small components.
     let refined = refine_components(
         g,
         &engine,
@@ -176,10 +250,7 @@ pub fn pbd(g: &CsrGraph, cfg: &PbdConfig) -> DivisiveResult {
     );
     let (labels, q) = match refined {
         Some((labels, q)) if q > engine.best_q() => (labels, q),
-        _ => (
-            engine.best_clustering().assignment,
-            engine.best_q(),
-        ),
+        _ => (engine.best_clustering().assignment, engine.best_q()),
     };
 
     DivisiveResult {
@@ -245,8 +316,7 @@ fn refine_components(
             local.reset_best();
             let q_before = local.q();
             // Exact divisive run to completion on this small component.
-            let sources: Vec<VertexId> =
-                (0..base_sub.graph.num_vertices() as VertexId).collect();
+            let sources: Vec<VertexId> = (0..base_sub.graph.num_vertices() as VertexId).collect();
             while local.live_edges() > 0 {
                 let bc = betweenness_from_sources(&local.view, &sources);
                 let best_edge = local
@@ -303,10 +373,7 @@ mod tests {
     use snap_graph::builder::from_edges;
 
     fn barbell() -> CsrGraph {
-        from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)],
-        )
+        from_edges(6, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)])
     }
 
     #[test]
@@ -347,9 +414,11 @@ mod tests {
     fn fine_phase_alone_works() {
         // exact_threshold = 0 disables the coarse phase entirely.
         let g = barbell();
-        let mut cfg = PbdConfig::default();
-        cfg.exact_threshold = 0;
-        cfg.sample_frac = 1.0;
+        let cfg = PbdConfig {
+            exact_threshold: 0,
+            sample_frac: 1.0,
+            ..Default::default()
+        };
         let r = pbd(&g, &cfg);
         assert!(r.q > 0.3);
     }
@@ -357,9 +426,11 @@ mod tests {
     #[test]
     fn respects_removal_cap() {
         let g = barbell();
-        let mut cfg = PbdConfig::default();
-        cfg.max_removals = Some(2);
-        cfg.exact_threshold = 0;
+        let cfg = PbdConfig {
+            max_removals: Some(2),
+            exact_threshold: 0,
+            ..Default::default()
+        };
         let r = pbd(&g, &cfg);
         assert!(r.removals.len() <= 2);
     }
@@ -371,12 +442,22 @@ mod tests {
         let g = from_edges(
             9,
             &[
-                (0, 1), (1, 2), (0, 2), (2, 3), (0, 8), // pendant on 0
-                (3, 4), (4, 5), (3, 5), (1, 6), (6, 7), // path pendant
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (2, 3),
+                (0, 8), // pendant on 0
+                (3, 4),
+                (4, 5),
+                (3, 5),
+                (1, 6),
+                (6, 7), // path pendant
             ],
         );
-        let mut cfg = PbdConfig::default();
-        cfg.min_bridge_side = 3;
+        let cfg = PbdConfig {
+            min_bridge_side: 3,
+            ..Default::default()
+        };
         let r = pbd(&g, &cfg);
         // Vertex 8 (pendant) should end up with the cluster of 0, not
         // stranded alone.

@@ -49,7 +49,10 @@ pub struct PlaResult {
 
 /// Run pLA on `g` (undirected).
 pub fn pla(g: &CsrGraph, cfg: &PlaConfig) -> PlaResult {
-    assert!(!g.is_directed(), "community detection treats graphs as undirected");
+    assert!(
+        !g.is_directed(),
+        "community detection treats graphs as undirected"
+    );
     let n = g.num_vertices();
     let m = g.num_edges() as f64;
     if n == 0 || m == 0.0 {
@@ -77,7 +80,13 @@ pub fn pla(g: &CsrGraph, cfg: &PlaConfig) -> PlaResult {
         .par_iter()
         .enumerate()
         .map(|(ci, verts)| {
-            let labels = aggregate_component(g, &view, verts, cfg.seed ^ (ci as u64).wrapping_mul(0x9e3779b97f4a7c15), m);
+            let labels = aggregate_component(
+                g,
+                &view,
+                verts,
+                cfg.seed ^ (ci as u64).wrapping_mul(0x9e3779b97f4a7c15),
+                m,
+            );
             (verts.clone(), labels)
         })
         .collect();
@@ -141,19 +150,15 @@ fn aggregate_component(
         // Greedy growth: best-connected candidate first, accept while the
         // global modularity gain is positive.
         loop {
-            let best = cnt
-                .iter()
-                .map(|(&lu, &e)| (lu, e))
-                .max_by(|a, b| {
-                    a.1.partial_cmp(&b.1)
-                        .unwrap()
-                        .then_with(|| {
-                            // Tie-break: lower-degree vertices bind tighter.
-                            g.degree(verts[b.0])
-                                .cmp(&g.degree(verts[a.0]))
-                        })
-                        .then(b.0.cmp(&a.0))
-                });
+            let best = cnt.iter().map(|(&lu, &e)| (lu, e)).max_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .unwrap()
+                    .then_with(|| {
+                        // Tie-break: lower-degree vertices bind tighter.
+                        g.degree(verts[b.0]).cmp(&g.degree(verts[a.0]))
+                    })
+                    .then(b.0.cmp(&a.0))
+            });
             let Some((lu, e_uc)) = best else { break };
             let d_u = g.degree(verts[lu]) as f64;
             let gain = e_uc / m - cluster_degsum * d_u / (2.0 * m * m);
@@ -243,10 +248,7 @@ mod tests {
     use snap_graph::builder::from_edges;
 
     fn barbell() -> CsrGraph {
-        from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)],
-        )
+        from_edges(6, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)])
     }
 
     #[test]
@@ -291,10 +293,7 @@ mod tests {
         let cfg = snap_gen::PlantedConfig::uniform(4, 25, 0.5, 0.02);
         let (g, truth) = snap_gen::planted_partition(&cfg, 29);
         let r = pla(&g, &PlaConfig::default());
-        let nmi = normalized_mutual_information(
-            &r.clustering,
-            &Clustering::from_labels(&truth),
-        );
+        let nmi = normalized_mutual_information(&r.clustering, &Clustering::from_labels(&truth));
         assert!(nmi > 0.5, "nmi = {nmi}, q = {}", r.q);
     }
 

@@ -57,7 +57,10 @@ pub struct AgglomerativeResult {
 /// assert!(result.q > 0.3);
 /// ```
 pub fn pma(g: &CsrGraph, cfg: &PmaConfig) -> AgglomerativeResult {
-    assert!(!g.is_directed(), "community detection treats graphs as undirected");
+    assert!(
+        !g.is_directed(),
+        "community detection treats graphs as undirected"
+    );
     let n = g.num_vertices();
     let m = g.num_edges() as f64;
     if n == 0 || m == 0.0 {
@@ -105,10 +108,7 @@ mod tests {
     use snap_graph::builder::from_edges;
 
     fn barbell() -> CsrGraph {
-        from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)],
-        )
+        from_edges(6, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)])
     }
 
     #[test]
@@ -151,10 +151,7 @@ mod tests {
         let cfg = snap_gen::PlantedConfig::uniform(4, 25, 0.5, 0.02);
         let (g, truth) = snap_gen::planted_partition(&cfg, 13);
         let r = pma(&g, &PmaConfig::default());
-        let nmi = normalized_mutual_information(
-            &r.clustering,
-            &Clustering::from_labels(&truth),
-        );
+        let nmi = normalized_mutual_information(&r.clustering, &Clustering::from_labels(&truth));
         assert!(nmi > 0.6, "nmi = {nmi}");
     }
 
@@ -162,7 +159,12 @@ mod tests {
     fn sequential_and_parallel_thresholds_agree() {
         let cfg = snap_gen::PlantedConfig::uniform(3, 20, 0.4, 0.05);
         let (g, _) = snap_gen::planted_partition(&cfg, 5);
-        let seq = pma(&g, &PmaConfig { par_threshold: usize::MAX });
+        let seq = pma(
+            &g,
+            &PmaConfig {
+                par_threshold: usize::MAX,
+            },
+        );
         let par = pma(&g, &PmaConfig { par_threshold: 0 });
         assert!((seq.q - par.q).abs() < 1e-9);
         assert_eq!(seq.clustering, par.clustering);

@@ -121,6 +121,7 @@ pub fn spectral_communities(
 
 /// `y = (B^(S) + σI) x` for the generalized modularity matrix of the
 /// subset, where `local_of` maps global→local indices.
+#[allow(clippy::too_many_arguments)]
 fn modularity_matvec(
     g: &CsrGraph,
     deg: &[f64],
@@ -161,11 +162,8 @@ fn leading_split(
     cfg: &SpectralCommunityConfig,
 ) -> Option<Vec<bool>> {
     let k = members.len();
-    let local_of: std::collections::HashMap<VertexId, usize> = members
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| (v, i))
-        .collect();
+    let local_of: std::collections::HashMap<VertexId, usize> =
+        members.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     // Row sums of B restricted to S (the generalized-matrix correction).
     let d_s: f64 = members.iter().map(|&v| deg[v as usize]).sum();
     let rowsum: Vec<f64> = members
@@ -181,12 +179,7 @@ fn leading_split(
         .collect();
     // Shift so the leading eigenvalue of B + σI is dominant in magnitude:
     // σ = max row absolute sum bound of -B (degrees suffice).
-    let sigma = members
-        .iter()
-        .map(|&v| deg[v as usize])
-        .fold(0.0, f64::max)
-        * 2.0
-        + 1.0;
+    let sigma = members.iter().map(|&v| deg[v as usize]).fold(0.0, f64::max) * 2.0 + 1.0;
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ (k as u64) << 1);
     let mut x: Vec<f64> = (0..k).map(|_| rng.gen::<f64>() - 0.5).collect();
@@ -238,11 +231,8 @@ fn normalize(x: &mut [f64]) -> Option<()> {
 /// `ΔQ = (1/2m) [ Σ_within-same-side B_ij ... ]` evaluated directly as
 /// `sᵀ B^(S) s / (2·2m)` with `s ∈ {±1}`.
 fn split_gain(g: &CsrGraph, deg: &[f64], m2: f64, members: &[VertexId], signs: &[bool]) -> f64 {
-    let local_of: std::collections::HashMap<VertexId, usize> = members
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| (v, i))
-        .collect();
+    let local_of: std::collections::HashMap<VertexId, usize> =
+        members.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     let s = |i: usize| if signs[i] { 1.0 } else { -1.0 };
     let d_s: f64 = members.iter().map(|&v| deg[v as usize]).sum();
     // sᵀ A^(S) s
@@ -287,11 +277,8 @@ fn split_gain(g: &CsrGraph, deg: &[f64], m2: f64, members: &[VertexId], signs: &
 /// (the last term removes B's diagonal, which is invariant under flips).
 fn fine_tune(g: &CsrGraph, deg: &[f64], m2: f64, members: &[VertexId], signs: &mut [bool]) {
     let k = members.len();
-    let local_of: std::collections::HashMap<VertexId, usize> = members
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| (v, i))
-        .collect();
+    let local_of: std::collections::HashMap<VertexId, usize> =
+        members.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     let s_val = |signs: &[bool], i: usize| if signs[i] { 1.0 } else { -1.0 };
 
     // adj_s[i] = Σ_{j∈S, j~i} s_j ; dsum = Σ_{j∈S} d_j s_j.
@@ -366,10 +353,7 @@ mod tests {
     use snap_graph::builder::from_edges;
 
     fn barbell() -> CsrGraph {
-        from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)],
-        )
+        from_edges(6, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)])
     }
 
     #[test]

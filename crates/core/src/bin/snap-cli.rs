@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! snap-cli summary      <edgelist> [--directed]
+//! snap-cli bfs          <edgelist> [--source V] [--alpha A] [--beta B] [--directed]
 //! snap-cli communities  <edgelist> [--algorithm gn|pbd|pma|pla|spectral] [--members]
 //! snap-cli partition    <edgelist> --parts K [--method kway|recur|rqi|lanczos] [--seed S]
 //! snap-cli centrality   <edgelist> [--approx FRAC] [--top K] [--seed S]
@@ -22,6 +23,7 @@ fn usage() -> ! {
 
 commands:
   summary      <edgelist> [--directed]
+  bfs          <edgelist> [--source V] [--alpha A] [--beta B] [--directed]
   communities  <edgelist> [--algorithm gn|pbd|pma|pla|spectral] [--members]
   partition    <edgelist> --parts K [--method kway|recur|rqi|lanczos] [--seed S]
   centrality   <edgelist> [--approx FRAC] [--top K] [--seed S]
@@ -75,8 +77,8 @@ impl Args {
 }
 
 fn load(path: &str, directed: bool) -> CsrGraph {
-    let file = std::fs::File::open(path)
-        .unwrap_or_else(|e| fail(&format!("cannot open {path}: {e}")));
+    let file =
+        std::fs::File::open(path).unwrap_or_else(|e| fail(&format!("cannot open {path}: {e}")));
     snap::io::edgelist::read_edge_list(BufReader::new(file), directed, 0)
         .unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")))
 }
@@ -91,6 +93,7 @@ fn main() {
 
     match command.as_str() {
         "summary" => cmd_summary(&args),
+        "bfs" => cmd_bfs(&args),
         "communities" => cmd_communities(&args),
         "partition" => cmd_partition(&args),
         "centrality" => cmd_centrality(&args),
@@ -108,7 +111,55 @@ fn input_path(args: &Args) -> &str {
 
 fn cmd_summary(args: &Args) {
     let g = load(input_path(args), args.flag("directed").is_some());
-    println!("{}", snap::metrics::summarize(&g, args.flag_parse("seed", 0u64)));
+    println!(
+        "{}",
+        snap::metrics::summarize(&g, args.flag_parse("seed", 0u64))
+    );
+}
+
+fn cmd_bfs(args: &Args) {
+    let g = load(input_path(args), args.flag("directed").is_some());
+    let n = g.num_vertices();
+    if n == 0 {
+        fail("graph has no vertices");
+    }
+    let source: u32 = args.flag_parse("source", 0u32);
+    if source as usize >= n {
+        fail(&format!("--source {source} out of range (n = {n})"));
+    }
+    let defaults = snap::kernels::HybridConfig::default();
+    let cfg = snap::kernels::HybridConfig {
+        alpha: args.flag_parse("alpha", defaults.alpha),
+        beta: args.flag_parse("beta", defaults.beta),
+    };
+    let (r, stats) = snap::kernels::par_bfs_hybrid_stats(&g, source, &cfg);
+    let reached = r
+        .dist
+        .iter()
+        .filter(|&&d| d != snap::kernels::UNREACHABLE)
+        .count();
+    println!(
+        "source {source}: reached {reached} of {n} vertices, depth {} (alpha {}, beta {})",
+        stats.depth(),
+        cfg.alpha,
+        cfg.beta
+    );
+    println!(
+        "{:>5} {:>9} {:>10} {:>10} {:>14}",
+        "level", "direction", "frontier", "found", "edges"
+    );
+    for l in &stats.levels {
+        println!(
+            "{:>5} {:>9} {:>10} {:>10} {:>14}",
+            l.depth, l.direction, l.frontier, l.discovered, l.edges_examined
+        );
+    }
+    println!(
+        "edges examined {} | pull levels {} | peak frontier {}",
+        stats.total_edges_examined(),
+        stats.pull_levels(),
+        stats.peak_frontier()
+    );
 }
 
 fn cmd_communities(args: &Args) {
@@ -184,12 +235,7 @@ fn cmd_centrality(args: &Args) {
     order.sort_by(|&a, &b| bc.vertex[b].partial_cmp(&bc.vertex[a]).unwrap());
     println!("{:>10} {:>8} {:>14}", "vertex", "degree", "betweenness");
     for &v in order.iter().take(top) {
-        println!(
-            "{:>10} {:>8} {:>14.1}",
-            v,
-            g.degree(v as u32),
-            bc.vertex[v]
-        );
+        println!("{:>10} {:>8} {:>14.1}", v, g.degree(v as u32), bc.vertex[v]);
     }
 }
 
@@ -199,7 +245,9 @@ fn cmd_generate(args: &Args) {
         .first()
         .map(|s| s.as_str())
         .unwrap_or_else(|| usage());
-    let out = args.flag("out").unwrap_or_else(|| fail("--out FILE is required"));
+    let out = args
+        .flag("out")
+        .unwrap_or_else(|| fail("--out FILE is required"));
     let seed = args.flag_parse("seed", 42u64);
     let scale: u32 = args.flag_parse("scale", 12);
     let n = 1usize << scale;
@@ -218,8 +266,8 @@ fn cmd_generate(args: &Args) {
         }
         other => fail(&format!("unknown family {other}")),
     };
-    let file = std::fs::File::create(out)
-        .unwrap_or_else(|e| fail(&format!("cannot create {out}: {e}")));
+    let file =
+        std::fs::File::create(out).unwrap_or_else(|e| fail(&format!("cannot create {out}: {e}")));
     snap::io::edgelist::write_edge_list(BufWriter::new(file), &g)
         .unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
     println!(

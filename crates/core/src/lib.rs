@@ -44,7 +44,8 @@ pub use session::{Communities, CommunityAlgorithm, Network};
 pub mod prelude {
     pub use crate::session::{Communities, CommunityAlgorithm, Network};
     pub use snap_community::{Clustering, GnConfig, PbdConfig, PlaConfig, PmaConfig};
-    pub use snap_graph::{CsrGraph, Graph, GraphBuilder, VertexId, WeightedGraph};
+    pub use snap_graph::{CsrGraph, Frontier, Graph, GraphBuilder, VertexId, WeightedGraph};
+    pub use snap_kernels::{BfsResult, Direction, HybridConfig, LevelStats, TraversalStats};
     pub use snap_partition::Method as PartitionMethod;
 }
 

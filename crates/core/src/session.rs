@@ -4,8 +4,11 @@
 //! design from the user".
 
 use snap_centrality::BetweennessScores;
-use snap_community::{Clustering, GnConfig, PbdConfig, PlaConfig, PmaConfig, SpectralCommunityConfig};
+use snap_community::{
+    Clustering, GnConfig, PbdConfig, PlaConfig, PmaConfig, SpectralCommunityConfig,
+};
 use snap_graph::{CsrGraph, Graph, VertexId};
+use snap_kernels::{BfsResult, HybridConfig, TraversalStats};
 use snap_metrics::GraphSummary;
 use snap_partition::{Method as PartitionMethod, Partition, SpectralError};
 
@@ -86,6 +89,27 @@ impl Network {
         snap_metrics::summarize(&self.graph, 0)
     }
 
+    /// Parallel direction-optimizing BFS from `source`.
+    pub fn bfs(&self, source: VertexId) -> BfsResult {
+        snap_kernels::par_bfs(&self.graph, source)
+    }
+
+    /// Parallel direction-optimizing BFS from `source` with per-level
+    /// [`TraversalStats`]: direction taken (push/pull), frontier size,
+    /// vertices discovered, and edges examined at every level.
+    pub fn bfs_stats(&self, source: VertexId) -> (BfsResult, TraversalStats) {
+        self.bfs_stats_with(source, &HybridConfig::default())
+    }
+
+    /// [`Self::bfs_stats`] with explicit α/β direction-switch thresholds.
+    pub fn bfs_stats_with(
+        &self,
+        source: VertexId,
+        cfg: &HybridConfig,
+    ) -> (BfsResult, TraversalStats) {
+        snap_kernels::par_bfs_hybrid_stats(&self.graph, source, cfg)
+    }
+
     /// Exact betweenness centrality (vertices and edges), parallel over
     /// sources.
     pub fn betweenness(&self) -> BetweennessScores {
@@ -163,10 +187,7 @@ mod tests {
     use super::*;
 
     fn barbell() -> Network {
-        Network::from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)],
-        )
+        Network::from_edges(6, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)])
     }
 
     #[test]
@@ -192,6 +213,27 @@ mod tests {
             assert!(c.modularity > 0.2, "{alg:?}: q = {}", c.modularity);
             assert!((net.modularity(&c.clustering) - c.modularity).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn bfs_stats_cover_the_traversal() {
+        let net = barbell();
+        let (r, stats) = net.bfs_stats(0);
+        assert_eq!(r.dist[5], 3);
+        assert_eq!(stats.depth(), 3);
+        let discovered: usize = stats.levels.iter().map(|l| l.discovered).sum();
+        assert_eq!(discovered, 5); // everyone but the source
+        assert!(stats.total_edges_examined() > 0);
+        // Push-only run must examine every arc of this connected graph.
+        let (_, push) = net.bfs_stats_with(
+            0,
+            &snap_kernels::HybridConfig {
+                alpha: 0.0,
+                beta: 24.0,
+            },
+        );
+        assert_eq!(push.pull_levels(), 0);
+        assert_eq!(push.total_edges_examined(), net.graph().num_arcs() as u64);
     }
 
     #[test]

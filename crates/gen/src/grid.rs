@@ -15,7 +15,13 @@ use snap_graph::{CsrGraph, GraphBuilder, VertexId};
 ///   realistic); kept low enough that the graph stays connected w.h.p.
 /// * `diagonal_prob` — probability of adding a local diagonal shortcut in
 ///   each grid cell (models ring roads / diagonals).
-pub fn road_grid(rows: usize, cols: usize, drop_prob: f64, diagonal_prob: f64, seed: u64) -> CsrGraph {
+pub fn road_grid(
+    rows: usize,
+    cols: usize,
+    drop_prob: f64,
+    diagonal_prob: f64,
+    seed: u64,
+) -> CsrGraph {
     assert!(rows >= 1 && cols >= 1);
     assert!((0.0..1.0).contains(&drop_prob));
     assert!((0.0..=1.0).contains(&diagonal_prob));

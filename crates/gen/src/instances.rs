@@ -70,7 +70,7 @@ impl Instance {
             }
             Recipe::ErdosRenyi(n, m) => erdos_renyi((n / factor).max(2), m / factor, seed),
             Recipe::Rmat(cfg) => {
-                let mut c = cfg.clone();
+                let mut c = *cfg;
                 c.vertices = cfg.vertices.map(|n| (n / factor).max(2));
                 let shrink = (factor as f64).log2().ceil() as u32;
                 c.scale = cfg.scale.saturating_sub(shrink).max(2);

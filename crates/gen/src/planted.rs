@@ -49,11 +49,7 @@ impl PlantedConfig {
         for s in sizes.iter_mut().take(n - size * k) {
             *s += 1;
         }
-        PlantedConfig {
-            sizes,
-            p_in,
-            p_out,
-        }
+        PlantedConfig { sizes, p_in, p_out }
     }
 
     /// Total number of vertices.
@@ -76,9 +72,7 @@ pub fn planted_partition(config: &PlantedConfig, seed: u64) -> (CsrGraph, Vec<u3
     let mut acc = 0usize;
     for (ci, &s) in config.sizes.iter().enumerate() {
         starts.push(acc);
-        for v in acc..acc + s {
-            membership[v] = ci as u32;
-        }
+        membership[acc..acc + s].fill(ci as u32);
         acc += s;
     }
 
@@ -190,7 +184,10 @@ mod tests {
         // E[m] = 2 * C(200,2) * 0.1 + 200*200 * 0.01 = 3980 + 400.
         let expected = 2.0 * (200.0 * 199.0 / 2.0) * 0.1 + 200.0 * 200.0 * 0.01;
         let m = g.num_edges() as f64;
-        assert!((m - expected).abs() < 0.15 * expected, "m = {m}, expected ~{expected}");
+        assert!(
+            (m - expected).abs() < 0.15 * expected,
+            "m = {m}, expected ~{expected}"
+        );
     }
 
     #[test]

@@ -72,7 +72,11 @@ impl GraphBuilder {
         if w != 1 {
             self.weighted = true;
         }
-        let (a, b) = if self.directed || u <= v { (u, v) } else { (v, u) };
+        let (a, b) = if self.directed || u <= v {
+            (u, v)
+        } else {
+            (v, u)
+        };
         self.edges.push((a, b, w));
         self
     }
@@ -202,7 +206,9 @@ mod tests {
 
     #[test]
     fn self_loops_dropped_by_default() {
-        let g = GraphBuilder::undirected(2).add_edges([(0, 0), (0, 1)]).build();
+        let g = GraphBuilder::undirected(2)
+            .add_edges([(0, 0), (0, 1)])
+            .build();
         assert_eq!(g.num_edges(), 1);
     }
 
@@ -220,7 +226,9 @@ mod tests {
 
     #[test]
     fn directed_preserves_orientation() {
-        let g = GraphBuilder::directed(3).add_edges([(2, 0), (0, 1)]).build();
+        let g = GraphBuilder::directed(3)
+            .add_edges([(2, 0), (0, 1)])
+            .build();
         assert_eq!(g.num_edges(), 2);
         assert_eq!(g.num_arcs(), 2);
         assert_eq!(g.neighbor_slice(2), &[0]);

@@ -117,7 +117,11 @@ impl CsrGraph {
         for (e, &c) in arc_count.iter().enumerate() {
             // Self-loops in undirected graphs are stored as a single arc.
             let (u, v) = self.endpoints[e];
-            let exp = if !self.directed && u == v { 1 } else { expected };
+            let exp = if !self.directed && u == v {
+                1
+            } else {
+                expected
+            };
             if c != exp {
                 return Err(format!("edge {e} has {c} arcs, expected {exp}"));
             }

@@ -26,6 +26,7 @@ pub mod bitset;
 pub mod builder;
 pub mod csr;
 pub mod dynamic;
+pub mod frontier;
 pub mod perm;
 pub mod subgraph;
 pub mod traits;
@@ -36,6 +37,7 @@ pub use bitset::{AtomicBitmap, Bitmap};
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
 pub use dynamic::DynGraph;
+pub use frontier::{Frontier, FrontierRepr};
 pub use perm::{apply_permutation, bfs_order, degree_order};
 pub use subgraph::InducedSubgraph;
 pub use traits::{Graph, WeightedGraph};

@@ -71,7 +71,10 @@ pub fn bfs_order(g: &CsrGraph) -> Vec<VertexId> {
         queue.push_back(s);
         while let Some(u) = queue.pop_front() {
             nbrs.clear();
-            nbrs.extend(g.neighbors(u).filter(|&v| perm[v as usize] == VertexId::MAX));
+            nbrs.extend(
+                g.neighbors(u)
+                    .filter(|&v| perm[v as usize] == VertexId::MAX),
+            );
             // Cuthill-McKee visits neighbors in increasing-degree order.
             nbrs.sort_by_key(|&v| (g.degree(v), v));
             for &v in &nbrs {

@@ -93,10 +93,7 @@ mod tests {
     #[test]
     fn extracts_triangle_from_larger_graph() {
         // Two triangles joined by a bridge: {0,1,2} - {3,4,5}.
-        let g = from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)],
-        );
+        let g = from_edges(6, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)]);
         let sub = InducedSubgraph::extract(&g, &[3, 4, 5]);
         assert_eq!(sub.graph.num_vertices(), 3);
         assert_eq!(sub.graph.num_edges(), 3);

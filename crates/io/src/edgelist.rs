@@ -61,7 +61,11 @@ pub fn write_edge_list<W: Write, G: Graph + WeightedGraph>(
         "# {} {} {}",
         g.num_vertices(),
         g.num_edges(),
-        if g.is_directed() { "directed" } else { "undirected" }
+        if g.is_directed() {
+            "directed"
+        } else {
+            "undirected"
+        }
     )?;
     for e in 0..g.num_edges() as u32 {
         let (u, v) = g.edge_endpoints(e);

@@ -63,13 +63,15 @@ pub fn read_metis<R: BufRead>(reader: R) -> Result<CsrGraph, IoError> {
             return Err(parse_err(lineno + 1, "more adjacency lines than vertices"));
         }
         let mut it = trimmed.split_whitespace();
-        loop {
-            let Some(tok) = it.next() else { break };
+        while let Some(tok) = it.next() {
             let nbr: u64 = tok
                 .parse()
                 .map_err(|e| parse_err(lineno + 1, format!("bad neighbor: {e}")))?;
             if nbr == 0 || nbr as usize > n {
-                return Err(parse_err(lineno + 1, format!("neighbor {nbr} out of range")));
+                return Err(parse_err(
+                    lineno + 1,
+                    format!("neighbor {nbr} out of range"),
+                ));
             }
             let w: Weight = if has_ewts {
                 it.next()

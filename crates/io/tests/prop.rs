@@ -6,18 +6,16 @@ use snap_io::{dimacs, edgelist, metis};
 
 fn arb_weighted_graph() -> impl Strategy<Value = snap_graph::CsrGraph> {
     (2usize..20).prop_flat_map(|n| {
-        prop::collection::vec((0..n as u32, 0..n as u32, 1u32..100), 0..40).prop_map(
-            move |edges| {
-                let mut uniq: Vec<(u32, u32, u32)> = edges
-                    .into_iter()
-                    .filter(|&(u, v, _)| u != v)
-                    .map(|(u, v, w)| (u.min(v), u.max(v), w))
-                    .collect();
-                uniq.sort_unstable_by_key(|&(u, v, _)| (u, v));
-                uniq.dedup_by_key(|&mut (u, v, _)| (u, v));
-                GraphBuilder::undirected(n).add_weighted_edges(uniq).build()
-            },
-        )
+        prop::collection::vec((0..n as u32, 0..n as u32, 1u32..100), 0..40).prop_map(move |edges| {
+            let mut uniq: Vec<(u32, u32, u32)> = edges
+                .into_iter()
+                .filter(|&(u, v, _)| u != v)
+                .map(|(u, v, w)| (u.min(v), u.max(v), w))
+                .collect();
+            uniq.sort_unstable_by_key(|&(u, v, _)| (u, v));
+            uniq.dedup_by_key(|&mut (u, v, _)| (u, v));
+            GraphBuilder::undirected(n).add_weighted_edges(uniq).build()
+        })
     })
 }
 

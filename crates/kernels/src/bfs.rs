@@ -1,5 +1,5 @@
-//! Breadth-first search: sequential and lock-free level-synchronous
-//! parallel variants.
+//! Breadth-first search: sequential, lock-free level-synchronous parallel,
+//! and direction-optimizing (hybrid push/pull) variants.
 //!
 //! The parallel BFS follows the paper's design (and [Bader & Madduri,
 //! ICPP 2006]): vertices of the current frontier are expanded in parallel,
@@ -8,9 +8,19 @@
 //! proportional to its degree, so the skewed degree distributions of
 //! small-world graphs do not serialize a level on whichever worker drew
 //! the hub.
+//!
+//! On low-diameter small-world graphs most of the edge examinations of a
+//! push-only BFS are wasted: once the frontier covers a sizable fraction
+//! of the graph, almost every scanned arc lands on an already-visited
+//! vertex. The direction-optimizing scheme (Beamer, Asanović & Patterson,
+//! SC 2012) expands such levels bottom-up instead — every *unvisited*
+//! vertex scans its own adjacency for a frontier parent and stops at the
+//! first hit — and [`par_bfs_hybrid`] switches between the two directions
+//! per level with the classic α/β occupancy heuristics, backed by the
+//! sparse/dense [`Frontier`] representation from `snap-graph`.
 
 use rayon::prelude::*;
-use snap_graph::{AtomicBitmap, Graph, VertexId};
+use snap_graph::{AtomicBitmap, Frontier, Graph, VertexId};
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Distance assigned to unreachable vertices.
@@ -45,6 +55,104 @@ impl BfsResult {
     }
 }
 
+/// Expansion direction of one BFS level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Top-down: frontier vertices push to their neighbors.
+    Push,
+    /// Bottom-up: unvisited vertices pull a parent from the frontier.
+    Pull,
+}
+
+impl std::fmt::Display for Direction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Direction::Push => write!(f, "push"),
+            Direction::Pull => write!(f, "pull"),
+        }
+    }
+}
+
+/// Per-level observability record of a traversal.
+#[derive(Clone, Copy, Debug)]
+pub struct LevelStats {
+    /// Depth assigned to the vertices discovered by this level (1-based).
+    pub depth: u32,
+    /// Direction the level was expanded in.
+    pub direction: Direction,
+    /// Size of the frontier that was expanded.
+    pub frontier: usize,
+    /// Vertices discovered (claimed) by this expansion.
+    pub discovered: usize,
+    /// Arcs examined while expanding it (push: every arc out of the
+    /// frontier; pull: arcs scanned before each vertex found a parent or
+    /// exhausted its list).
+    pub edges_examined: u64,
+}
+
+/// Traversal statistics collected by [`par_bfs_hybrid_stats`].
+#[derive(Clone, Debug, Default)]
+pub struct TraversalStats {
+    /// One record per expanded level, in order.
+    pub levels: Vec<LevelStats>,
+}
+
+impl TraversalStats {
+    /// Eccentricity of the source: deepest level that discovered a
+    /// vertex. (The level list may hold one final record beyond this —
+    /// the expansion of the deepest frontier, which examines arcs but
+    /// discovers nothing.)
+    pub fn depth(&self) -> u32 {
+        self.levels
+            .iter()
+            .filter(|l| l.discovered > 0)
+            .map(|l| l.depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total arcs examined across all levels.
+    pub fn total_edges_examined(&self) -> u64 {
+        self.levels.iter().map(|l| l.edges_examined).sum()
+    }
+
+    /// How many levels ran bottom-up.
+    pub fn pull_levels(&self) -> usize {
+        self.levels
+            .iter()
+            .filter(|l| l.direction == Direction::Pull)
+            .count()
+    }
+
+    /// Largest frontier expanded.
+    pub fn peak_frontier(&self) -> usize {
+        self.levels.iter().map(|l| l.frontier).max().unwrap_or(0)
+    }
+}
+
+/// Switching thresholds for [`par_bfs_hybrid_with`] (Beamer's α and β).
+#[derive(Clone, Copy, Debug)]
+pub struct HybridConfig {
+    /// Switch push → pull when the arcs out of the frontier exceed
+    /// `unexplored_arcs / alpha`: the frontier is about to touch a large
+    /// share of the remaining graph, so pulling is cheaper.
+    pub alpha: f64,
+    /// Switch pull → push when the frontier shrinks below `n / beta`:
+    /// scanning all unvisited vertices no longer pays off.
+    pub beta: f64,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        // Beamer's published constants; robust across the paper's
+        // small-world instances.
+        HybridConfig {
+            alpha: 14.0,
+            beta: 24.0,
+        }
+    }
+}
+
 /// Sequential queue-based BFS.
 ///
 /// ```
@@ -75,12 +183,152 @@ pub fn bfs<G: Graph>(g: &G, source: VertexId) -> BfsResult {
     BfsResult { dist, parent }
 }
 
-/// Lock-free level-synchronous parallel BFS.
+/// Parallel BFS. Distances are exact BFS distances (identical to
+/// [`bfs`]); parents are *a* valid BFS-tree parent, which may differ from
+/// the sequential tree when several frontier vertices race for a child.
 ///
-/// Distances are exact BFS distances (identical to [`bfs`]); parents are
-/// *a* valid BFS-tree parent, which may differ from the sequential tree
-/// when several frontier vertices race for a child.
+/// On undirected graphs this is the direction-optimizing hybrid
+/// ([`par_bfs_hybrid`]); on directed graphs it is the push-only
+/// level-synchronous BFS ([`par_bfs_push`]), since the bottom-up step
+/// scans out-arcs and therefore needs an undirected adjacency.
 pub fn par_bfs<G: Graph>(g: &G, source: VertexId) -> BfsResult {
+    par_bfs_hybrid(g, source)
+}
+
+/// Direction-optimizing BFS with default [`HybridConfig`] thresholds.
+pub fn par_bfs_hybrid<G: Graph>(g: &G, source: VertexId) -> BfsResult {
+    par_bfs_hybrid_with(g, source, &HybridConfig::default())
+}
+
+/// Direction-optimizing BFS with explicit thresholds, returning only the
+/// result. See [`par_bfs_hybrid_stats`] for the observable variant.
+pub fn par_bfs_hybrid_with<G: Graph>(g: &G, source: VertexId, cfg: &HybridConfig) -> BfsResult {
+    par_bfs_hybrid_stats(g, source, cfg).0
+}
+
+/// Direction-optimizing BFS returning per-level [`TraversalStats`].
+///
+/// Each level is expanded either top-down (sparse frontier, degree-aware
+/// work splitting, atomic claims) or bottom-up (dense frontier bitmap;
+/// every unvisited vertex scans its adjacency for a frontier parent and
+/// stops at the first hit — no synchronization needed, each vertex is
+/// owned by exactly one task). Directed graphs never switch to pull: the
+/// bottom-up scan walks out-arcs, which only coincide with in-arcs on
+/// undirected CSR.
+pub fn par_bfs_hybrid_stats<G: Graph>(
+    g: &G,
+    source: VertexId,
+    cfg: &HybridConfig,
+) -> (BfsResult, TraversalStats) {
+    let n = g.num_vertices();
+    let visited = AtomicBitmap::new(n);
+    let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHABLE)).collect();
+    let parent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NO_PARENT)).collect();
+
+    visited.test_and_set(source as usize);
+    dist[source as usize].store(0, Ordering::Relaxed);
+
+    let mut frontier = Frontier::singleton(n, source);
+    let mut stats = TraversalStats::default();
+    let mut level: u32 = 0;
+    let mut direction = Direction::Push;
+    let pull_allowed = !g.is_directed();
+    // Arcs incident to not-yet-visited vertices (Beamer's m_u).
+    let mut unexplored: u64 = g.num_arcs() as u64;
+
+    while !frontier.is_empty() {
+        level += 1;
+        let nf = frontier.len();
+        // Arcs out of the frontier (Beamer's m_f). Its vertices are
+        // visited, so their arcs also leave the unexplored pool now.
+        let mf: u64 = frontier.iter().map(|v| g.degree(v) as u64).sum();
+        unexplored = unexplored.saturating_sub(mf);
+
+        direction = match direction {
+            Direction::Push if pull_allowed && (mf as f64) > (unexplored as f64) / cfg.alpha => {
+                Direction::Pull
+            }
+            Direction::Pull if (nf as f64) < (n as f64) / cfg.beta => Direction::Push,
+            d => d,
+        };
+
+        let (next, edges_examined) = match direction {
+            Direction::Push => {
+                let members = frontier.ensure_sparse();
+                // Degree-aware expansion: flat_map over (vertex, adjacency)
+                // pairs lets rayon split a hub's adjacency across workers.
+                let next: Vec<VertexId> = members
+                    .par_iter()
+                    .flat_map_iter(|&u| g.neighbors(u).map(move |v| (u, v)))
+                    .filter_map(|(u, v)| {
+                        if visited.test_and_set(v as usize) {
+                            dist[v as usize].store(level, Ordering::Relaxed);
+                            parent[v as usize].store(u, Ordering::Relaxed);
+                            Some(v)
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                (next, mf)
+            }
+            Direction::Pull => {
+                let bits = frontier.ensure_dense();
+                let (next, scanned) = (0..n as VertexId)
+                    .into_par_iter()
+                    .fold(
+                        || (Vec::new(), 0u64),
+                        |(mut acc, mut scanned), v| {
+                            if !visited.get(v as usize) {
+                                for u in g.neighbors(v) {
+                                    scanned += 1;
+                                    if bits.get(u as usize) {
+                                        visited.test_and_set(v as usize);
+                                        dist[v as usize].store(level, Ordering::Relaxed);
+                                        parent[v as usize].store(u, Ordering::Relaxed);
+                                        acc.push(v);
+                                        break;
+                                    }
+                                }
+                            }
+                            (acc, scanned)
+                        },
+                    )
+                    .reduce(
+                        || (Vec::new(), 0u64),
+                        |(mut a, sa), (mut b, sb)| {
+                            a.append(&mut b);
+                            (a, sa + sb)
+                        },
+                    );
+                (next, scanned)
+            }
+        };
+
+        stats.levels.push(LevelStats {
+            depth: level,
+            direction,
+            frontier: nf,
+            discovered: next.len(),
+            edges_examined,
+        });
+        frontier = Frontier::from_vec(n, next);
+        frontier.normalize();
+    }
+
+    (
+        BfsResult {
+            dist: dist.into_iter().map(|d| d.into_inner()).collect(),
+            parent: parent.into_iter().map(|p| p.into_inner()).collect(),
+        },
+        stats,
+    )
+}
+
+/// Push-only lock-free level-synchronous parallel BFS (the pre-hybrid
+/// engine, kept as an ablation baseline and as the engine for directed
+/// graphs).
+pub fn par_bfs_push<G: Graph>(g: &G, source: VertexId) -> BfsResult {
     let n = g.num_vertices();
     let visited = AtomicBitmap::new(n);
     let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHABLE)).collect();
@@ -121,7 +369,7 @@ pub fn par_bfs<G: Graph>(g: &G, source: VertexId) -> BfsResult {
 /// frontier vertex, adjacency scanned serially inside the task). On
 /// skewed degree distributions one worker draws the hub and serializes
 /// the level — this is the ablation baseline showing why the
-/// degree-aware assignment in [`par_bfs`] matters.
+/// degree-aware assignment in [`par_bfs_push`] matters.
 pub fn par_bfs_vertex_partitioned<G: Graph>(g: &G, source: VertexId) -> BfsResult {
     let n = g.num_vertices();
     let visited = AtomicBitmap::new(n);
@@ -166,7 +414,14 @@ pub fn par_bfs_vertex_partitioned<G: Graph>(g: &G, source: VertexId) -> BfsResul
 /// BFS that only records distances and stops once `limit` vertices have
 /// been reached — the "path-limited search" primitive the paper uses for
 /// concurrent local explorations.
+///
+/// Returns exactly `min(limit, reachable)` `(vertex, distance)` pairs in
+/// discovery order (the source counts as reached at distance 0). In
+/// particular `limit == 0` returns an empty list.
 pub fn bfs_limited<G: Graph>(g: &G, source: VertexId, limit: usize) -> Vec<(VertexId, u32)> {
+    if limit == 0 {
+        return Vec::new();
+    }
     let n = g.num_vertices();
     let mut dist = vec![UNREACHABLE; n];
     let mut queue = std::collections::VecDeque::new();
@@ -174,7 +429,7 @@ pub fn bfs_limited<G: Graph>(g: &G, source: VertexId, limit: usize) -> Vec<(Vert
     dist[source as usize] = 0;
     queue.push_back(source);
     order.push((source, 0));
-    while let Some(u) = queue.pop_front() {
+    'outer: while let Some(u) = queue.pop_front() {
         if order.len() >= limit {
             break;
         }
@@ -183,10 +438,10 @@ pub fn bfs_limited<G: Graph>(g: &G, source: VertexId, limit: usize) -> Vec<(Vert
             if dist[v as usize] == UNREACHABLE {
                 dist[v as usize] = du + 1;
                 order.push((v, du + 1));
-                queue.push_back(v);
                 if order.len() >= limit {
-                    break;
+                    break 'outer;
                 }
+                queue.push_back(v);
             }
         }
     }
@@ -224,18 +479,38 @@ mod tests {
     fn par_matches_seq_distances() {
         let g = from_edges(
             8,
-            &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5), (5, 6), (4, 7)],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (4, 7),
+            ],
         );
         let seq = bfs(&g, 0);
         let par = par_bfs(&g, 0);
         assert_eq!(seq.dist, par.dist);
+        let push = par_bfs_push(&g, 0);
+        assert_eq!(seq.dist, push.dist);
     }
 
     #[test]
     fn par_parents_are_valid() {
         let g = from_edges(
             8,
-            &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5), (5, 6), (4, 7)],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (4, 7),
+            ],
         );
         let r = par_bfs(&g, 0);
         for v in 1..8u32 {
@@ -248,11 +523,157 @@ mod tests {
     }
 
     #[test]
+    fn hybrid_forced_pull_matches_seq() {
+        // Huge alpha switches to pull immediately (the m_f > m_u / alpha
+        // trigger fires on any frontier); tiny beta never switches back.
+        // alpha = 0 keeps the trigger unreachable (threshold +inf/NaN):
+        // push-only.
+        let g = from_edges(
+            10,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 4),
+                (2, 4),
+                (3, 5),
+                (4, 6),
+                (5, 6),
+                (6, 7),
+                (7, 8),
+                (8, 9),
+                (2, 9),
+            ],
+        );
+        let cfg = HybridConfig {
+            alpha: 0.0,
+            beta: 0.001,
+        };
+        let (forced_push, s1) = par_bfs_hybrid_stats(&g, 0, &cfg);
+        assert_eq!(s1.pull_levels(), 0);
+        let cfg = HybridConfig {
+            alpha: 1e9,
+            beta: 0.001,
+        };
+        let (forced_pull, s2) = par_bfs_hybrid_stats(&g, 0, &cfg);
+        assert!(s2.pull_levels() > 0, "stats: {:?}", s2.levels);
+        let seq = bfs(&g, 0);
+        assert_eq!(seq.dist, forced_push.dist);
+        assert_eq!(seq.dist, forced_pull.dist);
+    }
+
+    #[test]
+    fn hybrid_parents_are_valid_in_pull_mode() {
+        let g = from_edges(
+            9,
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (3, 5),
+                (4, 6),
+                (5, 7),
+                (6, 8),
+                (7, 8),
+            ],
+        );
+        let cfg = HybridConfig {
+            alpha: 1e9,
+            beta: 0.001,
+        };
+        let (r, _) = par_bfs_hybrid_stats(&g, 0, &cfg);
+        for v in 1..9u32 {
+            if r.dist[v as usize] != UNREACHABLE {
+                let p = r.parent[v as usize];
+                assert_eq!(r.dist[v as usize], r.dist[p as usize] + 1);
+                assert!(g.neighbors(p).any(|x| x == v));
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_stats_account_every_level() {
+        let g = path5();
+        let (r, stats) = par_bfs_hybrid_stats(&g, 0, &HybridConfig::default());
+        assert_eq!(stats.depth(), r.max_distance());
+        // Four discovering levels plus the final empty expansion of the
+        // deepest frontier.
+        assert_eq!(stats.levels.len(), 5);
+        for (i, l) in stats.levels.iter().enumerate() {
+            assert_eq!(l.depth, i as u32 + 1);
+            assert_eq!(l.frontier, 1);
+        }
+        assert!(stats.levels[..4].iter().all(|l| l.discovered == 1));
+        assert_eq!(stats.levels[4].discovered, 0);
+        assert!(stats.total_edges_examined() > 0);
+        assert_eq!(stats.peak_frontier(), 1);
+        // Push-only run on a path: each level examines exactly the
+        // expanded frontier's arcs (degree ≤ 2), and the totals agree.
+        let push_cfg = HybridConfig {
+            alpha: 0.0,
+            beta: 24.0,
+        };
+        let (_, ps) = par_bfs_hybrid_stats(&g, 0, &push_cfg);
+        assert_eq!(ps.pull_levels(), 0);
+        assert_eq!(ps.levels[0].edges_examined, 1); // source degree 1
+        let arc_total: u64 = ps.levels.iter().map(|l| l.edges_examined).sum();
+        // Every vertex's arcs are examined exactly once over the run.
+        assert_eq!(arc_total, g.num_arcs() as u64);
+    }
+
+    #[test]
+    fn hybrid_on_directed_graph_stays_push() {
+        use snap_graph::GraphBuilder;
+        let g = GraphBuilder::directed(4)
+            .add_edges([(0, 1), (1, 2), (2, 3)])
+            .build();
+        let cfg = HybridConfig {
+            alpha: f64::INFINITY, // would force pull if allowed
+            beta: 0.001,
+        };
+        let (r, stats) = par_bfs_hybrid_stats(&g, 0, &cfg);
+        assert_eq!(stats.pull_levels(), 0);
+        assert_eq!(r.dist, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
     fn limited_bfs_stops_early() {
         let g = path5();
         let order = bfs_limited(&g, 0, 3);
         assert_eq!(order.len(), 3);
         assert_eq!(order[0], (0, 0));
+    }
+
+    #[test]
+    fn limited_bfs_zero_limit_is_empty() {
+        let g = path5();
+        assert!(bfs_limited(&g, 0, 0).is_empty());
+    }
+
+    #[test]
+    fn limited_bfs_exact_clamp() {
+        // Star: source + 6 leaves, 7 reachable. Every limit must yield
+        // exactly min(limit, reachable) entries, even mid-adjacency.
+        let g = from_edges(8, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6)]);
+        for limit in 0..=9 {
+            let order = bfs_limited(&g, 0, limit);
+            assert_eq!(order.len(), limit.min(7), "limit {limit}");
+        }
+        // Vertex 7 is unreachable and must never appear.
+        assert!(bfs_limited(&g, 0, 9).iter().all(|&(v, _)| v != 7));
+    }
+
+    #[test]
+    fn limited_bfs_distances_are_bfs_distances() {
+        let g = from_edges(6, &[(0, 1), (1, 2), (0, 3), (3, 4), (4, 5)]);
+        let full = bfs(&g, 0);
+        for limit in 1..=6 {
+            for (v, d) in bfs_limited(&g, 0, limit) {
+                assert_eq!(d, full.dist[v as usize]);
+            }
+        }
     }
 
     #[test]

@@ -40,7 +40,10 @@ const UNSET: u32 = u32::MAX;
 
 /// Compute biconnected components of an undirected graph.
 pub fn biconnected_components<G: Graph>(g: &G) -> Bicc {
-    assert!(!g.is_directed(), "biconnectivity is defined on undirected graphs");
+    assert!(
+        !g.is_directed(),
+        "biconnectivity is defined on undirected graphs"
+    );
     let n = g.num_vertices();
     let m = g.num_edges();
 
@@ -174,10 +177,7 @@ mod tests {
     #[test]
     fn barbell_bridge_and_cut_vertices() {
         // Two triangles {0,1,2} and {3,4,5} joined by bridge (2, 3).
-        let g = from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)],
-        );
+        let g = from_edges(6, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)]);
         let b = biconnected_components(&g);
         assert_eq!(b.count, 3);
         assert_eq!(b.bridges.len(), 1);
@@ -217,7 +217,17 @@ mod tests {
     fn every_edge_labeled() {
         let g = from_edges(
             8,
-            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5), (5, 6), (6, 7)],
+            &[
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (3, 5),
+                (5, 6),
+                (6, 7),
+            ],
         );
         let b = biconnected_components(&g);
         for e in 0..g.num_edges() {

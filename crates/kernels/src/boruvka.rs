@@ -109,23 +109,20 @@ pub fn boruvka_msf<G: WeightedGraph>(g: &G) -> Msf {
                     acc
                 },
             )
-            .reduce(
-                || Vec::new(),
-                |mut a, b| {
-                    if a.is_empty() {
-                        return b;
+            .reduce(Vec::new, |mut a, b| {
+                if a.is_empty() {
+                    return b;
+                }
+                if b.is_empty() {
+                    return a;
+                }
+                for (x, y) in a.iter_mut().zip(b) {
+                    if y < *x {
+                        *x = y;
                     }
-                    if b.is_empty() {
-                        return a;
-                    }
-                    for (x, y) in a.iter_mut().zip(b) {
-                        if y < *x {
-                            *x = y;
-                        }
-                    }
-                    a
-                },
-            );
+                }
+                a
+            });
         if best.is_empty() {
             break; // no edges at all
         }

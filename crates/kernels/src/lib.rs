@@ -26,14 +26,20 @@ pub mod boruvka;
 pub mod components;
 pub mod dyncc;
 pub mod spanning;
-pub mod stcon;
 pub mod sssp;
+pub mod stcon;
 
-pub use bfs::{bfs, bfs_limited, par_bfs, par_bfs_vertex_partitioned, BfsResult, NO_PARENT, UNREACHABLE};
+pub use bfs::{
+    bfs, bfs_limited, par_bfs, par_bfs_hybrid, par_bfs_hybrid_stats, par_bfs_hybrid_with,
+    par_bfs_push, par_bfs_vertex_partitioned, BfsResult, Direction, HybridConfig, LevelStats,
+    TraversalStats, NO_PARENT, UNREACHABLE,
+};
 pub use bicc::{biconnected_components, Bicc};
 pub use boruvka::{boruvka_msf, Msf};
-pub use components::{connected_components, par_components_lp, par_components_sv, Components};
+pub use components::{
+    connected_components, par_components_hybrid, par_components_lp, par_components_sv, Components,
+};
 pub use dyncc::IncrementalComponents;
-pub use stcon::{st_connectivity, StResult};
 pub use spanning::{par_spanning_forest, spanning_forest, SpanningForest};
 pub use sssp::{delta_stepping, dijkstra, SsspResult, INF};
+pub use stcon::{st_connectivity, StResult};

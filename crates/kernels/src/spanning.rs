@@ -133,14 +133,25 @@ mod tests {
     #[test]
     fn tree_edges_are_acyclic() {
         // Union-find over the reported tree edges must never find a cycle.
-        let g = from_edges(7, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (5, 6)]);
+        let g = from_edges(
+            7,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (5, 6),
+            ],
+        );
         let f = spanning_forest(&g);
         let mut uf: Vec<usize> = (0..7).collect();
-        fn find(uf: &mut Vec<usize>, x: usize) -> usize {
+        fn find(uf: &mut [usize], mut x: usize) -> usize {
             while uf[x] != x {
-                let p = uf[uf[x]];
-                uf[x] = p;
-                return find(uf, p);
+                uf[x] = uf[uf[x]];
+                x = uf[x];
             }
             x
         }

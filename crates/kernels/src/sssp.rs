@@ -26,6 +26,9 @@ pub fn dijkstra<G: WeightedGraph>(g: &G, source: VertexId) -> SsspResult {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
     let n = g.num_vertices();
+    if n == 0 {
+        return SsspResult { dist: Vec::new() };
+    }
     let mut dist = vec![INF; n];
     let mut heap = BinaryHeap::new();
     dist[source as usize] = 0;
@@ -49,10 +52,22 @@ pub fn dijkstra<G: WeightedGraph>(g: &G, source: VertexId) -> SsspResult {
 /// weight, clamped to ≥ 1).
 pub fn delta_stepping<G: WeightedGraph>(g: &G, source: VertexId, delta: u64) -> SsspResult {
     let n = g.num_vertices();
-    let m = g.num_edges().max(1);
+    if n == 0 {
+        return SsspResult { dist: Vec::new() };
+    }
     let delta = if delta == 0 {
-        let total: u64 = (0..m as u32).map(|e| g.edge_weight(e) as u64).sum();
-        (total / m as u64).max(1)
+        // Average over live arcs. A flat sweep over `0..num_edges()`
+        // would be wrong on filtered views, whose live edge ids are an
+        // arbitrary subset of `0..edge_id_bound()`.
+        let mut total = 0u64;
+        let mut arcs = 0u64;
+        for v in g.vertices() {
+            for (_, _, w) in g.neighbors_weighted(v) {
+                total += w as u64;
+                arcs += 1;
+            }
+        }
+        total.checked_div(arcs).map_or(1, |avg| avg.max(1))
     } else {
         delta
     };
@@ -168,7 +183,17 @@ mod tests {
     fn delta_stepping_matches_dijkstra_small() {
         let g = weighted(
             6,
-            &[(0, 1, 7), (0, 2, 9), (0, 5, 14), (1, 2, 10), (1, 3, 15), (2, 3, 11), (2, 5, 2), (3, 4, 6), (4, 5, 9)],
+            &[
+                (0, 1, 7),
+                (0, 2, 9),
+                (0, 5, 14),
+                (1, 2, 10),
+                (1, 3, 15),
+                (2, 3, 11),
+                (2, 5, 2),
+                (3, 4, 6),
+                (4, 5, 9),
+            ],
         );
         let a = dijkstra(&g, 0);
         for delta in [1, 3, 5, 20, 0] {
@@ -203,6 +228,41 @@ mod tests {
         assert_eq!(r.dist[2], INF);
         let d = delta_stepping(&g, 0, 1);
         assert_eq!(d.dist[2], INF);
+    }
+
+    #[test]
+    fn empty_graph_and_no_edges() {
+        let g = weighted(0, &[]);
+        assert!(dijkstra(&g, 0).dist.is_empty());
+        assert!(delta_stepping(&g, 0, 0).dist.is_empty());
+        // Edgeless graph with vertices: heuristic delta must not index
+        // any edge weight.
+        let g = weighted(3, &[]);
+        let d = delta_stepping(&g, 1, 0);
+        assert_eq!(d.dist, vec![INF, 0, INF]);
+    }
+
+    #[test]
+    fn zero_weight_edges_heuristic_delta() {
+        // All-zero weights: heuristic average is 0, must clamp to 1.
+        let g = weighted(4, &[(0, 1, 0), (1, 2, 0), (2, 3, 5)]);
+        let a = dijkstra(&g, 0);
+        let b = delta_stepping(&g, 0, 0);
+        assert_eq!(a.dist, b.dist);
+        assert_eq!(b.dist, vec![0, 0, 0, 5]);
+    }
+
+    #[test]
+    fn heuristic_delta_on_filtered_view() {
+        // Live edge ids of a filtered view are a sparse subset of the
+        // base id space; the heuristic must average only live arcs.
+        use snap_graph::FilteredGraph;
+        let g = weighted(5, &[(0, 1, 2), (1, 2, 40), (0, 2, 3), (2, 3, 4), (3, 4, 6)]);
+        let mut f = FilteredGraph::new(&g);
+        f.delete_edge(1); // drop the heavy (1, 2) edge
+        let a = dijkstra(&f, 0);
+        let b = delta_stepping(&f, 0, 0);
+        assert_eq!(a.dist, b.dist);
     }
 
     #[test]

@@ -22,14 +22,50 @@ fn arb_graph() -> impl Strategy<Value = snap_graph::CsrGraph> {
 }
 
 proptest! {
-    /// Parallel BFS distances equal sequential BFS distances from every
-    /// source.
+    /// Every parallel BFS variant produces sequential BFS distances from
+    /// every source: the push-only engine, the vertex-partitioned
+    /// ablation, and the direction-optimizing hybrid at the default,
+    /// never-pull, and always-pull thresholds.
     #[test]
     fn par_bfs_matches_seq(g in arb_graph()) {
         for s in 0..g.num_vertices().min(5) {
             let a = bfs(&g, s as VertexId);
-            let b = par_bfs(&g, s as VertexId);
-            prop_assert_eq!(&a.dist, &b.dist);
+            let variants = [
+                ("push", par_bfs_push(&g, s as VertexId)),
+                ("vertex-partitioned", par_bfs_vertex_partitioned(&g, s as VertexId)),
+                ("hybrid", par_bfs_hybrid(&g, s as VertexId)),
+                ("hybrid-no-pull", par_bfs_hybrid_with(
+                    &g, s as VertexId, &HybridConfig { alpha: 0.0, beta: 24.0 })),
+                ("hybrid-all-pull", par_bfs_hybrid_with(
+                    &g, s as VertexId, &HybridConfig { alpha: f64::INFINITY, beta: 24.0 })),
+            ];
+            for (name, b) in variants {
+                prop_assert_eq!(&a.dist, &b.dist, "variant {} from {}", name, s);
+            }
+        }
+    }
+
+    /// Hybrid BFS parents form a valid BFS tree in every direction mode:
+    /// each reached non-source vertex has a parent that is a real
+    /// neighbor exactly one level closer to the source.
+    #[test]
+    fn hybrid_parents_form_bfs_tree(g in arb_graph()) {
+        for alpha in [0.0, 14.0, f64::INFINITY] {
+            let r = par_bfs_hybrid_with(&g, 0, &HybridConfig { alpha, beta: 24.0 });
+            prop_assert_eq!(r.dist[0], 0);
+            for v in 1..g.num_vertices() {
+                if r.dist[v] == UNREACHABLE {
+                    prop_assert_eq!(r.parent[v], NO_PARENT);
+                    continue;
+                }
+                let p = r.parent[v];
+                prop_assert!(p != NO_PARENT, "reached vertex {} has no parent", v);
+                prop_assert_eq!(r.dist[p as usize] + 1, r.dist[v], "alpha {}, vertex {}", alpha, v);
+                prop_assert!(
+                    g.neighbors(p as VertexId).any(|x| x == v as VertexId),
+                    "parent {} of {} is not a neighbor", p, v
+                );
+            }
         }
     }
 
@@ -106,6 +142,52 @@ proptest! {
         let c = connected_components(&g);
         prop_assert_eq!(msf.trees, c.count);
         prop_assert_eq!(msf.edges.len(), g.num_vertices() - c.count);
+    }
+}
+
+/// Every parallel BFS variant agrees with sequential BFS on the three
+/// generator families, under 1-, 4-, and 8-worker rayon pools (fixed
+/// seeds keep runtime bounded; pool size exercises the work-splitting
+/// paths rather than the proptest shrinker).
+#[test]
+fn bfs_variants_agree_across_generators_and_thread_counts() {
+    let graphs = [
+        ("er", snap_gen::erdos_renyi(512, 2048, 7)),
+        (
+            "rmat",
+            snap_gen::rmat(&snap_gen::RmatConfig::small_world(9, 2048), 7),
+        ),
+        ("ws", snap_gen::watts_strogatz(512, 4, 0.1, 7)),
+    ];
+    for (name, g) in &graphs {
+        let seq = bfs(g, 0);
+        for threads in [1usize, 4, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("building rayon pool");
+            pool.install(|| {
+                let variants = [
+                    ("push", par_bfs_push(g, 0)),
+                    ("vertex-partitioned", par_bfs_vertex_partitioned(g, 0)),
+                    ("hybrid", par_bfs_hybrid(g, 0)),
+                    (
+                        "hybrid-all-pull",
+                        par_bfs_hybrid_with(
+                            g,
+                            0,
+                            &HybridConfig {
+                                alpha: f64::INFINITY,
+                                beta: 24.0,
+                            },
+                        ),
+                    ),
+                ];
+                for (vname, r) in variants {
+                    assert_eq!(seq.dist, r.dist, "{name}/{vname} @ {threads} threads");
+                }
+            });
+        }
     }
 }
 

@@ -66,13 +66,13 @@ pub fn neighbor_connectivity<G: Graph>(g: &G) -> Vec<(usize, f64)> {
     let knn = average_neighbor_degree(g);
     let mut by_degree: std::collections::BTreeMap<usize, (f64, usize)> =
         std::collections::BTreeMap::new();
-    for v in 0..g.num_vertices() {
+    for (v, &k) in knn.iter().enumerate() {
         let d = g.degree(v as VertexId);
         if d == 0 {
             continue;
         }
         let entry = by_degree.entry(d).or_insert((0.0, 0));
-        entry.0 += knn[v];
+        entry.0 += k;
         entry.1 += 1;
     }
     by_degree
@@ -105,7 +105,17 @@ mod tests {
         // vertices adjacent to high-degree vertices.
         let g = from_edges(
             8,
-            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (5, 6), (4, 6), (6, 7)],
+            &[
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (4, 6),
+                (6, 7),
+            ],
         );
         let r = degree_assortativity(&g);
         assert!(r.abs() <= 1.0);

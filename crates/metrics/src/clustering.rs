@@ -10,7 +10,10 @@ use snap_graph::{CsrGraph, Graph, VertexId};
 
 /// Number of triangles through each vertex.
 pub fn triangles_per_vertex(g: &CsrGraph) -> Vec<u64> {
-    assert!(!g.is_directed(), "triangle counting assumes undirected input");
+    assert!(
+        !g.is_directed(),
+        "triangle counting assumes undirected input"
+    );
     let n = g.num_vertices();
     // Count per-vertex by summing, for each vertex u, the triangles on its
     // incident edges (u, v) with v > u; each triangle (u, v, w) is found

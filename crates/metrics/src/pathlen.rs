@@ -6,7 +6,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rayon::prelude::*;
 use snap_graph::{Graph, VertexId};
-use snap_kernels::bfs::{bfs, UNREACHABLE};
+use snap_kernels::bfs::{bfs, par_bfs_hybrid, UNREACHABLE};
 
 /// Path-length statistics over (a sample of) source vertices.
 #[derive(Clone, Copy, Debug)]
@@ -37,29 +37,43 @@ pub fn path_stats_sampled<G: Graph>(g: &G, k: usize, seed: u64) -> PathStats {
     path_stats_from_sources(g, &sources)
 }
 
+/// Fold one source's distance array into the distance histogram.
+fn add_distances(acc: &mut Vec<u64>, s: VertexId, dist: &[u32]) {
+    for (v, &d) in dist.iter().enumerate() {
+        if d != UNREACHABLE && v as VertexId != s {
+            if d as usize >= acc.len() {
+                acc.resize(d as usize + 1, 0);
+            }
+            acc[d as usize] += 1;
+        }
+    }
+}
+
 fn path_stats_from_sources<G: Graph>(g: &G, sources: &[VertexId]) -> PathStats {
     // Histogram of distances (small-world graphs have tiny diameters, so
     // a growable histogram beats storing all pair distances).
-    let hist = sources
-        .par_iter()
-        .fold(
-            || Vec::<u64>::new(),
-            |mut acc, &s| {
+    //
+    // Too few sources cannot saturate a source-parallel sweep, so below
+    // one source per worker each traversal runs on the parallel
+    // direction-optimizing engine instead. With plenty of sources, one
+    // sequential BFS per worker wins: no atomic traffic, no level
+    // barriers.
+    let hist = if sources.len() < rayon::current_num_threads() {
+        let mut acc = Vec::new();
+        for &s in sources {
+            let r = par_bfs_hybrid(g, s);
+            add_distances(&mut acc, s, &r.dist);
+        }
+        acc
+    } else {
+        sources
+            .par_iter()
+            .fold(Vec::<u64>::new, |mut acc, &s| {
                 let r = bfs(g, s);
-                for (v, &d) in r.dist.iter().enumerate() {
-                    if d != UNREACHABLE && v as VertexId != s {
-                        if d as usize >= acc.len() {
-                            acc.resize(d as usize + 1, 0);
-                        }
-                        acc[d as usize] += 1;
-                    }
-                }
+                add_distances(&mut acc, s, &r.dist);
                 acc
-            },
-        )
-        .reduce(
-            || Vec::new(),
-            |mut a, b| {
+            })
+            .reduce(Vec::new, |mut a, b| {
                 if a.len() < b.len() {
                     a.resize(b.len(), 0);
                 }
@@ -67,8 +81,8 @@ fn path_stats_from_sources<G: Graph>(g: &G, sources: &[VertexId]) -> PathStats {
                     a[i] += y;
                 }
                 a
-            },
-        );
+            })
+    };
 
     let pairs: u64 = hist.iter().sum();
     if pairs == 0 {
@@ -79,11 +93,7 @@ fn path_stats_from_sources<G: Graph>(g: &G, sources: &[VertexId]) -> PathStats {
             pairs: 0,
         };
     }
-    let total: u64 = hist
-        .iter()
-        .enumerate()
-        .map(|(d, &c)| d as u64 * c)
-        .sum();
+    let total: u64 = hist.iter().enumerate().map(|(d, &c)| d as u64 * c).sum();
     let max = (hist.len() - 1) as u32;
     // Effective diameter: smallest d such that >= 90% of pairs are within
     // d, with linear interpolation inside the bucket.
@@ -163,10 +173,7 @@ mod tests {
     #[test]
     fn effective_diameter_below_max() {
         // Star + long tail: most pairs are short, the tail stretches max.
-        let g = from_edges(
-            8,
-            &[(0, 1), (0, 2), (0, 3), (0, 4), (4, 5), (5, 6), (6, 7)],
-        );
+        let g = from_edges(8, &[(0, 1), (0, 2), (0, 3), (0, 4), (4, 5), (5, 6), (6, 7)]);
         let s = path_stats_exact(&g);
         assert!(s.effective_diameter < s.max as f64);
     }

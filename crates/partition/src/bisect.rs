@@ -34,12 +34,7 @@ impl Default for BisectConfig {
 
 /// Bisect `g` targeting total vertex weight `target0` on side 0.
 /// Returns a 0/1 side label per vertex.
-pub fn multilevel_bisect(
-    g: &CsrGraph,
-    vwgt: &[u32],
-    target0: u64,
-    cfg: &BisectConfig,
-) -> Vec<u8> {
+pub fn multilevel_bisect(g: &CsrGraph, vwgt: &[u32], target0: u64, cfg: &BisectConfig) -> Vec<u8> {
     let n = g.num_vertices();
     if n <= cfg.coarse_limit {
         let mut side = initial_bisect(g, vwgt, target0, cfg.seed);
@@ -126,10 +121,7 @@ mod tests {
 
     #[test]
     fn bisects_barbell_at_bridge() {
-        let g = from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)],
-        );
+        let g = from_edges(6, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)]);
         let (side, cut) = bisect_with_cut(&g, &BisectConfig::default());
         assert_eq!(cut, 1);
         assert_eq!(side[0], side[1]);

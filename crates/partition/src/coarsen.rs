@@ -64,8 +64,20 @@ mod tests {
 
     #[test]
     fn coarsening_shrinks_graph() {
-        let g = from_edges(8, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 0)]);
-        let level = coarsen(&g, &vec![1; 8], 3);
+        let g = from_edges(
+            8,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 0),
+            ],
+        );
+        let level = coarsen(&g, &[1; 8], 3);
         assert!(level.graph.num_vertices() < 8);
         assert!(level.graph.num_vertices() >= 4);
         // Total vertex weight preserved.

@@ -63,7 +63,10 @@ pub fn fm_refine(
     let hi0 = (target0 as i64 + slack).min(total as i64 - 1);
 
     for _pass in 0..max_passes {
-        let mut load0: i64 = (0..n).filter(|&v| side[v] == 0).map(|v| vwgt[v] as i64).sum();
+        let mut load0: i64 = (0..n)
+            .filter(|&v| side[v] == 0)
+            .map(|v| vwgt[v] as i64)
+            .sum();
         let mut gains: Vec<i64> = (0..n as VertexId).map(|v| gain(g, side, v)).collect();
         let mut locked = vec![false; n];
         // Lazy max-heap of (gain, vertex).
@@ -135,10 +138,7 @@ mod tests {
     #[test]
     fn improves_a_bad_bisection() {
         // Two triangles + bridge; start with a bad split.
-        let g = from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)],
-        );
+        let g = from_edges(6, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)]);
         let mut side = vec![0u8, 1, 0, 1, 0, 1];
         let before = bisection_cut(&g, &side);
         fm_refine(&g, &[1; 6], &mut side, 3, 0.10, 8);

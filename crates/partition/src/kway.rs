@@ -179,7 +179,7 @@ pub fn kway_refine(g: &CsrGraph, p: &mut Partition, tolerance: f64, passes: usiz
                         continue;
                     }
                     let gain = wto[part] - wto[cur];
-                    if gain > best.1 && loads[part] + 1 <= max_load {
+                    if gain > best.1 && loads[part] < max_load {
                         best = (part, gain);
                     }
                 }
@@ -227,7 +227,11 @@ mod tests {
         let g = grid(12, 12);
         let p = kway_partition(&g, &KwayConfig::recursive(4, 2));
         p.validate().unwrap();
-        assert!(imbalance(&p, None) < 1.15, "imbalance {}", imbalance(&p, None));
+        assert!(
+            imbalance(&p, None) < 1.15,
+            "imbalance {}",
+            imbalance(&p, None)
+        );
         // A 12x12 grid 4-way cut should be near 2 * 12.
         let cut = edge_cut(&g, &p);
         assert!(cut <= 48, "cut {cut}");

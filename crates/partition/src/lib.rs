@@ -29,8 +29,7 @@ pub use kway::{kway_partition, kway_refine, KwayConfig};
 pub use matching::{heavy_edge_matching, is_valid_matching};
 pub use metrics::{conductance, edge_cut, imbalance, Partition};
 pub use spectral::{
-    fiedler_lanczos, fiedler_power, spectral_partition, Eigensolver, SpectralConfig,
-    SpectralError,
+    fiedler_lanczos, fiedler_power, spectral_partition, Eigensolver, SpectralConfig, SpectralError,
 };
 
 use snap_graph::CsrGraph;

@@ -142,10 +142,7 @@ mod tests {
 
     #[test]
     fn conductance_of_barbell_split() {
-        let g = from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)],
-        );
+        let g = from_edges(6, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)]);
         let p = Partition {
             assignment: vec![0, 0, 0, 1, 1, 1],
             parts: 2,

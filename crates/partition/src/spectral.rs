@@ -215,7 +215,7 @@ fn cg_solve_projected(g: &CsrGraph, b: &[f64], max_iters: usize, rtol: f64) -> (
             r[i] -= alpha * ap[i];
         }
         // Periodic re-projection guards against kernel drift.
-        if used % 32 == 0 {
+        if used.is_multiple_of(32) {
             project_out_ones(&mut r);
         }
         let rs_new: f64 = r.iter().map(|v| v * v).sum();
@@ -345,8 +345,18 @@ fn sturm_count(alphas: &[f64], betas: &[f64], x: f64) -> usize {
     let mut count = 0usize;
     let mut d = 1.0f64;
     for i in 0..alphas.len() {
-        let b2 = if i > 0 { betas[i - 1] * betas[i - 1] } else { 0.0 };
-        d = alphas[i] - x - b2 / if d.abs() < 1e-300 { 1e-300f64.copysign(d) } else { d };
+        let b2 = if i > 0 {
+            betas[i - 1] * betas[i - 1]
+        } else {
+            0.0
+        };
+        d = alphas[i]
+            - x
+            - b2 / if d.abs() < 1e-300 {
+                1e-300f64.copysign(d)
+            } else {
+                d
+            };
         if d < 0.0 {
             count += 1;
         }
@@ -414,9 +424,13 @@ fn tridiag_solve_shifted(alphas: &[f64], betas: &[f64], shift: f64, b: &[f64]) -
     let k = alphas.len();
     // Band storage: sub[i] (row i, col i-1), diag[i], sup1[i] (col i+1),
     // sup2[i] (col i+2, fill-in).
-    let mut sub: Vec<f64> = (0..k).map(|i| if i > 0 { betas[i - 1] } else { 0.0 }).collect();
+    let mut sub: Vec<f64> = (0..k)
+        .map(|i| if i > 0 { betas[i - 1] } else { 0.0 })
+        .collect();
     let mut diag: Vec<f64> = alphas.iter().map(|&a| a - shift).collect();
-    let mut sup1: Vec<f64> = (0..k).map(|i| if i + 1 < k { betas[i] } else { 0.0 }).collect();
+    let mut sup1: Vec<f64> = (0..k)
+        .map(|i| if i + 1 < k { betas[i] } else { 0.0 })
+        .collect();
     let mut sup2 = vec![0.0f64; k];
     let mut rhs = b.to_vec();
 
@@ -475,7 +489,15 @@ pub fn spectral_partition(g: &CsrGraph, cfg: &SpectralConfig) -> Result<Partitio
     if cfg.parts > 1 && n > 1 {
         let all: Vec<VertexId> = (0..n as VertexId).collect();
         let mut next = 0u32;
-        spectral_rb(g, &all, cfg.parts, cfg, cfg.seed, &mut next, &mut assignment)?;
+        spectral_rb(
+            g,
+            &all,
+            cfg.parts,
+            cfg,
+            cfg.seed,
+            &mut next,
+            &mut assignment,
+        )?;
     }
     Ok(Partition {
         assignment,
@@ -512,9 +534,7 @@ fn spectral_rb(
     let solve = |graph: &CsrGraph| -> Result<Vec<f64>, SpectralError> {
         match cfg.solver {
             Eigensolver::Power => fiedler_power(graph, cfg.max_iterations, cfg.tolerance, seed),
-            Eigensolver::Lanczos => {
-                fiedler_lanczos(graph, cfg.max_iterations, cfg.tolerance, seed)
-            }
+            Eigensolver::Lanczos => fiedler_lanczos(graph, cfg.max_iterations, cfg.tolerance, seed),
         }
     };
     let fiedler: Vec<f64> = if comps.count > 1 {
@@ -586,10 +606,7 @@ mod tests {
     use snap_graph::builder::from_edges;
 
     fn barbell() -> CsrGraph {
-        from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)],
-        )
+        from_edges(6, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)])
     }
 
     #[test]
@@ -645,7 +662,13 @@ mod tests {
     fn tiny_budget_reports_no_convergence() {
         let g = barbell();
         let err = fiedler_power(&g, 1, 1e-14, 0).unwrap_err();
-        assert!(matches!(err, SpectralError::NoConvergence { method: "power", .. }));
+        assert!(matches!(
+            err,
+            SpectralError::NoConvergence {
+                method: "power",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -37,15 +37,20 @@ fn main() {
     for (name, alg) in [
         ("divisive (pBD)", CommunityAlgorithm::Divisive),
         ("agglomerative (pMA)", CommunityAlgorithm::Agglomerative),
-        ("local aggregation (pLA)", CommunityAlgorithm::LocalAggregation),
+        (
+            "local aggregation (pLA)",
+            CommunityAlgorithm::LocalAggregation,
+        ),
     ] {
         // pBD on larger graphs: loosen the schedule so the demo stays
         // interactive (the bench harness runs the faithful settings).
         let start = Instant::now();
         let (count, q) = if let CommunityAlgorithm::Divisive = alg {
-            let mut cfg = PbdConfig::default();
-            cfg.batch = (net.num_edges() / 200).max(1);
-            cfg.patience = Some(40);
+            let cfg = PbdConfig {
+                batch: (net.num_edges() / 200).max(1),
+                patience: Some(40),
+                ..Default::default()
+            };
             let r = snap::community::pbd(net.graph(), &cfg);
             (r.clustering.count, r.q)
         } else {

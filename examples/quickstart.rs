@@ -33,7 +33,10 @@ fn main() {
         ("Girvan-Newman (GN)", CommunityAlgorithm::GirvanNewman),
         ("divisive (pBD)", CommunityAlgorithm::Divisive),
         ("agglomerative (pMA)", CommunityAlgorithm::Agglomerative),
-        ("local aggregation (pLA)", CommunityAlgorithm::LocalAggregation),
+        (
+            "local aggregation (pLA)",
+            CommunityAlgorithm::LocalAggregation,
+        ),
         ("spectral (extension)", CommunityAlgorithm::Spectral),
     ] {
         let c = net.communities(alg);

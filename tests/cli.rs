@@ -24,12 +24,22 @@ fn generate_then_summary_then_communities() {
     let path = scratch("g.txt");
     let out = cli()
         .args([
-            "generate", "planted", "--scale", "8", "--out",
-            path.to_str().unwrap(), "--seed", "5",
+            "generate",
+            "planted",
+            "--scale",
+            "8",
+            "--out",
+            path.to_str().unwrap(),
+            "--seed",
+            "5",
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("n = 256"));
 
     let out = cli()
@@ -57,18 +67,31 @@ fn partition_reports_cut() {
     let path = scratch("p.txt");
     cli()
         .args([
-            "generate", "grid", "--scale", "8", "--out",
+            "generate",
+            "grid",
+            "--scale",
+            "8",
+            "--out",
             path.to_str().unwrap(),
         ])
         .output()
         .unwrap();
     let out = cli()
         .args([
-            "partition", path.to_str().unwrap(), "--parts", "4", "--method", "recur",
+            "partition",
+            path.to_str().unwrap(),
+            "--parts",
+            "4",
+            "--method",
+            "recur",
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout).to_string();
     assert!(text.contains("edge cut"), "{text}");
     std::fs::remove_file(&path).ok();
@@ -79,14 +102,25 @@ fn centrality_lists_top_vertices() {
     let path = scratch("c.txt");
     cli()
         .args([
-            "generate", "rmat", "--scale", "8", "--edges", "1024", "--out",
+            "generate",
+            "rmat",
+            "--scale",
+            "8",
+            "--edges",
+            "1024",
+            "--out",
             path.to_str().unwrap(),
         ])
         .output()
         .unwrap();
     let out = cli()
         .args([
-            "centrality", path.to_str().unwrap(), "--approx", "0.2", "--top", "3",
+            "centrality",
+            path.to_str().unwrap(),
+            "--approx",
+            "0.2",
+            "--top",
+            "3",
         ])
         .output()
         .unwrap();
@@ -111,11 +145,25 @@ fn missing_file_fails_cleanly() {
 fn bad_algorithm_rejected() {
     let path = scratch("b.txt");
     cli()
-        .args(["generate", "er", "--scale", "6", "--edges", "128", "--out", path.to_str().unwrap()])
+        .args([
+            "generate",
+            "er",
+            "--scale",
+            "6",
+            "--edges",
+            "128",
+            "--out",
+            path.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
     let out = cli()
-        .args(["communities", path.to_str().unwrap(), "--algorithm", "bogus"])
+        .args([
+            "communities",
+            path.to_str().unwrap(),
+            "--algorithm",
+            "bogus",
+        ])
         .output()
         .unwrap();
     assert!(!out.status.success());

@@ -20,10 +20,7 @@ fn table1_shape_holds_at_small_scale() {
     let road = cuts["Physical (road)"];
     let random = cuts["Sparse random"];
     let sw = cuts["Small-world"];
-    assert!(
-        road * 5.0 < random,
-        "road {road:.4} vs random {random:.4}"
-    );
+    assert!(road * 5.0 < random, "road {road:.4} vs random {random:.4}");
     assert!(road * 5.0 < sw, "road {road:.4} vs small-world {sw:.4}");
 }
 
@@ -44,12 +41,7 @@ fn table2_modularity_ordering() {
             ..Default::default()
         },
     );
-    for (name, q) in [
-        ("GN", gn.q),
-        ("pBD", pbd.q),
-        ("pMA", pma.q),
-        ("pLA", pla.q),
-    ] {
+    for (name, q) in [("GN", gn.q), ("pBD", pbd.q), ("pMA", pma.q), ("pLA", pla.q)] {
         assert!(q > 0.3, "{name} q = {q}");
         assert!(
             best.q >= q - 0.01,
@@ -70,9 +62,11 @@ fn figure2_algorithms_run_on_rmat_sf() {
     let g = inst.build_scaled(400, 2); // ~1k vertices
     assert!(g.num_vertices() >= 500);
 
-    let mut cfg = snap::community::PbdConfig::default();
-    cfg.batch = (g.num_edges() / 100).max(1);
-    cfg.patience = Some(20);
+    let cfg = snap::community::PbdConfig {
+        batch: (g.num_edges() / 100).max(1),
+        patience: Some(20),
+        ..Default::default()
+    };
     let pbd = snap::community::pbd(&g, &cfg);
     let pma = snap::community::pma(&g, &snap::community::PmaConfig::default());
     let pla = snap::community::pla(&g, &snap::community::PlaConfig::default());
@@ -99,8 +93,10 @@ fn figure3_pbd_faster_than_gn() {
     let t_gn = t0.elapsed();
 
     let t0 = std::time::Instant::now();
-    let mut cfg = snap::community::PbdConfig::default();
-    cfg.patience = Some(30);
+    let cfg = snap::community::PbdConfig {
+        patience: Some(30),
+        ..Default::default()
+    };
     let pbd = snap::community::pbd(&g, &cfg);
     let t_pbd = t0.elapsed();
 

@@ -61,8 +61,8 @@ fn dimacs_file_roundtrip_weighted() {
         let f = BufWriter::new(File::create(&path).unwrap());
         snap::io::dimacs::write_dimacs(f, &g).unwrap();
     }
-    let h = snap::io::dimacs::read_dimacs(BufReader::new(File::open(&path).unwrap()), false)
-        .unwrap();
+    let h =
+        snap::io::dimacs::read_dimacs(BufReader::new(File::open(&path).unwrap()), false).unwrap();
     assert_eq!(h.num_edges(), g.num_edges());
     for e in 0..g.num_edges() as u32 {
         assert_eq!(h.edge_weight(e), g.edge_weight(e));
@@ -84,12 +84,9 @@ fn analysis_results_survive_serialization() {
         let f = BufWriter::new(File::create(&path).unwrap());
         snap::io::edgelist::write_edge_list(f, &g).unwrap();
     }
-    let h = snap::io::edgelist::read_edge_list(
-        BufReader::new(File::open(&path).unwrap()),
-        false,
-        34,
-    )
-    .unwrap();
+    let h =
+        snap::io::edgelist::read_edge_list(BufReader::new(File::open(&path).unwrap()), false, 34)
+            .unwrap();
     let c = snap::community::pma(&g, &snap::community::PmaConfig::default());
     let q_orig = snap::community::modularity(&g, &c.clustering);
     let q_rt = snap::community::modularity(&h, &c.clustering);

@@ -43,10 +43,8 @@ fn betweenness_thread_tolerant() {
 
 #[test]
 fn community_algorithms_thread_invariant() {
-    let (g, _) = snap::gen::planted_partition(
-        &snap::gen::PlantedConfig::uniform(4, 25, 0.4, 0.02),
-        19,
-    );
+    let (g, _) =
+        snap::gen::planted_partition(&snap::gen::PlantedConfig::uniform(4, 25, 0.4, 0.02), 19);
     let q1 = with_threads(1, || {
         snap::community::pma(&g, &snap::community::PmaConfig::default()).q
     });

@@ -98,7 +98,16 @@ fn partition_quality_ordering_road_vs_smallworld() {
 fn dynamic_graph_to_analysis() {
     // Build dynamically, freeze, analyze.
     let mut d = snap::graph::DynGraph::new(8);
-    for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3), (6, 7)] {
+    for (u, v) in [
+        (0, 1),
+        (1, 2),
+        (0, 2),
+        (3, 4),
+        (4, 5),
+        (3, 5),
+        (2, 3),
+        (6, 7),
+    ] {
         d.insert_edge(u, v);
     }
     d.delete_edge(6, 7);

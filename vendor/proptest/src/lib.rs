@@ -1,0 +1,439 @@
+//! Minimal in-repo stand-in for the `proptest` crate.
+//!
+//! Implements the subset SNAP's property suites use: the [`proptest!`]
+//! macro, `prop_assert!` / `prop_assert_eq!` / `prop_assume!`, the
+//! [`Strategy`] trait with `prop_map` / `prop_flat_map`, range and tuple
+//! strategies, [`Just`], and `prop::collection::{vec, btree_set}`.
+//!
+//! Differences from upstream: cases are generated from a fixed
+//! deterministic seed (reproducible across runs), there is no shrinking,
+//! and failure reports carry the case index instead of a minimized input.
+
+use rand::rngs::StdRng;
+
+/// Re-exported so generated tests can seed their deterministic RNG
+/// without depending on `rand` themselves.
+pub use rand::rngs::StdRng as TestRng;
+pub use rand::SeedableRng;
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the input; try another case.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+}
+
+/// Per-suite configuration (only `cases` is honored).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 48 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of random values.
+///
+/// `generate` must be deterministic in the RNG stream so failures are
+/// reproducible from the printed case index.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { base: self, f }
+    }
+
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        _whence: &'static str,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { base: self, f }
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut StdRng) -> S2::Value {
+        (self.f)(self.base.generate(rng)).generate(rng)
+    }
+}
+
+pub struct Filter<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.base.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 consecutive candidates");
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty => $gen:expr),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                let f: fn(&std::ops::Range<$t>, &mut StdRng) -> $t = $gen;
+                f(self, rng)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy! {
+    u8 => |r, rng| rand::Rng::gen_range(rng, r.clone()),
+    u16 => |r, rng| rand::Rng::gen_range(rng, r.clone()),
+    u32 => |r, rng| rand::Rng::gen_range(rng, r.clone()),
+    u64 => |r, rng| rand::Rng::gen_range(rng, r.clone()),
+    usize => |r, rng| rand::Rng::gen_range(rng, r.clone()),
+    i32 => |r, rng| rand::Rng::gen_range(rng, r.clone()),
+    i64 => |r, rng| rand::Rng::gen_range(rng, r.clone()),
+    f64 => |r, rng| rand::Rng::gen_range(rng, r.clone()),
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+)),* $(,)?) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!((A), (A, B), (A, B, C), (A, B, C, D));
+
+/// The `prop::` module namespace (`prop::collection::vec`, ...).
+pub mod prop {
+    pub mod collection {
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// Target size for a generated collection: an exact length or a
+        /// range of lengths.
+        pub trait SizeRange {
+            fn pick(&self, rng: &mut StdRng) -> usize;
+        }
+
+        impl SizeRange for usize {
+            fn pick(&self, _rng: &mut StdRng) -> usize {
+                *self
+            }
+        }
+
+        impl SizeRange for std::ops::Range<usize> {
+            fn pick(&self, rng: &mut StdRng) -> usize {
+                if self.start >= self.end {
+                    self.start
+                } else {
+                    rng.gen_range(self.clone())
+                }
+            }
+        }
+
+        pub struct VecStrategy<S, R> {
+            elem: S,
+            size: R,
+        }
+
+        impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let len = self.size.pick(rng);
+                (0..len).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+
+        /// `prop::collection::vec(element, size)`.
+        pub fn vec<S: Strategy, R: SizeRange>(elem: S, size: R) -> VecStrategy<S, R> {
+            VecStrategy { elem, size }
+        }
+
+        pub struct BTreeSetStrategy<S, R> {
+            elem: S,
+            size: R,
+        }
+
+        impl<S: Strategy, R: SizeRange> Strategy for BTreeSetStrategy<S, R>
+        where
+            S::Value: Ord,
+        {
+            type Value = std::collections::BTreeSet<S::Value>;
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let target = self.size.pick(rng);
+                let mut out = std::collections::BTreeSet::new();
+                // Bounded retries in case the element domain is smaller
+                // than the requested size.
+                for _ in 0..target.saturating_mul(20).max(32) {
+                    if out.len() >= target {
+                        break;
+                    }
+                    out.insert(self.elem.generate(rng));
+                }
+                out
+            }
+        }
+
+        /// `prop::collection::btree_set(element, size)`.
+        pub fn btree_set<S: Strategy, R: SizeRange>(elem: S, size: R) -> BTreeSetStrategy<S, R> {
+            BTreeSetStrategy { elem, size }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({:?} vs {:?})",
+                stringify!($a),
+                stringify!($b),
+                a,
+                b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if a == b {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {} (both {:?})",
+                stringify!($a),
+                stringify!($b),
+                a
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Entry point: expands each `fn name(arg in strategy, ...) { body }` into
+/// a `#[test]` that runs `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            // Deterministic per-test seed from the test's name.
+            let mut seed: u64 = 0xcbf29ce484222325;
+            for b in concat!(module_path!(), "::", stringify!($name)).bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x100000001b3);
+            }
+            let mut accepted: u32 = 0;
+            let mut attempts: u64 = 0;
+            let max_attempts = (config.cases as u64) * 20 + 100;
+            while accepted < config.cases {
+                attempts += 1;
+                if attempts > max_attempts {
+                    panic!(
+                        "proptest {}: too many rejected cases ({} accepted of {} wanted)",
+                        stringify!($name),
+                        accepted,
+                        config.cases
+                    );
+                }
+                let mut rng = <$crate::TestRng as $crate::SeedableRng>::seed_from_u64(
+                    seed ^ attempts,
+                );
+                let case = (|rng: &mut $crate::TestRng| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $(let $pat = $crate::Strategy::generate(&($strat), rng);)+
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                })(&mut rng);
+                match case {
+                    Ok(()) => accepted += 1,
+                    Err($crate::TestCaseError::Reject) => {}
+                    Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} failed (case seed {:#x}): {}",
+                            stringify!($name),
+                            seed ^ attempts,
+                            msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    (($cfg:expr);) => {};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn vec_respects_size(v in prop::collection::vec(0u8..10, 3usize..7)) {
+            prop_assert!(v.len() >= 3 && v.len() < 7);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn flat_map_threads_values(pair in (1usize..20).prop_flat_map(|n| (Just(n), 0usize..n))) {
+            let (n, k) = pair;
+            prop_assert!(k < n);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn assume_rejects(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest")]
+    // The nested `#[test]` generated by the macro is called directly below,
+    // not collected by the harness.
+    #[allow(unnameable_test_items)]
+    fn failing_property_panics() {
+        proptest! {
+            #[test]
+            fn inner(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        inner();
+    }
+}

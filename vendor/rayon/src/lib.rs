@@ -1,0 +1,539 @@
+//! Minimal in-repo stand-in for the `rayon` crate.
+//!
+//! The build environment has no registry access, so this crate provides
+//! the subset of rayon's API that SNAP uses, implemented with
+//! `std::thread::scope`. Work is split into one contiguous chunk per
+//! available worker and each chunk runs on its own scoped thread; nested
+//! parallel calls (a parallel iterator inside a worker) degrade to
+//! sequential execution, which is always a valid rayon schedule.
+//!
+//! Supported surface:
+//!
+//! * `prelude::*` with `par_iter` / `par_iter_mut` on slices and
+//!   `into_par_iter` on integer ranges;
+//! * adapters `map`, `filter`, `filter_map`, `flat_map_iter`,
+//!   `enumerate`, `fold`;
+//! * drivers `collect` (into `Vec`), `reduce`, `for_each`, `sum`, `count`;
+//! * `join`, `current_num_threads`, `ThreadPoolBuilder` / `ThreadPool::install`.
+
+use std::cell::Cell;
+use std::ops::Range;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+    /// Set inside worker threads so nested parallelism runs sequentially.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Number of threads the ambient "pool" would use.
+pub fn current_num_threads() -> usize {
+    let t = POOL_THREADS.with(|c| c.get());
+    if t == 0 {
+        default_threads()
+    } else {
+        t
+    }
+}
+
+fn in_worker() -> bool {
+    IN_WORKER.with(|c| c.get())
+}
+
+/// Error building a thread pool (never produced by this shim).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            threads: if self.threads == 0 {
+                default_threads()
+            } else {
+                self.threads
+            },
+        })
+    }
+}
+
+/// A "pool": only carries the thread count; `install` scopes it onto the
+/// calling thread so parallel drivers and `current_num_threads` see it.
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|c| c.replace(self.threads));
+        let out = f();
+        POOL_THREADS.with(|c| c.set(prev));
+        out
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Run two closures, potentially in parallel.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if in_worker() || current_num_threads() <= 1 {
+        (a(), b())
+    } else {
+        std::thread::scope(|s| {
+            let hb = s.spawn(|| {
+                IN_WORKER.with(|c| c.set(true));
+                b()
+            });
+            let ra = a();
+            let rb = hb.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+            (ra, rb)
+        })
+    }
+}
+
+pub mod iter {
+    use super::{current_num_threads, in_worker, IN_WORKER};
+
+    type ChunkIter<'a, T> = Box<dyn Iterator<Item = T> + 'a>;
+    type ChunkMake<'a, T> = Box<dyn FnOnce() -> ChunkIter<'a, T> + Send + 'a>;
+
+    /// One unit of parallel work: a deferred sequential iterator plus the
+    /// global index of its first element (`usize::MAX` once an adapter has
+    /// destroyed the 1:1 index correspondence).
+    pub struct Chunk<'a, T> {
+        start: usize,
+        make: ChunkMake<'a, T>,
+    }
+
+    /// A parallel iterator: a set of chunks driven on scoped threads.
+    pub struct ParIter<'a, T> {
+        chunks: Vec<Chunk<'a, T>>,
+    }
+
+    fn chunk_count(len: usize) -> usize {
+        // Small inputs are not worth a thread spawn.
+        if len < 1024 || in_worker() {
+            1
+        } else {
+            current_num_threads().clamp(1, len)
+        }
+    }
+
+    /// Run every chunk, in parallel when it pays, returning per-chunk
+    /// results in chunk order.
+    fn run_chunks<'a, T, R>(
+        chunks: Vec<Chunk<'a, T>>,
+        consume: impl Fn(usize, ChunkIter<'a, T>) -> R + Sync,
+    ) -> Vec<R>
+    where
+        T: Send + 'a,
+        R: Send,
+    {
+        if chunks.len() <= 1 || in_worker() || current_num_threads() <= 1 {
+            chunks
+                .into_iter()
+                .map(|c| consume(c.start, (c.make)()))
+                .collect()
+        } else {
+            std::thread::scope(|s| {
+                let consume = &consume;
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|c| {
+                        s.spawn(move || {
+                            IN_WORKER.with(|w| w.set(true));
+                            consume(c.start, (c.make)())
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                    .collect()
+            })
+        }
+    }
+
+    impl<'a, T: Send + 'a> ParIter<'a, T> {
+        fn adapt<U: Send + 'a>(
+            self,
+            keep_index: bool,
+            wrap: impl Fn(ChunkIter<'a, T>) -> ChunkIter<'a, U> + Send + Clone + 'a,
+        ) -> ParIter<'a, U> {
+            let chunks = self
+                .chunks
+                .into_iter()
+                .map(|c| {
+                    let wrap = wrap.clone();
+                    Chunk {
+                        start: if keep_index { c.start } else { usize::MAX },
+                        make: Box::new(move || wrap((c.make)())),
+                    }
+                })
+                .collect();
+            ParIter { chunks }
+        }
+
+        pub fn map<U, F>(self, f: F) -> ParIter<'a, U>
+        where
+            U: Send + 'a,
+            F: Fn(T) -> U + Send + Clone + 'a,
+        {
+            self.adapt(true, move |it| Box::new(it.map(f.clone())))
+        }
+
+        pub fn filter<F>(self, f: F) -> ParIter<'a, T>
+        where
+            F: Fn(&T) -> bool + Send + Clone + 'a,
+        {
+            self.adapt(false, move |it| Box::new(it.filter(f.clone())))
+        }
+
+        pub fn filter_map<U, F>(self, f: F) -> ParIter<'a, U>
+        where
+            U: Send + 'a,
+            F: Fn(T) -> Option<U> + Send + Clone + 'a,
+        {
+            self.adapt(false, move |it| Box::new(it.filter_map(f.clone())))
+        }
+
+        /// Like rayon's `flat_map_iter`: the produced iterators are
+        /// consumed sequentially within each chunk.
+        pub fn flat_map_iter<U, I, F>(self, f: F) -> ParIter<'a, U>
+        where
+            U: Send + 'a,
+            I: IntoIterator<Item = U> + 'a,
+            F: Fn(T) -> I + Send + Clone + 'a,
+        {
+            self.adapt(false, move |it| Box::new(it.flat_map(f.clone())))
+        }
+
+        /// Pair every item with its global index. Only valid directly on a
+        /// slice/range producer or after 1:1 adapters (`map`), as in rayon
+        /// (where it requires an indexed iterator).
+        pub fn enumerate(self) -> ParIter<'a, (usize, T)> {
+            let chunks = self
+                .chunks
+                .into_iter()
+                .map(|c| {
+                    let start = c.start;
+                    assert!(
+                        start != usize::MAX,
+                        "enumerate() after an index-destroying adapter"
+                    );
+                    Chunk {
+                        start,
+                        make: Box::new(move || {
+                            Box::new((c.make)().enumerate().map(move |(i, x)| (start + i, x)))
+                                as ChunkIter<'a, (usize, T)>
+                        }),
+                    }
+                })
+                .collect();
+            ParIter { chunks }
+        }
+
+        /// Per-chunk fold: yields one accumulator per chunk, to be merged
+        /// with [`ParIter::reduce`].
+        pub fn fold<Acc, Init, F>(self, init: Init, f: F) -> ParIter<'a, Acc>
+        where
+            Acc: Send + 'a,
+            Init: Fn() -> Acc + Send + Clone + 'a,
+            F: Fn(Acc, T) -> Acc + Send + Clone + 'a,
+        {
+            self.adapt(false, move |it| {
+                let init = init.clone();
+                let f = f.clone();
+                Box::new(std::iter::once_with(move || it.fold(init(), f)))
+            })
+        }
+
+        pub fn reduce<Id, Op>(self, identity: Id, op: Op) -> T
+        where
+            Id: Fn() -> T + Sync,
+            Op: Fn(T, T) -> T + Sync,
+        {
+            let partials = run_chunks(self.chunks, |_, it| it.fold(identity(), &op));
+            partials.into_iter().fold(identity(), &op)
+        }
+
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(T) + Sync,
+        {
+            run_chunks(self.chunks, |_, it| it.for_each(&f));
+        }
+
+        pub fn collect<C: FromParIter<T>>(self) -> C {
+            C::from_par_iter(self)
+        }
+
+        pub fn count(self) -> usize {
+            run_chunks(self.chunks, |_, it| it.count())
+                .into_iter()
+                .sum()
+        }
+
+        pub fn sum<S>(self) -> S
+        where
+            S: std::iter::Sum<T> + std::iter::Sum<S> + Send,
+        {
+            run_chunks(self.chunks, |_, it| it.sum::<S>())
+                .into_iter()
+                .sum()
+        }
+    }
+
+    /// Conversion from a parallel iterator (mirrors `FromParallelIterator`).
+    pub trait FromParIter<T> {
+        fn from_par_iter<'a>(iter: ParIter<'a, T>) -> Self
+        where
+            T: 'a;
+    }
+
+    impl<T: Send> FromParIter<T> for Vec<T> {
+        fn from_par_iter<'a>(iter: ParIter<'a, T>) -> Self
+        where
+            T: 'a,
+        {
+            let parts = run_chunks(iter.chunks, |_, it| it.collect::<Vec<T>>());
+            let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+            for p in parts {
+                out.extend(p);
+            }
+            out
+        }
+    }
+
+    /// `into_par_iter()` on owned collections / ranges.
+    pub trait IntoParallelIterator {
+        type Item: Send;
+        fn into_par_iter<'a>(self) -> ParIter<'a, Self::Item>
+        where
+            Self: 'a;
+    }
+
+    macro_rules! impl_range_producer {
+        ($($t:ty),*) => {$(
+            impl IntoParallelIterator for std::ops::Range<$t> {
+                type Item = $t;
+                fn into_par_iter<'a>(self) -> ParIter<'a, $t> {
+                    let len = self.end.saturating_sub(self.start) as usize;
+                    let pieces = chunk_count(len);
+                    let per = len.div_ceil(pieces.max(1)).max(1);
+                    let mut chunks = Vec::with_capacity(pieces);
+                    let mut off = 0usize;
+                    while off < len {
+                        let hi = (off + per).min(len);
+                        let (lo_v, hi_v) =
+                            (self.start + off as $t, self.start + hi as $t);
+                        chunks.push(Chunk {
+                            start: off,
+                            make: Box::new(move || {
+                                Box::new(lo_v..hi_v) as ChunkIter<'a, $t>
+                            }),
+                        });
+                        off = hi;
+                    }
+                    if chunks.is_empty() {
+                        chunks.push(Chunk {
+                            start: 0,
+                            make: Box::new(|| Box::new(std::iter::empty())),
+                        });
+                    }
+                    ParIter { chunks }
+                }
+            }
+        )*};
+    }
+
+    impl_range_producer!(u32, u64, usize);
+
+    impl<T: Send + 'static> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        fn into_par_iter<'a>(self) -> ParIter<'a, T>
+        where
+            Self: 'a,
+        {
+            // Owned vector: one chunk per worker by splitting off tails.
+            let len = self.len();
+            let pieces = chunk_count(len);
+            let per = len.div_ceil(pieces.max(1)).max(1);
+            let mut rest = self;
+            let mut parts: Vec<(usize, Vec<T>)> = Vec::with_capacity(pieces);
+            let mut off = 0usize;
+            while rest.len() > per {
+                let tail = rest.split_off(per);
+                parts.push((off, std::mem::replace(&mut rest, tail)));
+                off += per;
+            }
+            parts.push((off, rest));
+            let chunks = parts
+                .into_iter()
+                .map(|(start, v)| Chunk {
+                    start,
+                    make: Box::new(move || Box::new(v.into_iter()) as ChunkIter<'a, T>),
+                })
+                .collect();
+            ParIter { chunks }
+        }
+    }
+
+    /// `par_iter()` on borrowed slices (and `Vec` via deref).
+    pub trait IntoParallelRefIterator<'data> {
+        type Item: Send;
+        fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = &'data T;
+        fn par_iter(&'data self) -> ParIter<'data, &'data T> {
+            let len = self.len();
+            let pieces = chunk_count(len);
+            let per = len.div_ceil(pieces.max(1)).max(1);
+            let mut chunks: Vec<Chunk<'data, &'data T>> = Vec::with_capacity(pieces);
+            for (ci, part) in self.chunks(per).enumerate() {
+                chunks.push(Chunk {
+                    start: ci * per,
+                    make: Box::new(move || Box::new(part.iter())),
+                });
+            }
+            if chunks.is_empty() {
+                chunks.push(Chunk {
+                    start: 0,
+                    make: Box::new(|| Box::new(std::iter::empty())),
+                });
+            }
+            ParIter { chunks }
+        }
+    }
+
+    /// `par_iter_mut()` on mutable slices (and `Vec` via deref).
+    pub trait IntoParallelRefMutIterator<'data> {
+        type Item: Send;
+        fn par_iter_mut(&'data mut self) -> ParIter<'data, Self::Item>;
+    }
+
+    impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+        type Item = &'data mut T;
+        fn par_iter_mut(&'data mut self) -> ParIter<'data, &'data mut T> {
+            let len = self.len();
+            let pieces = chunk_count(len);
+            let per = len.div_ceil(pieces.max(1)).max(1);
+            let mut chunks: Vec<Chunk<'data, &'data mut T>> = Vec::with_capacity(pieces);
+            for (ci, part) in self.chunks_mut(per).enumerate() {
+                chunks.push(Chunk {
+                    start: ci * per,
+                    make: Box::new(move || Box::new(part.iter_mut())),
+                });
+            }
+            if chunks.is_empty() {
+                chunks.push(Chunk {
+                    start: 0,
+                    make: Box::new(|| Box::new(std::iter::empty())),
+                });
+            }
+            ParIter { chunks }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::{
+        FromParIter, IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParIter,
+    };
+}
+
+// Silence unused-import lint for Range used in macro expansion contexts.
+#[allow(unused)]
+fn _range_marker(_: Range<u8>) {}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..10_000usize).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v.len(), 10_000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+    }
+
+    #[test]
+    fn fold_reduce_sums() {
+        let total = (0..100_000u64)
+            .into_par_iter()
+            .fold(|| 0u64, |acc, x| acc + x)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 100_000u64 * 99_999 / 2);
+    }
+
+    #[test]
+    fn par_iter_mut_enumerate() {
+        let mut v = vec![0usize; 5000];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i));
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        assert_ne!(current_num_threads(), 0);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn filter_map_and_flat_map() {
+        let v: Vec<u32> = (0..2048u32)
+            .into_par_iter()
+            .flat_map_iter(|x| [x, x])
+            .filter_map(|x| (x % 2 == 0).then_some(x))
+            .collect();
+        assert_eq!(v.len(), 2048);
+    }
+}
