@@ -32,24 +32,29 @@ fn bench_bfs(c: &mut Criterion) {
             |b, g| b.iter(|| par_bfs_vertex_partitioned(g, 0)),
         );
 
-        // Work ablation, printed once per instance: on a low-diameter
-        // R-MAT graph the hybrid's pull levels examine a fraction of the
-        // arcs the push-only engine must touch.
-        let (_, hybrid) = par_bfs_hybrid_stats(&g, 0, &HybridConfig::default());
-        let (_, push) = par_bfs_hybrid_stats(
-            &g,
-            0,
-            &HybridConfig {
-                alpha: 0.0,
-                beta: 24.0,
-            },
-        );
-        eprintln!(
-            "rmat scale {scale}: hybrid examines {} edges ({} pull levels) vs push-only {}",
-            hybrid.total_edges_examined(),
-            hybrid.pull_levels(),
-            push.total_edges_examined(),
-        );
+        // Work ablation, reported once per instance through snap-obs: on
+        // a low-diameter R-MAT graph the hybrid's pull levels examine a
+        // fraction of the arcs the push-only engine must touch — compare
+        // `edges_examined` under the two top-level spans.
+        let (_, report) = snap_bench::observed(|| {
+            snap::obs::meta("instance", format!("rmat scale {scale}"));
+            {
+                let _span = snap::obs::span("hybrid");
+                par_bfs_hybrid_stats(&g, 0, &HybridConfig::default());
+            }
+            {
+                let _span = snap::obs::span("push-only");
+                par_bfs_hybrid_stats(
+                    &g,
+                    0,
+                    &HybridConfig {
+                        alpha: 0.0,
+                        beta: 24.0,
+                    },
+                );
+            }
+        });
+        eprint!("{}", report.render());
     }
     group.finish();
 }

@@ -18,6 +18,7 @@ use snap_graph::{Graph, VertexId};
 /// sources (at least one). Unbiased; variance shrinks with `frac`.
 /// Parallel over the sampled sources.
 pub fn approx_betweenness<G: Graph>(g: &G, frac: f64, seed: u64) -> BetweennessScores {
+    let _span = snap_obs::span("centrality.approx_betweenness");
     let n = g.num_vertices();
     if n == 0 {
         return BetweennessScores {
@@ -26,6 +27,8 @@ pub fn approx_betweenness<G: Graph>(g: &G, frac: f64, seed: u64) -> BetweennessS
         };
     }
     let k = ((n as f64 * frac).ceil() as usize).clamp(1, n);
+    snap_obs::add("samples_drawn", k as u64);
+    snap_obs::gauge("sample_fraction", frac);
     let sources = sample_sources(n, k, seed);
     crate::brandes::betweenness_from_sources(g, &sources)
 }

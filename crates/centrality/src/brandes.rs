@@ -198,6 +198,7 @@ fn betweenness_from_sources_scaled<G: Graph>(
     sources: Option<&[VertexId]>,
     scale: f64,
 ) -> BetweennessScores {
+    let _span = snap_obs::span("centrality.betweenness");
     let n = g.num_vertices();
     let m = g.edge_id_bound();
     let all: Vec<VertexId>;
@@ -208,6 +209,10 @@ fn betweenness_from_sources_scaled<G: Graph>(
             &all
         }
     };
+    // Handles are captured by the worker closures: every rayon worker
+    // lands its per-source tallies in the same relaxed atomics.
+    let sources_processed = snap_obs::counter("sources_processed");
+    let frontier_vertices = snap_obs::counter("frontier_vertices");
     let (vertex, edge) = sources
         .par_iter()
         .fold(
@@ -219,6 +224,8 @@ fn betweenness_from_sources_scaled<G: Graph>(
                 }
                 let sc = scratch.get_or_insert_with(|| Box::new(Scratch::new(n)));
                 accumulate_source(g, s, sc, &mut vacc, &mut eacc);
+                sources_processed.incr();
+                frontier_vertices.add(sc.order.len() as u64);
                 (vacc, eacc, scratch)
             },
         )

@@ -38,6 +38,24 @@ impl Ord for Entry {
     }
 }
 
+/// Operation tallies of a [`DqMatrix`] lifetime — the heap-churn /
+/// row-rebuild profile the paper's data-structure discussion is about.
+/// Plain integers bumped on the sequential owner thread; flushed into the
+/// observability report by the caller at run end.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct DqStats {
+    /// Candidate entries pushed (initialization + refreshes).
+    pub heap_pushes: u64,
+    /// Entries popped, live or stale.
+    pub heap_pops: u64,
+    /// Popped entries discarded as dead/superseded (lazy deletion cost).
+    pub stale_pops: u64,
+    /// Community merges applied.
+    pub rows_merged: u64,
+    /// ΔQ row entries recomputed across all merges.
+    pub row_updates: u64,
+}
+
 /// Sorted-row sparse ΔQ matrix over live communities.
 pub(crate) struct DqMatrix {
     /// Row per community: `(other_community, dq)` sorted by id.
@@ -50,6 +68,7 @@ pub(crate) struct DqMatrix {
     pub live: usize,
     /// Size threshold above which row updates are computed in parallel.
     par_threshold: usize,
+    stats: DqStats,
 }
 
 fn row_get(row: &[(u32, f64)], k: u32) -> Option<f64> {
@@ -84,6 +103,7 @@ impl DqMatrix {
         let n = a.len();
         let mut rows = Vec::with_capacity(n);
         let mut heap = BinaryHeap::new();
+        let mut stats = DqStats::default();
         for (i, nbrs) in neighbor_edges.into_iter().enumerate() {
             let mut row: Vec<(u32, f64)> = nbrs
                 .into_iter()
@@ -95,6 +115,7 @@ impl DqMatrix {
             for &(j, dq) in &row {
                 if (i as u32) < j {
                     heap.push(Entry { dq, i: i as u32, j });
+                    stats.heap_pushes += 1;
                 }
             }
             rows.push(row);
@@ -106,7 +127,13 @@ impl DqMatrix {
             a,
             heap,
             par_threshold,
+            stats,
         }
+    }
+
+    /// Operation tallies accumulated so far.
+    pub fn stats(&self) -> DqStats {
+        self.stats
     }
 
     /// Pop the best live merge candidate, or `None` when no candidate
@@ -114,12 +141,17 @@ impl DqMatrix {
     /// are discarded lazily.
     pub fn pop_best(&mut self) -> Option<(u32, u32, f64)> {
         while let Some(e) = self.heap.pop() {
+            self.stats.heap_pops += 1;
             if !self.alive[e.i as usize] || !self.alive[e.j as usize] {
+                self.stats.stale_pops += 1;
                 continue;
             }
             match row_get(&self.rows[e.i as usize], e.j) {
                 Some(current) if current == e.dq => return Some((e.i, e.j, e.dq)),
-                _ => continue, // superseded
+                _ => {
+                    self.stats.stale_pops += 1;
+                    continue; // superseded
+                }
             }
         }
         None
@@ -173,6 +205,9 @@ impl DqMatrix {
             let (lo, hi) = (i.min(k), i.max(k));
             self.heap.push(Entry { dq, i: lo, j: hi });
         }
+        self.stats.rows_merged += 1;
+        self.stats.row_updates += updates.len() as u64;
+        self.stats.heap_pushes += updates.len() as u64;
 
         self.a[i as usize] = ai + aj;
         self.a[j as usize] = 0.0;

@@ -8,21 +8,21 @@
 //! * [`gn`] — Girvan-Newman divisive clustering with exact edge
 //!   betweenness recomputed after every cut (the baseline; `O(n^3)` for
 //!   sparse graphs).
-//! * [`pbd`] — the paper's Algorithm 1: divisive clustering driven by
+//! * [`pbd()`](fn@pbd) — the paper's Algorithm 1: divisive clustering driven by
 //!   **approximate** (sampled) betweenness, with biconnected-components
 //!   bridge preprocessing and a fine-to-coarse parallelism-granularity
 //!   switch. Two orders of magnitude faster than GN at comparable
 //!   modularity.
-//! * [`pma`] — Algorithm 2: greedy agglomerative (CNM-schedule)
+//! * [`pma()`](fn@pma) — Algorithm 2: greedy agglomerative (CNM-schedule)
 //!   clustering over a sparse dQ structure with sorted dynamic rows, a
 //!   lazy max-heap, and parallel row updates.
-//! * [`pla`] — Algorithm 3: greedy local aggregation; bridge removal
+//! * [`pla()`](fn@pla) — Algorithm 3: greedy local aggregation; bridge removal
 //!   decomposes the graph, components are clustered concurrently by local
 //!   seed-growth, and a top-level pass amalgamates across bridges.
-//! * [`anneal`] — simulated annealing, standing in for the paper's
+//! * [`anneal()`](fn@anneal) — simulated annealing, standing in for the paper's
 //!   "best known" modularity column.
 //!
-//! Supporting types: [`Clustering`], [`modularity`], [`Dendrogram`], and
+//! Supporting types: [`Clustering`], [`modularity()`](fn@modularity), [`Dendrogram`], and
 //! the incremental [`divisive::DivisiveEngine`].
 
 pub mod anneal;

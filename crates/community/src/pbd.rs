@@ -76,6 +76,7 @@ impl Default for PbdConfig {
 
 /// Run pBD on `g`.
 pub fn pbd(g: &CsrGraph, cfg: &PbdConfig) -> DivisiveResult {
+    let _span = snap_obs::span("community.pbd");
     let m = g.num_edges();
     let n = g.num_vertices();
     let mut engine = DivisiveEngine::new(g, m as f64);
@@ -84,6 +85,8 @@ pub fn pbd(g: &CsrGraph, cfg: &PbdConfig) -> DivisiveResult {
 
     // --- Step 1 (optional): bridge preprocessing. ---
     if cfg.bridge_preprocess && m > 0 {
+        let _phase = snap_obs::span("bridge_preprocess");
+        let before = removals.len();
         let bicc = biconnected_components(g);
         for &e in &bicc.bridges {
             if removals.len() >= cap {
@@ -105,9 +108,11 @@ pub fn pbd(g: &CsrGraph, cfg: &PbdConfig) -> DivisiveResult {
                 removals.push((e, q));
             }
         }
+        snap_obs::add("bridges_cut", (removals.len() - before) as u64);
     }
 
     // --- Fine-grained phase: sampled betweenness, cut the top edges. ---
+    let fine_phase = snap_obs::span("fine_phase");
     let mut round = 0u64;
     let mut since_best = 0usize;
     loop {
@@ -131,6 +136,7 @@ pub fn pbd(g: &CsrGraph, cfg: &PbdConfig) -> DivisiveResult {
             .min(1.0);
         let bc = approx_betweenness(&engine.view, frac, cfg.seed ^ round);
         round += 1;
+        snap_obs::add("rounds", 1);
         let mut live: Vec<u32> = engine.view.live_edge_ids().collect();
         let batch = cfg.batch.max(1).min(live.len());
         // Partial selection: only the top `batch` edges need ordering.
@@ -164,6 +170,8 @@ pub fn pbd(g: &CsrGraph, cfg: &PbdConfig) -> DivisiveResult {
             }
         }
     }
+    drop(fine_phase);
+    let bridge_phase = snap_obs::span("granularity_bridge");
 
     // --- Granularity bridge: patience (or the removal cap) can stop the
     // fine phase while components larger than the exact threshold remain.
@@ -201,6 +209,8 @@ pub fn pbd(g: &CsrGraph, cfg: &PbdConfig) -> DivisiveResult {
         sources.truncate(k);
         let bc = betweenness_from_sources(&engine.view, &sources);
         round += 1;
+        snap_obs::add("activations", 1);
+        snap_obs::add("betweenness_samples", k as u64);
         // Only edges internal to the oversized component are candidates;
         // paths from its sources never leave it, so other components'
         // scores are all zero anyway.
@@ -237,10 +247,13 @@ pub fn pbd(g: &CsrGraph, cfg: &PbdConfig) -> DivisiveResult {
         }
     }
 
+    drop(bridge_phase);
+
     // --- Coarse-grained phase: exact refinement per component.
     // Components still larger than the threshold (possible only when the
     // removal cap stopped the bridge loop above) are left as-is: the
     // exact pass is only affordable on small components.
+    let coarse_phase = snap_obs::span("coarse_refine");
     let refined = refine_components(
         g,
         &engine,
@@ -248,13 +261,20 @@ pub fn pbd(g: &CsrGraph, cfg: &PbdConfig) -> DivisiveResult {
         cap.saturating_sub(removals.len()),
         cfg.exact_threshold.max(8),
     );
+    drop(coarse_phase);
     let (labels, q) = match refined {
         Some((labels, q)) if q > engine.best_q() => (labels, q),
         _ => (engine.best_clustering().assignment, engine.best_q()),
     };
 
+    let clustering = crate::clustering::Clustering::from_labels(&labels);
+    if snap_obs::is_enabled() {
+        snap_obs::add("edges_cut", removals.len() as u64);
+        snap_obs::add("components", clustering.count as u64);
+        snap_obs::gauge("modularity", q);
+    }
     DivisiveResult {
-        clustering: crate::clustering::Clustering::from_labels(&labels),
+        clustering,
         q,
         removals,
     }
@@ -284,6 +304,8 @@ fn refine_components(
         .values()
         .filter(|verts| verts.len() > max_component)
         .collect();
+    snap_obs::add("components_refined", components.len() as u64);
+    snap_obs::add("components_skipped", skipped.len() as u64);
 
     // Refine each component independently; modularity is separable across
     // components, so per-component optima compose into the global optimum

@@ -49,6 +49,7 @@ pub struct PlaResult {
 
 /// Run pLA on `g` (undirected).
 pub fn pla(g: &CsrGraph, cfg: &PlaConfig) -> PlaResult {
+    let _span = snap_obs::span("community.pla");
     assert!(
         !g.is_directed(),
         "community detection treats graphs as undirected"
@@ -69,54 +70,61 @@ pub fn pla(g: &CsrGraph, cfg: &PlaConfig) -> PlaResult {
         for &e in &bicc.bridges {
             view.delete_edge(e);
         }
+        snap_obs::add("bridges_cut", bicc.bridges.len() as u64);
     }
     let comps = connected_components(&view);
     let members = comps.members();
+    snap_obs::add("components", members.len() as u64);
 
     // Step 3: greedy local aggregation inside each component, in
     // parallel. Labels are local (0-based per component) and offset
     // afterwards.
-    let locals: Vec<(Vec<VertexId>, Vec<u32>)> = members
+    let locals: Vec<(Vec<VertexId>, Vec<u32>, u64)> = members
         .par_iter()
         .enumerate()
         .map(|(ci, verts)| {
-            let labels = aggregate_component(
+            let (labels, flips) = aggregate_component(
                 g,
                 &view,
                 verts,
                 cfg.seed ^ (ci as u64).wrapping_mul(0x9e3779b97f4a7c15),
                 m,
             );
-            (verts.clone(), labels)
+            (verts.clone(), labels, flips)
         })
         .collect();
 
     let mut labels = vec![0u32; n];
     let mut next = 0u32;
-    for (verts, local_labels) in locals {
+    let mut total_flips = 0u64;
+    for (verts, local_labels, flips) in locals {
+        total_flips += flips;
         let k = local_labels.iter().copied().max().map_or(0, |x| x + 1);
         for (idx, &v) in verts.iter().enumerate() {
             labels[v as usize] = next + local_labels[idx];
         }
         next += k;
     }
+    snap_obs::add("label_flips", total_flips);
 
     // Step 4: top-level amalgamation across the removed bridges (and any
     // other inter-cluster edges), greedy while modularity increases.
     let clustering = amalgamate(g, Clustering::from_labels(&labels), m);
     let q = modularity(g, &clustering);
+    snap_obs::gauge("modularity", q);
     PlaResult { clustering, q }
 }
 
 /// Greedily grow clusters inside one component. Returns a local label per
-/// component vertex (indexed like `verts`).
+/// component vertex (indexed like `verts`) plus the number of greedy
+/// acceptances (vertices pulled into a growing cluster beyond its seed).
 fn aggregate_component(
     g: &CsrGraph,
     view: &FilteredGraph<'_>,
     verts: &[VertexId],
     seed: u64,
     m: f64,
-) -> Vec<u32> {
+) -> (Vec<u32>, u64) {
     let mut local_of: std::collections::HashMap<VertexId, usize> =
         std::collections::HashMap::with_capacity(verts.len());
     for (i, &v) in verts.iter().enumerate() {
@@ -128,6 +136,7 @@ fn aggregate_component(
     order.shuffle(&mut rng);
 
     let mut next_label = 0u32;
+    let mut flips = 0u64;
     // Edges from each candidate vertex into the growing cluster.
     let mut cnt: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
 
@@ -166,6 +175,7 @@ fn aggregate_component(
                 break;
             }
             label[lu] = c;
+            flips += 1;
             cluster_degsum += d_u;
             cnt.remove(&lu);
             for w in view.neighbors(verts[lu]) {
@@ -177,7 +187,7 @@ fn aggregate_component(
             }
         }
     }
-    label
+    (label, flips)
 }
 
 /// Greedy cluster-level merging while modularity increases (the "top
@@ -223,16 +233,19 @@ fn amalgamate(g: &CsrGraph, clustering: Clustering, m: f64) -> Clustering {
         }
         root
     }
+    let mut merges = 0u64;
     while let Some((i, j, dq)) = matrix.pop_best() {
         if dq <= 0.0 {
             break; // local algorithm stops at the modularity peak
         }
         matrix.merge(i, j);
+        merges += 1;
         let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
         if ri != rj {
             parent[rj as usize] = ri;
         }
     }
+    snap_obs::add("amalgamate_merges", merges);
     let labels: Vec<u32> = clustering
         .assignment
         .iter()

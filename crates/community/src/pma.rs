@@ -4,7 +4,7 @@
 //! Performs the same greedy optimization as Clauset–Newman–Moore: start
 //! from singletons, repeatedly merge the community pair with the largest
 //! modularity increase, tracked in a sparse ΔQ structure
-//! ([`crate::dq::DqMatrix`]: sorted dynamic rows + lazy max-heap) whose
+//! (`DqMatrix`: sorted dynamic rows + lazy max-heap) whose
 //! row-merge updates are parallelized for high-degree communities. The
 //! full merge history is returned as a dendrogram; the reported
 //! clustering is the maximum-modularity cut through it.
@@ -57,6 +57,7 @@ pub struct AgglomerativeResult {
 /// assert!(result.q > 0.3);
 /// ```
 pub fn pma(g: &CsrGraph, cfg: &PmaConfig) -> AgglomerativeResult {
+    let _span = snap_obs::span("community.pma");
     assert!(
         !g.is_directed(),
         "community detection treats graphs as undirected"
@@ -90,6 +91,16 @@ pub fn pma(g: &CsrGraph, cfg: &PmaConfig) -> AgglomerativeResult {
         matrix.merge(i, j);
         q += dq;
         dendrogram.push(i, j, q);
+    }
+
+    if snap_obs::is_enabled() {
+        let stats = matrix.stats();
+        snap_obs::add("merges", stats.rows_merged);
+        snap_obs::add("dq_row_updates", stats.row_updates);
+        snap_obs::add("heap_pushes", stats.heap_pushes);
+        snap_obs::add("heap_pops", stats.heap_pops);
+        snap_obs::add("stale_pops", stats.stale_pops);
+        snap_obs::gauge("modularity", dendrogram.best_q());
     }
 
     let best = dendrogram.best_clustering();

@@ -1,16 +1,25 @@
 //! `snap-cli` — command-line front end for the SNAP framework.
 //!
 //! ```text
-//! snap-cli summary      <edgelist> [--directed]
-//! snap-cli bfs          <edgelist> [--source V] [--alpha A] [--beta B] [--directed]
-//! snap-cli communities  <edgelist> [--algorithm gn|pbd|pma|pla|spectral] [--members]
-//! snap-cli partition    <edgelist> --parts K [--method kway|recur|rqi|lanczos] [--seed S]
-//! snap-cli centrality   <edgelist> [--approx FRAC] [--top K] [--seed S]
+//! snap-cli summary      <graph> [--directed] [--seed S]
+//! snap-cli bfs          <graph> [--source V] [--alpha A] [--beta B] [--directed]
+//! snap-cli communities  <graph> [--algorithm gn|pbd|pma|pla|spectral] [--members]
+//! snap-cli partition    <graph> --parts K [--method kway|recur|rqi|lanczos] [--seed S]
+//! snap-cli centrality   <graph> [--approx FRAC] [--top K] [--seed S]
+//! snap-cli run          <graph> [--source V] [--algorithm A] [--parts K] [--approx FRAC] [--seed S]
 //! snap-cli generate     rmat|er|ws|grid|planted --out FILE [--scale S] [--edges M] [--seed S]
 //! ```
 //!
-//! Input files are whitespace edge lists (`u v [w]`, `#` comments,
-//! 0-based ids) — the format of `snap::io::edgelist`.
+//! Graph files may be whitespace edge lists (`u v [w]`, `#` comments,
+//! 0-based ids), DIMACS shortest-path files (`.gr`), or METIS files
+//! (`.graph` / `.metis`); the format is inferred from the extension and
+//! can be forced with `--format edgelist|dimacs|metis`.
+//!
+//! Every analysis command accepts `--report json[=PATH]` to emit the
+//! structured `snap-obs` run report (to stdout, or to `PATH`) and
+//! `--trace` to render the span tree human-readably on stderr. When the
+//! JSON report goes to stdout, the normal human output moves to stderr so
+//! stdout stays machine-readable.
 
 use snap::graph::{CsrGraph, Graph};
 use snap::prelude::*;
@@ -22,12 +31,18 @@ fn usage() -> ! {
         "usage: snap-cli <command> [options]
 
 commands:
-  summary      <edgelist> [--directed]
-  bfs          <edgelist> [--source V] [--alpha A] [--beta B] [--directed]
-  communities  <edgelist> [--algorithm gn|pbd|pma|pla|spectral] [--members]
-  partition    <edgelist> --parts K [--method kway|recur|rqi|lanczos] [--seed S]
-  centrality   <edgelist> [--approx FRAC] [--top K] [--seed S]
-  generate     rmat|er|ws|grid|planted --out FILE [--scale S] [--edges M] [--seed S]"
+  summary      <graph> [--directed] [--seed S]
+  bfs          <graph> [--source V] [--alpha A] [--beta B] [--directed]
+  communities  <graph> [--algorithm gn|pbd|pma|pla|spectral] [--members]
+  partition    <graph> --parts K [--method kway|recur|rqi|lanczos] [--seed S]
+  centrality   <graph> [--approx FRAC] [--top K] [--seed S]
+  run          <graph> [--source V] [--algorithm A] [--parts K] [--approx FRAC] [--seed S]
+  generate     rmat|er|ws|grid|planted --out FILE [--scale S] [--edges M] [--seed S]
+
+common options:
+  --format edgelist|dimacs|metis   input format (default: by extension)
+  --report json[=PATH]             emit the snap-obs run report as JSON
+  --trace                          render the span tree on stderr"
     );
     exit(2)
 }
@@ -35,6 +50,15 @@ commands:
 fn fail(msg: &str) -> ! {
     eprintln!("snap-cli: {msg}");
     exit(1)
+}
+
+/// Print a line to stdout, exiting quietly if the downstream consumer
+/// closed the pipe (`snap-cli ... | head` must not panic on EPIPE).
+fn stdout_line(line: std::fmt::Arguments<'_>) {
+    use std::io::Write;
+    if writeln!(std::io::stdout(), "{line}").is_err() {
+        exit(0);
+    }
 }
 
 /// Minimal flag parser: positional args plus `--flag [value]` pairs.
@@ -76,11 +100,127 @@ impl Args {
     }
 }
 
-fn load(path: &str, directed: bool) -> CsrGraph {
+/// Where the structured report should go, if anywhere.
+enum ReportSink {
+    Stdout,
+    File(String),
+}
+
+/// Observability options shared by every analysis command.
+struct Obs {
+    report: Option<ReportSink>,
+    trace: bool,
+}
+
+impl Obs {
+    fn parse(args: &Args) -> Self {
+        let report = match args.flag("report") {
+            None => None,
+            Some("json") | Some("true") => Some(ReportSink::Stdout),
+            Some(v) => match v.strip_prefix("json=") {
+                Some(path) if !path.is_empty() => Some(ReportSink::File(path.to_string())),
+                _ => fail(&format!(
+                    "bad value for --report: {v} (expected json[=PATH])"
+                )),
+            },
+        };
+        Obs {
+            report,
+            trace: args.flag("trace").is_some(),
+        }
+    }
+
+    fn active(&self) -> bool {
+        self.report.is_some() || self.trace
+    }
+
+    /// Start collection (no-op when neither --report nor --trace given).
+    fn begin(&self, command: &str, graph_path: &str) {
+        if self.active() {
+            snap::obs::enable();
+            snap::obs::meta("command", command);
+            snap::obs::meta("graph", graph_path);
+        }
+    }
+
+    /// True when the JSON report claims stdout, pushing human output to
+    /// stderr.
+    fn json_on_stdout(&self) -> bool {
+        matches!(self.report, Some(ReportSink::Stdout))
+    }
+
+    /// Human-facing output line: stdout normally, stderr when stdout is
+    /// reserved for the JSON report.
+    fn say(&self, line: std::fmt::Arguments<'_>) {
+        if self.json_on_stdout() {
+            eprintln!("{line}");
+        } else {
+            stdout_line(line);
+        }
+    }
+
+    /// Stop collection and emit whatever was requested.
+    fn emit(&self) {
+        if !self.active() {
+            return;
+        }
+        let report = snap::obs::finish().unwrap_or_default();
+        if self.trace {
+            eprint!("{}", report.render());
+        }
+        match &self.report {
+            Some(ReportSink::Stdout) => stdout_line(format_args!("{}", report.to_json())),
+            Some(ReportSink::File(path)) => {
+                let mut text = report.to_json();
+                text.push('\n');
+                std::fs::write(path, text)
+                    .unwrap_or_else(|e| fail(&format!("cannot write report {path}: {e}")));
+            }
+            None => {}
+        }
+    }
+}
+
+macro_rules! say {
+    ($obs:expr, $($arg:tt)*) => { $obs.say(format_args!($($arg)*)) };
+}
+
+/// Input format for graph files.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    EdgeList,
+    Dimacs,
+    Metis,
+}
+
+impl Format {
+    fn detect(args: &Args, path: &str) -> Format {
+        match args.flag("format") {
+            Some("edgelist") => Format::EdgeList,
+            Some("dimacs") => Format::Dimacs,
+            Some("metis") => Format::Metis,
+            Some(other) => fail(&format!(
+                "unknown format {other} (expected edgelist, dimacs, or metis)"
+            )),
+            None => match path.rsplit('.').next() {
+                Some("gr") => Format::Dimacs,
+                Some("graph") | Some("metis") => Format::Metis,
+                _ => Format::EdgeList,
+            },
+        }
+    }
+}
+
+fn load(args: &Args, path: &str, directed: bool) -> CsrGraph {
     let file =
         std::fs::File::open(path).unwrap_or_else(|e| fail(&format!("cannot open {path}: {e}")));
-    snap::io::edgelist::read_edge_list(BufReader::new(file), directed, 0)
-        .unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")))
+    let reader = BufReader::new(file);
+    let parsed = match Format::detect(args, path) {
+        Format::EdgeList => snap::io::edgelist::read_edge_list(reader, directed, 0),
+        Format::Dimacs => snap::io::dimacs::read_dimacs(reader, directed),
+        Format::Metis => snap::io::metis::read_metis(reader),
+    };
+    parsed.unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")))
 }
 
 fn main() {
@@ -97,6 +237,7 @@ fn main() {
         "communities" => cmd_communities(&args),
         "partition" => cmd_partition(&args),
         "centrality" => cmd_centrality(&args),
+        "run" => cmd_run(&args),
         "generate" => cmd_generate(&args),
         _ => usage(),
     }
@@ -109,16 +250,40 @@ fn input_path(args: &Args) -> &str {
         .unwrap_or_else(|| usage())
 }
 
+fn parse_algorithm(name: &str) -> CommunityAlgorithm {
+    match name {
+        "gn" => CommunityAlgorithm::GirvanNewman,
+        "pbd" => CommunityAlgorithm::Divisive,
+        "pma" => CommunityAlgorithm::Agglomerative,
+        "pla" => CommunityAlgorithm::LocalAggregation,
+        "spectral" => CommunityAlgorithm::Spectral,
+        other => fail(&format!("unknown algorithm {other}")),
+    }
+}
+
+fn parse_method(name: &str) -> PartitionMethod {
+    match name {
+        "kway" => PartitionMethod::MultilevelKway,
+        "recur" => PartitionMethod::MultilevelRecursive,
+        "rqi" => PartitionMethod::SpectralRqi,
+        "lanczos" => PartitionMethod::SpectralLanczos,
+        other => fail(&format!("unknown method {other}")),
+    }
+}
+
 fn cmd_summary(args: &Args) {
-    let g = load(input_path(args), args.flag("directed").is_some());
-    println!(
-        "{}",
-        snap::metrics::summarize(&g, args.flag_parse("seed", 0u64))
-    );
+    let path = input_path(args);
+    let g = load(args, path, args.flag("directed").is_some());
+    let obs = Obs::parse(args);
+    obs.begin("summary", path);
+    let summary = snap::metrics::summarize(&g, args.flag_parse("seed", 0u64));
+    say!(obs, "{summary}");
+    obs.emit();
 }
 
 fn cmd_bfs(args: &Args) {
-    let g = load(input_path(args), args.flag("directed").is_some());
+    let path = input_path(args);
+    let g = load(args, path, args.flag("directed").is_some());
     let n = g.num_vertices();
     if n == 0 {
         fail("graph has no vertices");
@@ -132,82 +297,94 @@ fn cmd_bfs(args: &Args) {
         alpha: args.flag_parse("alpha", defaults.alpha),
         beta: args.flag_parse("beta", defaults.beta),
     };
+    let obs = Obs::parse(args);
+    obs.begin("bfs", path);
     let (r, stats) = snap::kernels::par_bfs_hybrid_stats(&g, source, &cfg);
     let reached = r
         .dist
         .iter()
         .filter(|&&d| d != snap::kernels::UNREACHABLE)
         .count();
-    println!(
+    say!(
+        obs,
         "source {source}: reached {reached} of {n} vertices, depth {} (alpha {}, beta {})",
         stats.depth(),
         cfg.alpha,
         cfg.beta
     );
-    println!(
+    say!(
+        obs,
         "{:>5} {:>9} {:>10} {:>10} {:>14}",
-        "level", "direction", "frontier", "found", "edges"
+        "level",
+        "direction",
+        "frontier",
+        "found",
+        "edges"
     );
     for l in &stats.levels {
-        println!(
+        say!(
+            obs,
             "{:>5} {:>9} {:>10} {:>10} {:>14}",
-            l.depth, l.direction, l.frontier, l.discovered, l.edges_examined
+            l.depth,
+            l.direction,
+            l.frontier,
+            l.discovered,
+            l.edges_examined
         );
     }
-    println!(
+    say!(
+        obs,
         "edges examined {} | pull levels {} | peak frontier {}",
         stats.total_edges_examined(),
         stats.pull_levels(),
         stats.peak_frontier()
     );
+    obs.emit();
 }
 
 fn cmd_communities(args: &Args) {
-    let g = load(input_path(args), false);
-    let algorithm = match args.flag("algorithm").unwrap_or("pma") {
-        "gn" => CommunityAlgorithm::GirvanNewman,
-        "pbd" => CommunityAlgorithm::Divisive,
-        "pma" => CommunityAlgorithm::Agglomerative,
-        "pla" => CommunityAlgorithm::LocalAggregation,
-        "spectral" => CommunityAlgorithm::Spectral,
-        other => fail(&format!("unknown algorithm {other}")),
-    };
+    let path = input_path(args);
+    let g = load(args, path, false);
+    let algorithm = parse_algorithm(args.flag("algorithm").unwrap_or("pma"));
+    let obs = Obs::parse(args);
+    obs.begin("communities", path);
     let net = Network::new(g);
     let result = net.communities(algorithm);
-    println!(
+    say!(
+        obs,
         "{} communities, modularity {:.4}",
-        result.clustering.count, result.modularity
+        result.clustering.count,
+        result.modularity
     );
     if args.flag("members").is_some() {
         for (c, members) in result.clustering.members().into_iter().enumerate() {
             let ids: Vec<String> = members.iter().map(|v| v.to_string()).collect();
-            println!("community {c}: {}", ids.join(" "));
+            say!(obs, "community {c}: {}", ids.join(" "));
         }
     } else {
         let mut sizes = result.clustering.sizes();
         sizes.sort_unstable_by(|a, b| b.cmp(a));
         let head: Vec<String> = sizes.iter().take(10).map(|s| s.to_string()).collect();
-        println!("largest sizes: {}", head.join(" "));
+        say!(obs, "largest sizes: {}", head.join(" "));
     }
+    obs.emit();
 }
 
 fn cmd_partition(args: &Args) {
-    let g = load(input_path(args), false);
+    let path = input_path(args);
+    let g = load(args, path, false);
     let parts: usize = args.flag_parse("parts", 0);
     if parts < 2 {
         fail("--parts K (>= 2) is required");
     }
-    let method = match args.flag("method").unwrap_or("kway") {
-        "kway" => PartitionMethod::MultilevelKway,
-        "recur" => PartitionMethod::MultilevelRecursive,
-        "rqi" => PartitionMethod::SpectralRqi,
-        "lanczos" => PartitionMethod::SpectralLanczos,
-        other => fail(&format!("unknown method {other}")),
-    };
+    let method = parse_method(args.flag("method").unwrap_or("kway"));
     let seed = args.flag_parse("seed", 1u64);
+    let obs = Obs::parse(args);
+    obs.begin("partition", path);
     match snap::partition::partition(&g, method, parts, seed) {
         Ok(p) => {
-            println!(
+            say!(
+                obs,
                 "edge cut {} | imbalance {:.3} | sizes {:?}",
                 snap::partition::edge_cut(&g, &p),
                 snap::partition::imbalance(&p, None),
@@ -216,12 +393,16 @@ fn cmd_partition(args: &Args) {
         }
         Err(e) => fail(&format!("{e}")),
     }
+    obs.emit();
 }
 
 fn cmd_centrality(args: &Args) {
-    let g = load(input_path(args), false);
+    let path = input_path(args);
+    let g = load(args, path, false);
     let top: usize = args.flag_parse("top", 10);
     let seed = args.flag_parse("seed", 7u64);
+    let obs = Obs::parse(args);
+    obs.begin("centrality", path);
     let bc = match args.flag("approx") {
         Some(frac) => {
             let frac: f64 = frac
@@ -233,10 +414,98 @@ fn cmd_centrality(args: &Args) {
     };
     let mut order: Vec<usize> = (0..g.num_vertices()).collect();
     order.sort_by(|&a, &b| bc.vertex[b].partial_cmp(&bc.vertex[a]).unwrap());
-    println!("{:>10} {:>8} {:>14}", "vertex", "degree", "betweenness");
+    say!(
+        obs,
+        "{:>10} {:>8} {:>14}",
+        "vertex",
+        "degree",
+        "betweenness"
+    );
     for &v in order.iter().take(top) {
-        println!("{:>10} {:>8} {:>14.1}", v, g.degree(v as u32), bc.vertex[v]);
+        say!(
+            obs,
+            "{:>10} {:>8} {:>14.1}",
+            v,
+            g.degree(v as u32),
+            bc.vertex[v]
+        );
     }
+    obs.emit();
+}
+
+/// The whole instrumented pipeline in one shot: summary, BFS, community
+/// detection, approximate betweenness, and partitioning. With
+/// `--report json` the emitted report covers every kernel.
+fn cmd_run(args: &Args) {
+    let path = input_path(args);
+    let g = load(args, path, false);
+    let n = g.num_vertices();
+    if n == 0 {
+        fail("graph has no vertices");
+    }
+    let source: u32 = args.flag_parse("source", 0u32);
+    if source as usize >= n {
+        fail(&format!("--source {source} out of range (n = {n})"));
+    }
+    let algorithm = parse_algorithm(args.flag("algorithm").unwrap_or("pma"));
+    let parts: usize = args.flag_parse("parts", 4);
+    if parts < 2 {
+        fail("--parts K (>= 2) is required");
+    }
+    let method = parse_method(args.flag("method").unwrap_or("kway"));
+    let frac: f64 = args.flag_parse("approx", 0.1);
+    let seed = args.flag_parse("seed", 1u64);
+
+    let obs = Obs::parse(args);
+    obs.begin("run", path);
+
+    let net = Network::new(g);
+    say!(obs, "— summary —");
+    let summary = net.summary_with_seed(seed);
+    say!(obs, "{summary}");
+
+    say!(obs, "— bfs (source {source}) —");
+    let (r, stats) = net.bfs_stats(source);
+    let reached = r
+        .dist
+        .iter()
+        .filter(|&&d| d != snap::kernels::UNREACHABLE)
+        .count();
+    say!(
+        obs,
+        "reached {reached} of {n} vertices, depth {}, edges examined {}",
+        stats.depth(),
+        stats.total_edges_examined()
+    );
+
+    say!(obs, "— communities —");
+    let result = net.communities(algorithm);
+    say!(
+        obs,
+        "{} communities, modularity {:.4}",
+        result.clustering.count,
+        result.modularity
+    );
+
+    say!(obs, "— centrality (approx {frac}) —");
+    let bc = net.approx_betweenness(frac, seed);
+    let best = (0..n).max_by(|&a, &b| bc.vertex[a].partial_cmp(&bc.vertex[b]).unwrap());
+    if let Some(v) = best {
+        say!(obs, "top vertex {v}: betweenness {:.1}", bc.vertex[v]);
+    }
+
+    say!(obs, "— partition ({parts} parts) —");
+    match snap::partition::partition(net.graph(), method, parts, seed) {
+        Ok(p) => say!(
+            obs,
+            "edge cut {} | imbalance {:.3}",
+            snap::partition::edge_cut(net.graph(), &p),
+            snap::partition::imbalance(&p, None)
+        ),
+        Err(e) => fail(&format!("{e}")),
+    }
+
+    obs.emit();
 }
 
 fn cmd_generate(args: &Args) {
@@ -270,9 +539,9 @@ fn cmd_generate(args: &Args) {
         std::fs::File::create(out).unwrap_or_else(|e| fail(&format!("cannot create {out}: {e}")));
     snap::io::edgelist::write_edge_list(BufWriter::new(file), &g)
         .unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
-    println!(
+    stdout_line(format_args!(
         "wrote {out}: n = {}, m = {} ({family})",
         g.num_vertices(),
         g.num_edges()
-    );
+    ));
 }

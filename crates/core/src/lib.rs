@@ -34,18 +34,20 @@ pub use snap_graph as graph;
 pub use snap_io as io;
 pub use snap_kernels as kernels;
 pub use snap_metrics as metrics;
+pub use snap_obs as obs;
 pub use snap_partition as partition;
 
 mod session;
 
-pub use session::{Communities, CommunityAlgorithm, Network};
+pub use session::{Communities, CommunityAlgorithm, Network, Observed};
 
 /// Commonly used items in one import.
 pub mod prelude {
-    pub use crate::session::{Communities, CommunityAlgorithm, Network};
+    pub use crate::session::{Communities, CommunityAlgorithm, Network, Observed};
     pub use snap_community::{Clustering, GnConfig, PbdConfig, PlaConfig, PmaConfig};
     pub use snap_graph::{CsrGraph, Frontier, Graph, GraphBuilder, VertexId, WeightedGraph};
     pub use snap_kernels::{BfsResult, Direction, HybridConfig, LevelStats, TraversalStats};
+    pub use snap_obs::{ReportNode, RunReport};
     pub use snap_partition::Method as PartitionMethod;
 }
 

@@ -84,9 +84,26 @@ impl Network {
     }
 
     /// One-call topology report (degree stats, components, clustering
-    /// coefficients, assortativity, path lengths).
+    /// coefficients, assortativity, path lengths). Uses sample seed 0;
+    /// see [`Self::summary_with_seed`] to vary it.
     pub fn summary(&self) -> GraphSummary {
-        snap_metrics::summarize(&self.graph, 0)
+        self.summary_with_seed(0)
+    }
+
+    /// [`Self::summary`] with an explicit seed for the sampled
+    /// path-length estimates (recorded in the observability report for
+    /// reproducibility).
+    pub fn summary_with_seed(&self, seed: u64) -> GraphSummary {
+        snap_metrics::summarize(&self.graph, seed)
+    }
+
+    /// Start an observed analysis session: enables `snap-obs` collection
+    /// on this thread and returns a wrapper exposing the same analysis
+    /// API plus report extraction. Collection stops when the wrapper is
+    /// dropped or [`Observed::finish`] is called.
+    pub fn observed(&self) -> Observed<'_> {
+        snap_obs::enable();
+        Observed { network: self }
     }
 
     /// Parallel direction-optimizing BFS from `source`.
@@ -179,6 +196,55 @@ impl Network {
         seed: u64,
     ) -> Result<Partition, SpectralError> {
         snap_partition::partition(&self.graph, method, parts, seed)
+    }
+}
+
+/// A [`Network`] with `snap-obs` collection live on the current thread:
+/// every instrumented kernel called through it lands spans and counters
+/// in one report tree. Created by [`Network::observed`].
+///
+/// Dereferences to [`Network`], so the full analysis API is available.
+/// Collection is disabled again when this guard drops.
+///
+/// ```
+/// use snap::Network;
+///
+/// let net = Network::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+/// let obs = net.observed();
+/// let _ = obs.bfs(0);
+/// let report = obs.finish();
+/// assert!(report.find("bfs.hybrid").is_some());
+/// ```
+pub struct Observed<'a> {
+    network: &'a Network,
+}
+
+impl std::ops::Deref for Observed<'_> {
+    type Target = Network;
+
+    fn deref(&self) -> &Network {
+        self.network
+    }
+}
+
+impl Observed<'_> {
+    /// Snapshot everything recorded so far and reset the tree; collection
+    /// continues.
+    pub fn report(&self) -> snap_obs::RunReport {
+        snap_obs::take_report().unwrap_or_default()
+    }
+
+    /// Stop collecting and return the final report.
+    pub fn finish(self) -> snap_obs::RunReport {
+        // Drop runs afterwards and finds collection already disabled —
+        // a second disable is harmless.
+        snap_obs::finish().unwrap_or_default()
+    }
+}
+
+impl Drop for Observed<'_> {
+    fn drop(&mut self) {
+        snap_obs::disable();
     }
 }
 

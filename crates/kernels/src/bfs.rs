@@ -220,6 +220,7 @@ pub fn par_bfs_hybrid_stats<G: Graph>(
     source: VertexId,
     cfg: &HybridConfig,
 ) -> (BfsResult, TraversalStats) {
+    let _span = snap_obs::span("bfs.hybrid");
     let n = g.num_vertices();
     let visited = AtomicBitmap::new(n);
     let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHABLE)).collect();
@@ -314,6 +315,20 @@ pub fn par_bfs_hybrid_stats<G: Graph>(
         });
         frontier = Frontier::from_vec(n, next);
         frontier.normalize();
+    }
+
+    // Fold the per-level stats (collected regardless) into the report
+    // tree; nothing here touches the hot per-level loop.
+    if snap_obs::is_enabled() {
+        snap_obs::add("levels", stats.levels.len() as u64);
+        snap_obs::add("edges_examined", stats.total_edges_examined());
+        snap_obs::add("pull_levels", stats.pull_levels() as u64);
+        snap_obs::add(
+            "vertices_discovered",
+            stats.levels.iter().map(|l| l.discovered as u64).sum(),
+        );
+        snap_obs::record_max("depth", stats.depth() as u64);
+        snap_obs::record_max("peak_frontier", stats.peak_frontier() as u64);
     }
 
     (

@@ -51,6 +51,7 @@ pub fn dijkstra<G: WeightedGraph>(g: &G, source: VertexId) -> SsspResult {
 /// Δ-stepping SSSP. `delta = 0` selects a heuristic Δ (average edge
 /// weight, clamped to ≥ 1).
 pub fn delta_stepping<G: WeightedGraph>(g: &G, source: VertexId, delta: u64) -> SsspResult {
+    let _span = snap_obs::span("sssp.delta_stepping");
     let n = g.num_vertices();
     if n == 0 {
         return SsspResult { dist: Vec::new() };
@@ -79,11 +80,20 @@ pub fn delta_stepping<G: WeightedGraph>(g: &G, source: VertexId, delta: u64) -> 
     let mut bucket_of = vec![usize::MAX; n];
     bucket_of[source as usize] = 0;
 
+    // Instrumentation tallies live in plain locals and flush once at the
+    // end — the relaxation loops never touch an atomic.
+    let mut obs_light_requests = 0u64;
+    let mut obs_heavy_requests = 0u64;
+    let mut obs_relaxations = 0u64;
+    let mut obs_re_relaxations = 0u64;
+    let mut obs_phases = 0u64;
+
     let mut i = 0usize;
     while i < buckets.len() {
         let mut settled: Vec<VertexId> = Vec::new();
         // Light-edge fixpoint within bucket i.
         while !buckets[i].is_empty() {
+            obs_phases += 1;
             let current = std::mem::take(&mut buckets[i]);
             // Generate relaxation requests for light edges in parallel.
             let requests: Vec<(VertexId, u64)> = current
@@ -107,7 +117,11 @@ pub fn delta_stepping<G: WeightedGraph>(g: &G, source: VertexId, delta: u64) -> 
                     settled.push(u);
                 }
             }
-            apply_requests(requests, &mut dist, &mut buckets, &mut bucket_of, delta, i);
+            obs_light_requests += requests.len() as u64;
+            let (relaxed, re_relaxed) =
+                apply_requests(requests, &mut dist, &mut buckets, &mut bucket_of, delta, i);
+            obs_relaxations += relaxed;
+            obs_re_relaxations += re_relaxed;
         }
         // Heavy edges of settled vertices, relaxed once.
         let requests: Vec<(VertexId, u64)> = settled
@@ -124,12 +138,29 @@ pub fn delta_stepping<G: WeightedGraph>(g: &G, source: VertexId, delta: u64) -> 
                 })
             })
             .collect();
-        apply_requests(requests, &mut dist, &mut buckets, &mut bucket_of, delta, i);
+        obs_heavy_requests += requests.len() as u64;
+        let (relaxed, re_relaxed) =
+            apply_requests(requests, &mut dist, &mut buckets, &mut bucket_of, delta, i);
+        obs_relaxations += relaxed;
+        obs_re_relaxations += re_relaxed;
         i += 1;
+    }
+
+    if snap_obs::is_enabled() {
+        snap_obs::add("buckets", i as u64);
+        snap_obs::add("light_phases", obs_phases);
+        snap_obs::add("light_requests", obs_light_requests);
+        snap_obs::add("heavy_requests", obs_heavy_requests);
+        snap_obs::add("relaxations", obs_relaxations);
+        snap_obs::add("re_relaxations", obs_re_relaxations);
+        snap_obs::gauge("delta", delta as f64);
     }
     SsspResult { dist }
 }
 
+/// Apply relaxation requests; returns `(relaxations, re_relaxations)` —
+/// improvements applied, and the subset that overwrote an already-finite
+/// tentative distance (wasted earlier work, the Δ-tuning signal).
 fn apply_requests(
     requests: Vec<(VertexId, u64)>,
     dist: &mut [u64],
@@ -137,9 +168,15 @@ fn apply_requests(
     bucket_of: &mut [usize],
     delta: u64,
     current_bucket: usize,
-) {
+) -> (u64, u64) {
+    let mut relaxed = 0u64;
+    let mut re_relaxed = 0u64;
     for (v, nd) in requests {
         if nd < dist[v as usize] {
+            relaxed += 1;
+            if dist[v as usize] != INF {
+                re_relaxed += 1;
+            }
             dist[v as usize] = nd;
             let b = (nd / delta) as usize;
             let b = b.max(current_bucket); // light relaxations can't go backwards
@@ -152,6 +189,7 @@ fn apply_requests(
             bucket_of[v as usize] = b;
         }
     }
+    (relaxed, re_relaxed)
 }
 
 #[cfg(test)]

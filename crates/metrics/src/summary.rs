@@ -43,6 +43,8 @@ const PATH_SAMPLES: usize = 64;
 /// Compute the full summary. Cost: triangle counting plus
 /// `min(n, PATH_SAMPLES)` BFS traversals.
 pub fn summarize(g: &CsrGraph, seed: u64) -> GraphSummary {
+    let _span = snap_obs::span("metrics.summary");
+    snap_obs::meta("seed", seed);
     let n = g.num_vertices();
     let comps = connected_components(g);
     let (paths, paths_sampled) = if n <= EXACT_PATH_LIMIT {
@@ -50,6 +52,19 @@ pub fn summarize(g: &CsrGraph, seed: u64) -> GraphSummary {
     } else {
         (path_stats_sampled(g, PATH_SAMPLES, seed), true)
     };
+    if snap_obs::is_enabled() {
+        snap_obs::add("n", n as u64);
+        snap_obs::add("m", g.num_edges() as u64);
+        snap_obs::add("components", comps.count as u64);
+        snap_obs::add(
+            "path_sources",
+            if paths_sampled {
+                PATH_SAMPLES.min(n)
+            } else {
+                n
+            } as u64,
+        );
+    }
     GraphSummary {
         n,
         m: g.num_edges(),

@@ -1,0 +1,520 @@
+//! # snap-obs — kernel observability for SNAP
+//!
+//! Lightweight scoped spans (monotonic timers), thread-safe relaxed-atomic
+//! counters/gauges, and a hierarchical [`RunReport`] that serializes to
+//! JSON with a hand-rolled writer ([`json`]). The workspace is offline, so
+//! everything is in-repo — no `tracing`, no `serde`.
+//!
+//! ## Model
+//!
+//! Collection is **per coordinating thread**: [`enable`] installs a fresh
+//! report tree on the calling thread, and spans/counters opened by that
+//! thread attach to it. Kernels running parallel sections share counters
+//! with their workers through [`CounterHandle`] (a cheap `Arc` over a
+//! relaxed `AtomicU64`), so counts from 1, 4 or 8 rayon workers land in
+//! the same cell. Spans opened on threads *without* a context are no-ops,
+//! which keeps the tree well-formed: only the coordinator narrates.
+//!
+//! Repeated spans with the same name under the same parent **coalesce**
+//! into a single node (durations and counters accumulate, `calls` counts
+//! the activations), so round-based kernels produce bounded reports no
+//! matter how many iterations they run.
+//!
+//! ## Zero cost when disabled
+//!
+//! Every entry point first checks a process-global atomic (`Relaxed`
+//! load of the number of live contexts); with no context anywhere, a
+//! span or counter call is one predictable branch — verified to be
+//! within noise on the BFS hot path (see EXPERIMENTS.md).
+//!
+//! ```
+//! let _ = snap_obs::take_report(); // ensure a clean slate
+//! snap_obs::enable();
+//! {
+//!     let _span = snap_obs::span("bfs");
+//!     snap_obs::add("edges_examined", 42);
+//! }
+//! let report = snap_obs::finish().unwrap();
+//! let bfs = report.find("bfs").unwrap();
+//! assert_eq!(bfs.counter("edges_examined"), Some(42));
+//! ```
+
+pub mod json;
+pub mod report;
+
+pub use json::{Json, JsonError};
+pub use report::{ReportNode, RunReport};
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Number of threads with a live collection context. The global fast
+/// path: zero means every observability call is a no-op branch.
+static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static CONTEXT: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// A monotone counter updated with relaxed atomics — safe to hammer from
+/// every rayon worker at once.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Add `delta`.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Raise the stored value to at least `v` (for peak-style counters).
+    #[inline]
+    pub fn record_max(&self, v: u64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Cheap cloneable handle to a [`Counter`] on a report node, or a no-op
+/// when collection is disabled. Capture one before a parallel section and
+/// share it with the workers.
+#[derive(Clone, Debug, Default)]
+pub struct CounterHandle(Option<Arc<Counter>>);
+
+impl CounterHandle {
+    /// Add `delta` (no-op without a live context).
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        if let Some(c) = &self.0 {
+            c.add(delta);
+        }
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Raise the value to at least `v`.
+    #[inline]
+    pub fn record_max(&self, v: u64) {
+        if let Some(c) = &self.0 {
+            c.record_max(v);
+        }
+    }
+
+    /// Current value (0 for a disabled handle).
+    pub fn value(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.get())
+    }
+
+    /// Whether this handle is wired to a live report.
+    pub fn is_active(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+/// One node of the live span tree.
+struct Node {
+    name: String,
+    /// Microseconds from the context epoch to the first activation.
+    start_us: u64,
+    /// Completed activations.
+    calls: AtomicU64,
+    /// Total time spent inside, microseconds (summed over activations).
+    duration_us: AtomicU64,
+    counters: Mutex<Vec<(String, Arc<Counter>)>>,
+    gauges: Mutex<Vec<(String, f64)>>,
+    meta: Mutex<Vec<(String, String)>>,
+    children: Mutex<Vec<Arc<Node>>>,
+}
+
+impl Node {
+    fn new(name: &str, start_us: u64) -> Arc<Node> {
+        Arc::new(Node {
+            name: name.to_string(),
+            start_us,
+            calls: AtomicU64::new(0),
+            duration_us: AtomicU64::new(0),
+            counters: Mutex::new(Vec::new()),
+            gauges: Mutex::new(Vec::new()),
+            meta: Mutex::new(Vec::new()),
+            children: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Child with this name, created on first use (same-name children
+    /// coalesce).
+    fn child(&self, name: &str, start_us: u64) -> Arc<Node> {
+        let mut children = self.children.lock().unwrap();
+        if let Some(c) = children.iter().find(|c| c.name == name) {
+            return Arc::clone(c);
+        }
+        let node = Node::new(name, start_us);
+        children.push(Arc::clone(&node));
+        node
+    }
+
+    fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut counters = self.counters.lock().unwrap();
+        if let Some((_, c)) = counters.iter().find(|(n, _)| n == name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::default());
+        counters.push((name.to_string(), Arc::clone(&c)));
+        c
+    }
+
+    fn set_gauge(&self, name: &str, value: f64) {
+        let mut gauges = self.gauges.lock().unwrap();
+        match gauges.iter_mut().find(|(n, _)| n == name) {
+            Some((_, v)) => *v = value,
+            None => gauges.push((name.to_string(), value)),
+        }
+    }
+
+    fn set_meta(&self, name: &str, value: String) {
+        let mut meta = self.meta.lock().unwrap();
+        match meta.iter_mut().find(|(n, _)| n == name) {
+            Some((_, v)) => *v = value,
+            None => meta.push((name.to_string(), value)),
+        }
+    }
+
+    fn snapshot(&self) -> ReportNode {
+        ReportNode {
+            name: self.name.clone(),
+            start_us: self.start_us,
+            duration_us: self.duration_us.load(Ordering::Relaxed),
+            calls: self.calls.load(Ordering::Relaxed),
+            counters: self
+                .counters
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(n, c)| (n.clone(), c.get()))
+                .collect(),
+            gauges: self.gauges.lock().unwrap().clone(),
+            meta: self.meta.lock().unwrap().clone(),
+            children: self
+                .children
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|c| c.snapshot())
+                .collect(),
+        }
+    }
+}
+
+struct Ctx {
+    epoch: Instant,
+    root: Arc<Node>,
+    stack: Vec<Arc<Node>>,
+}
+
+impl Ctx {
+    fn new() -> Ctx {
+        ACTIVE.fetch_add(1, Ordering::SeqCst);
+        Ctx {
+            epoch: Instant::now(),
+            root: Node::new("run", 0),
+            stack: Vec::new(),
+        }
+    }
+}
+
+impl Drop for Ctx {
+    fn drop(&mut self) {
+        ACTIVE.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Start collecting on this thread (replacing any previous context).
+/// Subsequent [`span`]/[`add`]/[`gauge`] calls from this thread — and
+/// [`CounterHandle`]s it passes to workers — record into a fresh tree.
+pub fn enable() {
+    CONTEXT.with(|c| {
+        *c.borrow_mut() = Some(Ctx::new());
+    });
+}
+
+/// Stop collecting on this thread, dropping any unreported data.
+pub fn disable() {
+    CONTEXT.with(|c| {
+        c.borrow_mut().take();
+    });
+}
+
+/// Whether this thread is collecting.
+#[inline]
+pub fn is_enabled() -> bool {
+    ACTIVE.load(Ordering::Relaxed) != 0 && CONTEXT.with(|c| c.borrow().is_some())
+}
+
+/// Snapshot the tree collected so far and start a fresh one (collection
+/// stays enabled). `None` when not collecting.
+pub fn take_report() -> Option<RunReport> {
+    if ACTIVE.load(Ordering::Relaxed) == 0 {
+        return None;
+    }
+    CONTEXT.with(|c| {
+        let mut slot = c.borrow_mut();
+        let ctx = slot.as_mut()?;
+        let mut root = ctx.root.snapshot();
+        root.duration_us = ctx.epoch.elapsed().as_micros() as u64;
+        root.calls = 1;
+        *ctx = Ctx::new();
+        Some(RunReport { root })
+    })
+}
+
+/// Snapshot the tree and stop collecting. `None` when not collecting.
+pub fn finish() -> Option<RunReport> {
+    let report = take_report();
+    disable();
+    report
+}
+
+/// RAII guard for a scoped span; the span closes (and its duration is
+/// recorded) when the guard drops.
+#[must_use = "a span closes when its guard drops; bind it with `let _span = ...`"]
+pub struct SpanGuard {
+    node: Option<(Arc<Node>, Instant)>,
+}
+
+/// Open a span named `name` under the current span (or the root). No-op
+/// without a live context on this thread — one relaxed atomic load on the
+/// disabled path.
+#[inline]
+pub fn span(name: &str) -> SpanGuard {
+    if ACTIVE.load(Ordering::Relaxed) == 0 {
+        return SpanGuard { node: None };
+    }
+    span_slow(name)
+}
+
+fn span_slow(name: &str) -> SpanGuard {
+    CONTEXT.with(|c| {
+        let mut slot = c.borrow_mut();
+        let Some(ctx) = slot.as_mut() else {
+            return SpanGuard { node: None };
+        };
+        let start_us = ctx.epoch.elapsed().as_micros() as u64;
+        let parent = ctx.stack.last().unwrap_or(&ctx.root);
+        let node = parent.child(name, start_us);
+        ctx.stack.push(Arc::clone(&node));
+        SpanGuard {
+            node: Some((node, Instant::now())),
+        }
+    })
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some((node, started)) = self.node.take() else {
+            return;
+        };
+        node.duration_us
+            .fetch_add(started.elapsed().as_micros() as u64, Ordering::Relaxed);
+        node.calls.fetch_add(1, Ordering::Relaxed);
+        CONTEXT.with(|c| {
+            if let Some(ctx) = c.borrow_mut().as_mut() {
+                // Normal case: we are the top of the stack. Defensive
+                // case (guards dropped out of order, or the tree was
+                // taken mid-span): remove wherever we are, if present.
+                if let Some(pos) = ctx.stack.iter().rposition(|n| Arc::ptr_eq(n, &node)) {
+                    ctx.stack.remove(pos);
+                }
+            }
+        });
+    }
+}
+
+/// Handle to counter `name` on the current span (no-op when disabled).
+/// Capture once, then `add`/`incr` freely from parallel workers.
+#[inline]
+pub fn counter(name: &str) -> CounterHandle {
+    if ACTIVE.load(Ordering::Relaxed) == 0 {
+        return CounterHandle(None);
+    }
+    CONTEXT.with(|c| {
+        let slot = c.borrow();
+        match slot.as_ref() {
+            Some(ctx) => {
+                let node = ctx.stack.last().unwrap_or(&ctx.root);
+                CounterHandle(Some(node.counter(name)))
+            }
+            None => CounterHandle(None),
+        }
+    })
+}
+
+/// Add `delta` to counter `name` on the current span.
+#[inline]
+pub fn add(name: &str, delta: u64) {
+    if ACTIVE.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    counter(name).add(delta);
+}
+
+/// Raise counter `name` to at least `v` (peak-style counters survive span
+/// coalescing as a max, where `add` would sum).
+#[inline]
+pub fn record_max(name: &str, v: u64) {
+    if ACTIVE.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    counter(name).record_max(v);
+}
+
+/// Set gauge `name` on the current span (last write wins).
+#[inline]
+pub fn gauge(name: &str, value: f64) {
+    if ACTIVE.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    CONTEXT.with(|c| {
+        if let Some(ctx) = c.borrow().as_ref() {
+            ctx.stack.last().unwrap_or(&ctx.root).set_gauge(name, value);
+        }
+    });
+}
+
+/// Attach string metadata `name = value` to the current span (last write
+/// wins) — run parameters, seeds, instance names.
+#[inline]
+pub fn meta(name: &str, value: impl std::fmt::Display) {
+    if ACTIVE.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    CONTEXT.with(|c| {
+        if let Some(ctx) = c.borrow().as_ref() {
+            ctx.stack
+                .last()
+                .unwrap_or(&ctx.root)
+                .set_meta(name, value.to_string());
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_inert() {
+        disable();
+        let _span = span("nothing");
+        add("x", 1);
+        gauge("g", 1.0);
+        meta("m", "v");
+        let h = counter("c");
+        h.incr();
+        assert!(!h.is_active());
+        assert!(take_report().is_none());
+    }
+
+    #[test]
+    fn spans_nest_and_coalesce() {
+        enable();
+        for _ in 0..3 {
+            let _outer = span("outer");
+            add("rounds", 1);
+            let _inner = span("inner");
+            add("work", 2);
+        }
+        let report = finish().unwrap();
+        let outer = report.find("outer").unwrap();
+        assert_eq!(outer.calls, 3);
+        assert_eq!(outer.counter("rounds"), Some(3));
+        assert_eq!(outer.children.len(), 1);
+        let inner = &outer.children[0];
+        assert_eq!(inner.name, "inner");
+        assert_eq!(inner.calls, 3);
+        assert_eq!(inner.counter("work"), Some(6));
+        assert!(report.root.well_formed());
+    }
+
+    #[test]
+    fn counter_handles_work_across_threads() {
+        enable();
+        let h = {
+            let _s = span("parallel");
+            counter("hits")
+        };
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let h = h.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        h.incr();
+                    }
+                });
+            }
+        });
+        let report = finish().unwrap();
+        assert_eq!(report.find("parallel").unwrap().counter("hits"), Some(4000));
+    }
+
+    #[test]
+    fn spans_on_foreign_threads_are_noops() {
+        enable();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                // This thread has no context: nothing records.
+                let _sp = span("ghost");
+                add("ghost_counter", 5);
+            });
+        });
+        let report = finish().unwrap();
+        assert!(report.find("ghost").is_none());
+        assert_eq!(report.root.counter("ghost_counter"), None);
+    }
+
+    #[test]
+    fn take_report_resets_but_keeps_collecting() {
+        enable();
+        add("a", 1);
+        let first = take_report().unwrap();
+        assert_eq!(first.root.counter("a"), Some(1));
+        add("b", 2);
+        let second = finish().unwrap();
+        assert_eq!(second.root.counter("a"), None);
+        assert_eq!(second.root.counter("b"), Some(2));
+        assert!(take_report().is_none());
+    }
+
+    #[test]
+    fn record_max_keeps_peak() {
+        enable();
+        record_max("peak", 10);
+        record_max("peak", 3);
+        record_max("peak", 12);
+        let report = finish().unwrap();
+        assert_eq!(report.root.counter("peak"), Some(12));
+    }
+
+    #[test]
+    fn gauges_and_meta_last_write_wins() {
+        enable();
+        gauge("q", 0.1);
+        gauge("q", 0.4);
+        meta("seed", 7u64);
+        meta("seed", 9u64);
+        let report = finish().unwrap();
+        assert_eq!(report.root.gauge("q"), Some(0.4));
+        assert_eq!(report.root.meta_value("seed"), Some("9"));
+    }
+}

@@ -1,0 +1,338 @@
+//! Immutable snapshot of a collected span tree: JSON in/out, a human
+//! renderer, and structural queries used by tests and the CLI.
+
+use crate::json::{Json, JsonError};
+
+/// One span in a finished report.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ReportNode {
+    pub name: String,
+    /// Microseconds from the run epoch to the first activation.
+    pub start_us: u64,
+    /// Total time inside the span, microseconds, summed over activations.
+    pub duration_us: u64,
+    /// Number of completed activations (coalesced same-name spans).
+    pub calls: u64,
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub meta: Vec<(String, String)>,
+    pub children: Vec<ReportNode>,
+}
+
+impl ReportNode {
+    /// Counter `name` on this node.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Gauge `name` on this node.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Metadata `name` on this node.
+    pub fn meta_value(&self, name: &str) -> Option<&str> {
+        self.meta
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First node named `name` in this subtree (pre-order), including
+    /// this node itself.
+    pub fn find(&self, name: &str) -> Option<&ReportNode> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// Nesting invariant: every child starts no earlier than its parent
+    /// and, for single-activation spans, ends no later (with a small
+    /// slack for timer granularity). Coalesced spans (calls > 1) sum
+    /// durations across activations, so only the start bound applies.
+    pub fn well_formed(&self) -> bool {
+        const SLACK_US: u64 = 50;
+        let end = self.start_us + self.duration_us + SLACK_US;
+        self.children.iter().all(|c| {
+            c.start_us + SLACK_US >= self.start_us
+                && (self.calls > 1 || c.start_us + c.duration_us <= end + SLACK_US)
+                && c.well_formed()
+        })
+    }
+
+    /// Total spans in this subtree, including this node.
+    pub fn span_count(&self) -> usize {
+        1 + self.children.iter().map(|c| c.span_count()).sum::<usize>()
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".to_string(), Json::Str(self.name.clone())),
+            ("start_us".to_string(), Json::Num(self.start_us as f64)),
+            (
+                "duration_us".to_string(),
+                Json::Num(self.duration_us as f64),
+            ),
+            ("calls".to_string(), Json::Num(self.calls as f64)),
+            (
+                "counters".to_string(),
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(n, v)| (n.clone(), Json::Num(*v as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges".to_string(),
+                Json::Obj(
+                    self.gauges
+                        .iter()
+                        .map(|(n, v)| (n.clone(), Json::Num(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "meta".to_string(),
+                Json::Obj(
+                    self.meta
+                        .iter()
+                        .map(|(n, v)| (n.clone(), Json::Str(v.clone())))
+                        .collect(),
+                ),
+            ),
+            (
+                "children".to_string(),
+                Json::Arr(self.children.iter().map(|c| c.to_json()).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<ReportNode, JsonError> {
+        let missing = |what: &str| JsonError {
+            offset: 0,
+            message: format!("report node missing or malformed field: {what}"),
+        };
+        Ok(ReportNode {
+            name: value
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| missing("name"))?
+                .to_string(),
+            start_us: value
+                .get("start_us")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| missing("start_us"))?,
+            duration_us: value
+                .get("duration_us")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| missing("duration_us"))?,
+            calls: value
+                .get("calls")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| missing("calls"))?,
+            counters: value
+                .get("counters")
+                .and_then(Json::as_obj)
+                .ok_or_else(|| missing("counters"))?
+                .iter()
+                .map(|(n, v)| {
+                    v.as_u64()
+                        .map(|v| (n.clone(), v))
+                        .ok_or_else(|| missing("counter value"))
+                })
+                .collect::<Result<_, _>>()?,
+            gauges: value
+                .get("gauges")
+                .and_then(Json::as_obj)
+                .ok_or_else(|| missing("gauges"))?
+                .iter()
+                .map(|(n, v)| {
+                    v.as_f64()
+                        .map(|v| (n.clone(), v))
+                        .ok_or_else(|| missing("gauge value"))
+                })
+                .collect::<Result<_, _>>()?,
+            meta: value
+                .get("meta")
+                .and_then(Json::as_obj)
+                .ok_or_else(|| missing("meta"))?
+                .iter()
+                .map(|(n, v)| {
+                    v.as_str()
+                        .map(|v| (n.clone(), v.to_string()))
+                        .ok_or_else(|| missing("meta value"))
+                })
+                .collect::<Result<_, _>>()?,
+            children: value
+                .get("children")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| missing("children"))?
+                .iter()
+                .map(ReportNode::from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        let indent = "  ".repeat(depth);
+        out.push_str(&indent);
+        out.push_str(&self.name);
+        // Metadata-only nodes (hand-built banners) carry no timing.
+        if self.duration_us > 0 || self.calls > 0 {
+            out.push_str(&format!("  {}", fmt_us(self.duration_us)));
+        }
+        if self.calls > 1 {
+            out.push_str(&format!("  ({} calls)", self.calls));
+        }
+        for (name, value) in &self.meta {
+            out.push_str(&format!("  {name}={value}"));
+        }
+        out.push('\n');
+        for (name, value) in &self.counters {
+            out.push_str(&format!("{indent}  · {name} = {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            out.push_str(&format!("{indent}  · {name} = {value:.6}\n"));
+        }
+        for child in &self.children {
+            child.render_into(out, depth + 1);
+        }
+    }
+}
+
+fn fmt_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.2}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}µs")
+    }
+}
+
+/// A finished observability run: the root span plus everything recorded
+/// under it. Produced by [`crate::take_report`]/[`crate::finish`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunReport {
+    pub root: ReportNode,
+}
+
+impl RunReport {
+    /// Serialize the whole tree as compact JSON.
+    pub fn to_json(&self) -> String {
+        self.root.to_json().to_string_compact()
+    }
+
+    /// Parse a report previously produced by [`RunReport::to_json`].
+    pub fn from_json(text: &str) -> Result<RunReport, JsonError> {
+        let value = Json::parse(text)?;
+        Ok(RunReport {
+            root: ReportNode::from_json(&value)?,
+        })
+    }
+
+    /// Render an indented human-readable tree (the `--trace` view).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.root.render_into(&mut out, 0);
+        out
+    }
+
+    /// First node named `name`, searching pre-order from the root.
+    pub fn find(&self, name: &str) -> Option<&ReportNode> {
+        self.root.find(name)
+    }
+
+    /// Counter `name` summed over every node in the tree.
+    pub fn total_counter(&self, name: &str) -> u64 {
+        fn walk(node: &ReportNode, name: &str, acc: &mut u64) {
+            *acc += node.counter(name).unwrap_or(0);
+            for c in &node.children {
+                walk(c, name, acc);
+            }
+        }
+        let mut acc = 0;
+        walk(&self.root, name, &mut acc);
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunReport {
+        RunReport {
+            root: ReportNode {
+                name: "run".to_string(),
+                start_us: 0,
+                duration_us: 1500,
+                calls: 1,
+                counters: vec![("n".to_string(), 256)],
+                gauges: vec![("modularity".to_string(), 0.41)],
+                meta: vec![("seed".to_string(), "7".to_string())],
+                children: vec![ReportNode {
+                    name: "bfs".to_string(),
+                    start_us: 10,
+                    duration_us: 900,
+                    calls: 2,
+                    counters: vec![("edges_examined".to_string(), 4096)],
+                    gauges: vec![],
+                    meta: vec![],
+                    children: vec![],
+                }],
+            },
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_tree() {
+        let report = sample();
+        let text = report.to_json();
+        let back = RunReport::from_json(&text).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn find_and_totals() {
+        let report = sample();
+        assert_eq!(
+            report.find("bfs").unwrap().counter("edges_examined"),
+            Some(4096)
+        );
+        assert_eq!(report.total_counter("edges_examined"), 4096);
+        assert_eq!(report.root.span_count(), 2);
+    }
+
+    #[test]
+    fn well_formedness_flags_bad_nesting() {
+        let mut report = sample();
+        assert!(report.root.well_formed());
+        // A single-activation child that ends long after its parent is
+        // not well-formed.
+        report.root.children[0].calls = 1;
+        report.root.children[0].duration_us = 10_000_000;
+        assert!(!report.root.well_formed());
+    }
+
+    #[test]
+    fn render_mentions_spans_and_counters() {
+        let text = sample().render();
+        assert!(text.contains("run"));
+        assert!(text.contains("bfs"));
+        assert!(text.contains("edges_examined = 4096"));
+        assert!(text.contains("(2 calls)"));
+        assert!(text.contains("seed=7"));
+    }
+
+    #[test]
+    fn from_json_rejects_malformed() {
+        assert!(RunReport::from_json("{}").is_err());
+        assert!(RunReport::from_json("not json").is_err());
+    }
+}

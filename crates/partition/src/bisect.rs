@@ -42,6 +42,7 @@ pub fn multilevel_bisect(g: &CsrGraph, vwgt: &[u32], target0: u64, cfg: &BisectC
         return side;
     }
     let level = coarsen(g, vwgt, cfg.seed);
+    snap_obs::add("coarsen_levels", 1);
     // Coarsening stall (e.g. star graphs): bisect directly.
     if level.graph.num_vertices() as f64 > 0.95 * n as f64 {
         let mut side = initial_bisect(g, vwgt, target0, cfg.seed);

@@ -62,7 +62,11 @@ pub fn fm_refine(
     let lo0 = (target0 as i64 - slack).max(1);
     let hi0 = (target0 as i64 + slack).min(total as i64 - 1);
 
+    let mut obs_passes = 0u64;
+    let mut obs_moves = 0u64;
+    let mut obs_gain = 0i64;
     for _pass in 0..max_passes {
+        obs_passes += 1;
         let mut load0: i64 = (0..n)
             .filter(|&v| side[v] == 0)
             .map(|v| vwgt[v] as i64)
@@ -124,9 +128,16 @@ pub fn fm_refine(
         for &v in &moves[best_len..] {
             side[v as usize] = 1 - side[v as usize];
         }
+        obs_moves += best_len as u64;
         if best_cum <= 0 {
             break; // pass produced no improvement
         }
+        obs_gain += best_cum;
+    }
+    if snap_obs::is_enabled() {
+        snap_obs::add("fm_passes", obs_passes);
+        snap_obs::add("fm_moves", obs_moves);
+        snap_obs::add("fm_gain", obs_gain.max(0) as u64);
     }
 }
 

@@ -51,6 +51,7 @@ impl KwayConfig {
 /// Partition `g` into `cfg.parts` parts by recursive multilevel
 /// bisection (+ optional k-way refinement).
 pub fn kway_partition(g: &CsrGraph, cfg: &KwayConfig) -> Partition {
+    let _span = snap_obs::span("partition.multilevel");
     assert!(cfg.parts >= 1, "parts must be positive");
     let n = g.num_vertices();
     let mut assignment = vec![0u32; n];
@@ -159,7 +160,10 @@ pub fn kway_refine(g: &CsrGraph, p: &mut Partition, tolerance: f64, passes: usiz
 
     // Edge weight from the vertex into each part (sparse scratch).
     let mut wto = vec![0i64; k];
+    let mut obs_moves = 0u64;
+    let mut obs_passes = 0u64;
     for _ in 0..passes {
+        obs_passes += 1;
         let mut moved = 0usize;
         for &v in &order {
             let cur = p.assignment[v as usize] as usize;
@@ -194,9 +198,14 @@ pub fn kway_refine(g: &CsrGraph, p: &mut Partition, tolerance: f64, passes: usiz
                 moved += 1;
             }
         }
+        obs_moves += moved as u64;
         if moved == 0 {
             break;
         }
+    }
+    if snap_obs::is_enabled() {
+        snap_obs::add("kway_refine_passes", obs_passes);
+        snap_obs::add("kway_refine_moves", obs_moves);
     }
 }
 

@@ -78,10 +78,23 @@ pub fn partition(
     parts: usize,
     seed: u64,
 ) -> Result<Partition, SpectralError> {
-    match method {
+    let _span = snap_obs::span("partition");
+    snap_obs::meta("method", method.label());
+    snap_obs::meta("parts", parts);
+    snap_obs::meta("seed", seed);
+    let result = match method {
         Method::MultilevelKway => Ok(kway_partition(g, &KwayConfig::kway(parts, seed))),
         Method::MultilevelRecursive => Ok(kway_partition(g, &KwayConfig::recursive(parts, seed))),
         Method::SpectralRqi => spectral_partition(g, &SpectralConfig::rqi(parts, seed)),
         Method::SpectralLanczos => spectral_partition(g, &SpectralConfig::lanczos(parts, seed)),
+    };
+    // The cut is a derived quantity: only pay the O(m) sweep when someone
+    // is actually collecting a report.
+    if snap_obs::is_enabled() {
+        if let Ok(p) = &result {
+            snap_obs::gauge("edge_cut", edge_cut(g, p) as f64);
+            snap_obs::gauge("imbalance", imbalance(p, None));
+        }
     }
+    result
 }

@@ -1,0 +1,108 @@
+//! Cross-crate tests of the `snap-obs` instrumentation: kernel counters
+//! surfaced through [`Network::observed`], span-tree structure, JSON
+//! round-tripping, and thread-count invariance.
+
+use snap::prelude::*;
+
+/// A connected small-world instance (Watts–Strogatz keeps the base ring,
+/// so every vertex is reachable from every source).
+fn small_world() -> Network {
+    Network::new(snap::gen::watts_strogatz(256, 4, 0.1, 7))
+}
+
+#[test]
+fn push_only_bfs_reports_every_arc() {
+    let net = small_world();
+    let obs = net.observed();
+    let _ = obs.bfs_stats_with(
+        0,
+        &HybridConfig {
+            alpha: 0.0, // never switch to pull
+            beta: 24.0,
+        },
+    );
+    let report = obs.finish();
+    let bfs = report.find("bfs.hybrid").expect("bfs span recorded");
+    assert_eq!(bfs.counter("pull_levels"), Some(0));
+    // A push-only traversal of a connected graph examines the out-arcs of
+    // every vertex exactly once.
+    assert_eq!(
+        bfs.counter("edges_examined"),
+        Some(net.graph().num_arcs() as u64)
+    );
+}
+
+#[test]
+fn pipeline_report_is_well_formed_and_covers_kernels() {
+    let net = small_world();
+    let obs = net.observed();
+    let _ = obs.summary_with_seed(3);
+    let _ = obs.bfs_stats(0);
+    let _ = obs.communities(CommunityAlgorithm::Divisive);
+    let _ = obs.approx_betweenness(0.2, 11);
+    let _ = obs.partition(PartitionMethod::MultilevelKway, 4, 1);
+    let report = obs.finish();
+
+    for span in [
+        "metrics.summary",
+        "bfs.hybrid",
+        "community.pbd",
+        "centrality.approx_betweenness",
+        "centrality.betweenness",
+        "partition",
+        "partition.multilevel",
+    ] {
+        assert!(report.find(span).is_some(), "missing span {span}");
+    }
+    assert!(report.root.well_formed(), "{}", report.render());
+    // The nested betweenness span sits under the approx wrapper, not at
+    // the top level.
+    let approx = report.find("centrality.approx_betweenness").unwrap();
+    assert!(approx.find("centrality.betweenness").is_some());
+    assert!(report.find("metrics.summary").unwrap().counter("n") == Some(256));
+}
+
+#[test]
+fn report_round_trips_through_json() {
+    let net = small_world();
+    let obs = net.observed();
+    let _ = obs.bfs_stats(0);
+    let _ = obs.communities(CommunityAlgorithm::Agglomerative);
+    let report = obs.finish();
+
+    let text = report.to_json();
+    let back = snap::obs::RunReport::from_json(&text).expect("parse back");
+    assert_eq!(back, report);
+    // And the human rendering mentions the same spans.
+    let rendered = report.render();
+    assert!(rendered.contains("bfs.hybrid"));
+    assert!(rendered.contains("community.pma"));
+}
+
+#[test]
+fn counters_agree_across_thread_counts() {
+    let g = snap::gen::watts_strogatz(192, 4, 0.1, 9);
+    let mut results = Vec::new();
+    for threads in [1usize, 4, 8] {
+        let report = snap::with_threads(threads, || {
+            let net = Network::new(g.clone());
+            let obs = net.observed();
+            let _ = obs.bfs_stats(0);
+            let _ = obs.approx_betweenness(0.25, 11);
+            let _ = obs.communities(CommunityAlgorithm::Divisive);
+            obs.finish()
+        });
+        results.push((
+            threads,
+            report.total_counter("edges_examined"),
+            report.total_counter("sources_processed"),
+            report.total_counter("frontier_vertices"),
+            report.total_counter("rounds"),
+        ));
+    }
+    for pair in results.windows(2) {
+        let (_, a, b, c, d) = pair[0];
+        let (_, a2, b2, c2, d2) = pair[1];
+        assert_eq!((a, b, c, d), (a2, b2, c2, d2), "{results:?}");
+    }
+}
