@@ -9,9 +9,10 @@
 //! crosses `alpha * n`, spending fewer traversals on high-centrality
 //! targets (exactly the entities pBD cares about).
 
-use crate::brandes::{accumulate_source, BetweennessScores, Scratch};
+use crate::brandes::{accumulate_source, BetweennessScores, PartialBetweenness, Scratch};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use snap_budget::Budget;
 use snap_graph::{Graph, VertexId};
 
 /// Estimate vertex and edge betweenness from a random `frac` fraction of
@@ -31,6 +32,36 @@ pub fn approx_betweenness<G: Graph>(g: &G, frac: f64, seed: u64) -> BetweennessS
     snap_obs::gauge("sample_fraction", frac);
     let sources = sample_sources(n, k, seed);
     crate::brandes::betweenness_from_sources(g, &sources)
+}
+
+/// [`approx_betweenness`] under a compute [`Budget`]: accumulates sampled
+/// sources until the budget trips and rescales by the sources actually
+/// processed. Because the sample order is already a uniform shuffle, the
+/// processed prefix is itself a uniform sample — the estimate stays
+/// unbiased, only its variance grows.
+pub fn approx_betweenness_with_budget<G: Graph>(
+    g: &G,
+    frac: f64,
+    seed: u64,
+    budget: &Budget,
+) -> PartialBetweenness {
+    let _span = snap_obs::span("centrality.approx_betweenness");
+    let n = g.num_vertices();
+    if n == 0 {
+        return PartialBetweenness {
+            scores: BetweennessScores {
+                vertex: Vec::new(),
+                edge: Vec::new(),
+            },
+            sources_used: 0,
+            sources_requested: 0,
+        };
+    }
+    let k = ((n as f64 * frac).ceil() as usize).clamp(1, n);
+    snap_obs::add("samples_drawn", k as u64);
+    snap_obs::gauge("sample_fraction", frac);
+    let sources = sample_sources(n, k, seed);
+    crate::brandes::try_betweenness_from_sources(g, &sources, budget)
 }
 
 /// Result of the adaptive single-entity estimator.
@@ -110,7 +141,10 @@ pub fn adaptive_edge_betweenness<G: Graph>(
     }
 }
 
-fn sample_sources(n: usize, k: usize, seed: u64) -> Vec<VertexId> {
+/// Draw `k` distinct sources uniformly at random (a seeded shuffle
+/// truncated to `k`) — the sampling primitive shared by the estimators
+/// and by budget-degraded exact betweenness.
+pub fn sample_sources(n: usize, k: usize, seed: u64) -> Vec<VertexId> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let mut all: Vec<VertexId> = (0..n as VertexId).collect();
     all.shuffle(&mut rng);
@@ -133,8 +167,8 @@ mod tests {
         let g = barbell();
         let exact = brandes(&g);
         let approx = approx_betweenness(&g, 1.0, 3);
-        for e in 0..g.num_edges() {
-            assert!((exact.edge[e] - approx.edge[e]).abs() < 1e-7);
+        for e in g.edge_ids() {
+            assert!((exact.edge[e as usize] - approx.edge[e as usize]).abs() < 1e-7);
         }
     }
 

@@ -9,7 +9,9 @@
 //! the sequential kernel and that coarse-grained parallel scheme.
 
 use rayon::prelude::*;
+use snap_budget::Budget;
 use snap_graph::{Graph, VertexId};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Betweenness scores for all vertices and edges.
 ///
@@ -198,9 +200,7 @@ fn betweenness_from_sources_scaled<G: Graph>(
     sources: Option<&[VertexId]>,
     scale: f64,
 ) -> BetweennessScores {
-    let _span = snap_obs::span("centrality.betweenness");
     let n = g.num_vertices();
-    let m = g.edge_id_bound();
     let all: Vec<VertexId>;
     let sources = match sources {
         Some(s) => s,
@@ -209,23 +209,102 @@ fn betweenness_from_sources_scaled<G: Graph>(
             &all
         }
     };
+    let (vertex, edge, _) = accumulate_sources_budgeted(g, sources, &Budget::unlimited());
+    let vertex = vertex.into_iter().map(|x| x * scale).collect();
+    let edge = edge.into_iter().map(|x| x * scale).collect();
+    finalize(g, vertex, edge)
+}
+
+/// A betweenness estimate computed from however many sources the budget
+/// allowed.
+#[derive(Clone, Debug)]
+pub struct PartialBetweenness {
+    /// The (scaled) scores. With `sources_used == sources_requested` this
+    /// is exactly what the unbudgeted call would have returned.
+    pub scores: BetweennessScores,
+    /// Sources actually accumulated before the budget tripped.
+    pub sources_used: usize,
+    /// Sources the caller asked for.
+    pub sources_requested: usize,
+}
+
+impl PartialBetweenness {
+    /// Whether the budget cut the source loop short.
+    pub fn degraded(&self) -> bool {
+        self.sources_used < self.sources_requested
+    }
+}
+
+/// Betweenness from an explicit source set under a compute [`Budget`].
+///
+/// Sources are processed until the budget trips; the accumulated sums are
+/// then scaled by `n / sources_used`, turning the processed prefix into a
+/// sampled estimate (pass a *shuffled* source order — e.g. from
+/// [`crate::approx::sample_sources`] — so the prefix is a uniform
+/// sample). With an unlimited budget this equals
+/// [`betweenness_from_sources`].
+pub fn try_betweenness_from_sources<G: Graph>(
+    g: &G,
+    sources: &[VertexId],
+    budget: &Budget,
+) -> PartialBetweenness {
+    let (vertex, edge, used) = accumulate_sources_budgeted(g, sources, budget);
+    let scale = if used == 0 {
+        1.0
+    } else {
+        g.num_vertices() as f64 / used as f64
+    };
+    let vertex = vertex.into_iter().map(|x| x * scale).collect();
+    let edge = edge.into_iter().map(|x| x * scale).collect();
+    if used < sources.len() {
+        if let Some(why) = budget.exhaustion() {
+            snap_obs::meta("degraded", why);
+        }
+        snap_obs::add("sources_skipped", (sources.len() - used) as u64);
+    }
+    PartialBetweenness {
+        scores: finalize(g, vertex, edge),
+        sources_used: used,
+        sources_requested: sources.len(),
+    }
+}
+
+/// Coarse-grained parallel accumulation over `sources`, skipping sources
+/// once `budget` trips. Returns unscaled sums plus the number of sources
+/// actually processed.
+fn accumulate_sources_budgeted<G: Graph>(
+    g: &G,
+    sources: &[VertexId],
+    budget: &Budget,
+) -> (Vec<f64>, Vec<f64>, usize) {
+    let _span = snap_obs::span("centrality.betweenness");
+    let n = g.num_vertices();
+    let m = g.edge_id_bound();
     // Handles are captured by the worker closures: every rayon worker
     // lands its per-source tallies in the same relaxed atomics.
     let sources_processed = snap_obs::counter("sources_processed");
     let frontier_vertices = snap_obs::counter("frontier_vertices");
+    let processed = AtomicU64::new(0);
     let (vertex, edge) = sources
         .par_iter()
         .fold(
             || (Vec::new(), Vec::new(), None::<Box<Scratch>>),
             |(mut vacc, mut eacc, mut scratch), &s| {
+                // The budget gate costs one relaxed load per source; a
+                // tripped budget turns the remaining sources into no-ops.
+                if budget.is_exhausted() {
+                    return (vacc, eacc, scratch);
+                }
                 if vacc.is_empty() {
                     vacc = vec![0.0; n];
                     eacc = vec![0.0; m];
                 }
                 let sc = scratch.get_or_insert_with(|| Box::new(Scratch::new(n)));
                 accumulate_source(g, s, sc, &mut vacc, &mut eacc);
+                processed.fetch_add(1, Ordering::Relaxed);
                 sources_processed.incr();
                 frontier_vertices.add(sc.order.len() as u64);
+                let _ = budget.charge(sc.order.len() as u64 + 1);
                 (vacc, eacc, scratch)
             },
         )
@@ -253,9 +332,7 @@ fn betweenness_from_sources_scaled<G: Graph>(
         vertex
     };
     let edge = if edge.is_empty() { vec![0.0; m] } else { edge };
-    let vertex = vertex.into_iter().map(|x| x * scale).collect();
-    let edge = edge.into_iter().map(|x| x * scale).collect();
-    finalize(g, vertex, edge)
+    (vertex, edge, processed.load(Ordering::Relaxed) as usize)
 }
 
 #[cfg(test)]
@@ -347,8 +424,8 @@ mod tests {
         for v in 0..8 {
             assert!((a.vertex[v] - b.vertex[v]).abs() < 1e-7);
         }
-        for e in 0..g.num_edges() {
-            assert!((a.edge[e] - b.edge[e]).abs() < 1e-7);
+        for e in g.edge_ids() {
+            assert!((a.edge[e as usize] - b.edge[e as usize]).abs() < 1e-7);
         }
     }
 
@@ -358,8 +435,8 @@ mod tests {
         let sources: Vec<VertexId> = (0..5).collect();
         let a = brandes(&g);
         let b = betweenness_from_sources(&g, &sources);
-        for e in 0..g.num_edges() {
-            assert!((a.edge[e] - b.edge[e]).abs() < 1e-7);
+        for e in g.edge_ids() {
+            assert!((a.edge[e as usize] - b.edge[e as usize]).abs() < 1e-7);
         }
     }
 

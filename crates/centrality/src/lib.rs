@@ -13,9 +13,13 @@ pub mod degree;
 pub mod weighted;
 
 pub use approx::{
-    adaptive_edge_betweenness, adaptive_vertex_betweenness, approx_betweenness, AdaptiveEstimate,
+    adaptive_edge_betweenness, adaptive_vertex_betweenness, approx_betweenness,
+    approx_betweenness_with_budget, sample_sources, AdaptiveEstimate,
 };
-pub use brandes::{betweenness_from_sources, brandes, par_brandes, BetweennessScores};
+pub use brandes::{
+    betweenness_from_sources, brandes, par_brandes, try_betweenness_from_sources,
+    BetweennessScores, PartialBetweenness,
+};
 pub use closeness::{closeness, closeness_of, sampled_closeness};
 pub use degree::{degree_centrality, normalized_degree_centrality, top_degree_vertices};
 pub use weighted::weighted_betweenness;

@@ -60,8 +60,8 @@ proptest! {
                 prop_assert!(bc.vertex[v].abs() < 1e-12, "leaf {v} has bc {}", bc.vertex[v]);
             }
         }
-        for e in 0..g.num_edges() {
-            prop_assert!(bc.edge[e] >= -1e-12);
+        for e in g.edge_ids() {
+            prop_assert!(bc.edge[e as usize] >= -1e-12);
         }
     }
 

@@ -64,7 +64,7 @@ impl<'g> DivisiveEngine<'g> {
             .collect();
         let mut intra = vec![0.0; k];
         let mut degsum = vec![0.0; k];
-        for e in 0..base.num_edges() as u32 {
+        for e in base.edge_ids() {
             let (u, _) = base.edge_endpoints(e);
             intra[comps.comp[u as usize] as usize] += 1.0;
         }
@@ -361,7 +361,7 @@ mod tests {
     fn full_deletion_reaches_singletons() {
         let g = barbell();
         let mut eng = DivisiveEngine::new(&g, g.num_edges() as f64);
-        for e in 0..g.num_edges() as u32 {
+        for e in g.edge_ids().collect::<Vec<_>>() {
             eng.delete_edge(e);
         }
         assert_eq!(eng.cluster_count(), 6);
@@ -391,7 +391,7 @@ mod tests {
             ],
         );
         let mut eng = DivisiveEngine::new(&g, g.num_edges() as f64);
-        for e in 0..g.num_edges() as u32 {
+        for e in g.edge_ids().collect::<Vec<_>>() {
             let q = eng.delete_edge(e);
             let direct = modularity(&g, &eng.current_clustering());
             assert!((q - direct).abs() < 1e-10, "edge {e}: {q} vs {direct}");

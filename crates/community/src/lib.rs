@@ -42,7 +42,7 @@ pub use clustering::{normalized_mutual_information, Clustering};
 pub use dendrogram::{Dendrogram, Merge};
 pub use gn::{girvan_newman, DivisiveResult, GnConfig};
 pub use modularity::{modularity, weighted_modularity, ModularityTracker};
-pub use pbd::{pbd, PbdConfig};
-pub use pla::{pla, PlaConfig, PlaResult};
-pub use pma::{pma, AgglomerativeResult, PmaConfig};
+pub use pbd::{pbd, pbd_with_budget, PbdConfig};
+pub use pla::{pla, pla_view, pla_with_budget, PlaConfig, PlaResult};
+pub use pma::{pma, pma_with_budget, AgglomerativeResult, PmaConfig};
 pub use spectral::{spectral_communities, SpectralCommunityConfig, SpectralCommunityResult};

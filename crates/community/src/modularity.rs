@@ -43,29 +43,35 @@ pub fn modularity<G: Graph>(g: &G, clustering: &Clustering) -> f64 {
     assert_eq!(clustering.len(), g.num_vertices());
     let k = clustering.count;
 
-    // Intra-cluster edge counts.
-    let intra = (0..m as u32)
-        .into_par_iter()
-        .fold(
-            || vec![0u64; k],
-            |mut acc, e| {
-                let (u, v) = g.edge_endpoints(e);
-                let (cu, cv) = (clustering.cluster_of(u), clustering.cluster_of(v));
-                if cu == cv {
-                    acc[cu as usize] += 1;
-                }
-                acc
-            },
-        )
-        .reduce(
-            || vec![0u64; k],
-            |mut a, b| {
-                for (x, y) in a.iter_mut().zip(b) {
-                    *x += y;
-                }
-                a
-            },
-        );
+    // Intra-cluster edge counts. Live ids are contiguous on plain graphs
+    // (keep the range-parallel fast path) but sparse on filtered views,
+    // where they must come from `edge_ids()`.
+    let fold = |mut acc: Vec<u64>, e: u32| {
+        let (u, v) = g.edge_endpoints(e);
+        let (cu, cv) = (clustering.cluster_of(u), clustering.cluster_of(v));
+        if cu == cv {
+            acc[cu as usize] += 1;
+        }
+        acc
+    };
+    let reduce = |mut a: Vec<u64>, b: Vec<u64>| {
+        for (x, y) in a.iter_mut().zip(b) {
+            *x += y;
+        }
+        a
+    };
+    let intra = if g.edge_id_bound() == m {
+        (0..m as u32)
+            .into_par_iter()
+            .fold(|| vec![0u64; k], fold)
+            .reduce(|| vec![0u64; k], reduce)
+    } else {
+        g.edge_ids()
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .fold(|| vec![0u64; k], fold)
+            .reduce(|| vec![0u64; k], reduce)
+    };
 
     // Cluster degree sums.
     let mut degsum = vec![0u64; k];
@@ -95,7 +101,7 @@ pub fn weighted_modularity<G: snap_graph::WeightedGraph>(g: &G, clustering: &Clu
     let mut total = 0.0f64;
     let mut intra = vec![0.0f64; k];
     let mut degsum = vec![0.0f64; k];
-    for e in 0..m as u32 {
+    for e in g.edge_ids() {
         let (u, v) = g.edge_endpoints(e);
         let w = g.edge_weight(e) as f64;
         total += w;
@@ -134,7 +140,7 @@ impl ModularityTracker {
         let k = clustering.count;
         let mut intra = vec![0.0; k];
         let mut degsum = vec![0.0; k];
-        for e in 0..g.num_edges() as u32 {
+        for e in g.edge_ids() {
             let (u, v) = g.edge_endpoints(e);
             if clustering.cluster_of(u) == clustering.cluster_of(v) {
                 intra[clustering.cluster_of(u) as usize] += 1.0;

@@ -23,8 +23,9 @@ use crate::gn::DivisiveResult;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rayon::prelude::*;
-use snap_centrality::approx_betweenness;
-use snap_centrality::brandes::betweenness_from_sources;
+use snap_budget::Budget;
+use snap_centrality::approx_betweenness_with_budget;
+use snap_centrality::brandes::{betweenness_from_sources, try_betweenness_from_sources};
 use snap_graph::{CsrGraph, Graph, InducedSubgraph, VertexId};
 use snap_kernels::{bfs_limited, biconnected_components};
 
@@ -76,6 +77,15 @@ impl Default for PbdConfig {
 
 /// Run pBD on `g`.
 pub fn pbd(g: &CsrGraph, cfg: &PbdConfig) -> DivisiveResult {
+    pbd_with_budget(g, cfg, &Budget::unlimited())
+}
+
+/// Run pBD under a compute [`Budget`]. Every phase checks the budget
+/// cooperatively: the fine and bridge phases stop cutting when it trips
+/// (the engine's best-modularity prefix is the answer), and the coarse
+/// phase leaves remaining components unrefined. With an unlimited budget
+/// the result is identical to [`pbd`].
+pub fn pbd_with_budget(g: &CsrGraph, cfg: &PbdConfig, budget: &Budget) -> DivisiveResult {
     let _span = snap_obs::span("community.pbd");
     let m = g.num_edges();
     let n = g.num_vertices();
@@ -98,6 +108,9 @@ pub fn pbd(g: &CsrGraph, cfg: &PbdConfig) -> DivisiveResult {
             // are BFS runs capped at the threshold.
             if !engine.view.is_live(e) {
                 continue;
+            }
+            if budget.charge(2 * cfg.min_bridge_side as u64 + 1).is_err() {
+                break;
             }
             engine.view.delete_edge(e);
             let u_side = bfs_limited(&engine.view, u, cfg.min_bridge_side).len();
@@ -130,11 +143,18 @@ pub fn pbd(g: &CsrGraph, cfg: &PbdConfig) -> DivisiveResult {
             break;
         }
 
+        if budget.check().is_err() {
+            break;
+        }
         let frac = cfg
             .sample_frac
             .max(cfg.min_sources as f64 / n.max(1) as f64)
             .min(1.0);
-        let bc = approx_betweenness(&engine.view, frac, cfg.seed ^ round);
+        let partial = approx_betweenness_with_budget(&engine.view, frac, cfg.seed ^ round, budget);
+        if partial.sources_used == 0 {
+            break; // no traversal completed: no ranking to cut by
+        }
+        let bc = partial.scores;
         round += 1;
         snap_obs::add("rounds", 1);
         let mut live: Vec<u32> = engine.view.live_edge_ids().collect();
@@ -183,7 +203,7 @@ pub fn pbd(g: &CsrGraph, cfg: &PbdConfig) -> DivisiveResult {
     // every piece fits the exact phase, the cap is reached, or its edges
     // run out.
     loop {
-        if removals.len() >= cap {
+        if removals.len() >= cap || budget.check().is_err() {
             break;
         }
         let members = engine.cluster_members();
@@ -207,7 +227,11 @@ pub fn pbd(g: &CsrGraph, cfg: &PbdConfig) -> DivisiveResult {
         let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ 0x6272_6467 ^ round);
         sources.shuffle(&mut rng);
         sources.truncate(k);
-        let bc = betweenness_from_sources(&engine.view, &sources);
+        let partial = try_betweenness_from_sources(&engine.view, &sources, budget);
+        if partial.sources_used == 0 {
+            break;
+        }
+        let bc = partial.scores;
         round += 1;
         snap_obs::add("activations", 1);
         snap_obs::add("betweenness_samples", k as u64);
@@ -260,6 +284,7 @@ pub fn pbd(g: &CsrGraph, cfg: &PbdConfig) -> DivisiveResult {
         m as f64,
         cap.saturating_sub(removals.len()),
         cfg.exact_threshold.max(8),
+        budget,
     );
     drop(coarse_phase);
     let (labels, q) = match refined {
@@ -272,6 +297,9 @@ pub fn pbd(g: &CsrGraph, cfg: &PbdConfig) -> DivisiveResult {
         snap_obs::add("edges_cut", removals.len() as u64);
         snap_obs::add("components", clustering.count as u64);
         snap_obs::gauge("modularity", q);
+    }
+    if let Some(why) = budget.exhaustion() {
+        snap_obs::meta("degraded", why);
     }
     DivisiveResult {
         clustering,
@@ -290,6 +318,7 @@ fn refine_components(
     m_norm: f64,
     removal_budget: usize,
     max_component: usize,
+    budget: &Budget,
 ) -> Option<(Vec<u32>, f64)> {
     let n = g.num_vertices();
     if n == 0 || removal_budget == 0 {
@@ -313,6 +342,11 @@ fn refine_components(
     let results: Vec<(Vec<VertexId>, Vec<u32>, f64, f64)> = components
         .par_iter()
         .map(|verts| {
+            if budget.is_exhausted() {
+                // Leave the component unrefined: one cluster, zero
+                // modularity delta — same shape as a skipped component.
+                return (verts.to_vec(), vec![0u32; verts.len()], 0.0, 0.0);
+            }
             // Base-graph subgraph (includes edges already cut from the
             // view — they still count toward modularity); the cut edges
             // are replayed into the local engine below so its live
@@ -340,6 +374,12 @@ fn refine_components(
             // Exact divisive run to completion on this small component.
             let sources: Vec<VertexId> = (0..base_sub.graph.num_vertices() as VertexId).collect();
             while local.live_edges() > 0 {
+                if budget
+                    .charge(sources.len() as u64 * (1 + local.live_edges() as u64))
+                    .is_err()
+                {
+                    break; // best prefix of the dendrogram still stands
+                }
                 let bc = betweenness_from_sources(&local.view, &sources);
                 let best_edge = local
                     .view

@@ -15,6 +15,7 @@ use crate::modularity::modularity;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rayon::prelude::*;
+use snap_budget::Budget;
 use snap_graph::{CsrGraph, FilteredGraph, Graph, VertexId};
 use snap_kernels::{biconnected_components, connected_components};
 
@@ -49,6 +50,31 @@ pub struct PlaResult {
 
 /// Run pLA on `g` (undirected).
 pub fn pla(g: &CsrGraph, cfg: &PlaConfig) -> PlaResult {
+    pla_impl(g, FilteredGraph::new(g), cfg, &Budget::unlimited())
+}
+
+/// Run pLA under a compute [`Budget`]. Degrades gracefully: when the
+/// budget trips, vertices not yet aggregated stay singletons and the
+/// amalgamation pass stops early — the returned clustering is always
+/// valid, just coarser-grained than the unbudgeted answer.
+pub fn pla_with_budget(g: &CsrGraph, cfg: &PlaConfig, budget: &Budget) -> PlaResult {
+    pla_impl(g, FilteredGraph::new(g), cfg, budget)
+}
+
+/// Run pLA on a [`FilteredGraph`] view (e.g. a graph with edges deleted
+/// by a divisive pass). Degrees, edge counts, and modularity are all
+/// measured against the *view*, exactly as [`pla`] measures them against
+/// a plain graph.
+pub fn pla_view(g: &FilteredGraph<'_>, cfg: &PlaConfig) -> PlaResult {
+    pla_impl(g, g.clone(), cfg, &Budget::unlimited())
+}
+
+fn pla_impl<G: Graph>(
+    g: &G,
+    mut view: FilteredGraph<'_>,
+    cfg: &PlaConfig,
+    budget: &Budget,
+) -> PlaResult {
     let _span = snap_obs::span("community.pla");
     assert!(
         !g.is_directed(),
@@ -64,7 +90,6 @@ pub fn pla(g: &CsrGraph, cfg: &PlaConfig) -> PlaResult {
     }
 
     // Steps 1-2: cut bridges, decompose into components.
-    let mut view = FilteredGraph::new(g);
     if cfg.remove_bridges {
         let bicc = biconnected_components(g);
         for &e in &bicc.bridges {
@@ -89,6 +114,7 @@ pub fn pla(g: &CsrGraph, cfg: &PlaConfig) -> PlaResult {
                 verts,
                 cfg.seed ^ (ci as u64).wrapping_mul(0x9e3779b97f4a7c15),
                 m,
+                budget,
             );
             (verts.clone(), labels, flips)
         })
@@ -109,21 +135,27 @@ pub fn pla(g: &CsrGraph, cfg: &PlaConfig) -> PlaResult {
 
     // Step 4: top-level amalgamation across the removed bridges (and any
     // other inter-cluster edges), greedy while modularity increases.
-    let clustering = amalgamate(g, Clustering::from_labels(&labels), m);
+    let clustering = amalgamate(g, Clustering::from_labels(&labels), m, budget);
     let q = modularity(g, &clustering);
     snap_obs::gauge("modularity", q);
+    if let Some(why) = budget.exhaustion() {
+        snap_obs::meta("degraded", why);
+    }
     PlaResult { clustering, q }
 }
 
 /// Greedily grow clusters inside one component. Returns a local label per
 /// component vertex (indexed like `verts`) plus the number of greedy
 /// acceptances (vertices pulled into a growing cluster beyond its seed).
-fn aggregate_component(
-    g: &CsrGraph,
+/// If the budget trips mid-sweep, the remaining vertices become
+/// singletons (a valid, coarser partial result).
+fn aggregate_component<G: Graph>(
+    g: &G,
     view: &FilteredGraph<'_>,
     verts: &[VertexId],
     seed: u64,
     m: f64,
+    budget: &Budget,
 ) -> (Vec<u32>, u64) {
     let mut local_of: std::collections::HashMap<VertexId, usize> =
         std::collections::HashMap::with_capacity(verts.len());
@@ -147,6 +179,13 @@ fn aggregate_component(
         let c = next_label;
         next_label += 1;
         label[seed_idx] = c;
+        if budget.is_exhausted()
+            || budget
+                .charge(1 + view.degree(verts[seed_idx]) as u64)
+                .is_err()
+        {
+            continue; // degrade: every remaining seed stays a singleton
+        }
         let mut cluster_degsum = g.degree(verts[seed_idx]) as f64;
         cnt.clear();
         for u in view.neighbors(verts[seed_idx]) {
@@ -178,6 +217,9 @@ fn aggregate_component(
             flips += 1;
             cluster_degsum += d_u;
             cnt.remove(&lu);
+            if budget.charge(1 + view.degree(verts[lu]) as u64).is_err() {
+                break; // cluster grown so far stays as-is
+            }
             for w in view.neighbors(verts[lu]) {
                 if let Some(&lw) = local_of.get(&w) {
                     if label[lw] == u32::MAX {
@@ -192,18 +234,19 @@ fn aggregate_component(
 
 /// Greedy cluster-level merging while modularity increases (the "top
 /// level" amalgamation), implemented over the same ΔQ structure as pMA.
-fn amalgamate(g: &CsrGraph, clustering: Clustering, m: f64) -> Clustering {
+fn amalgamate<G: Graph>(g: &G, clustering: Clustering, m: f64, budget: &Budget) -> Clustering {
     let k = clustering.count;
     if k <= 1 {
         return clustering;
     }
-    // Inter-cluster edge counts.
+    // Inter-cluster edge counts, over the *live* edges only — a flat
+    // `0..num_edges()` sweep would miscount on filtered views.
     let mut between: std::collections::HashMap<(u32, u32), f64> = std::collections::HashMap::new();
     let mut degsum = vec![0.0f64; k];
     for v in 0..g.num_vertices() as VertexId {
         degsum[clustering.cluster_of(v) as usize] += g.degree(v) as f64;
     }
-    for e in 0..g.num_edges() as u32 {
+    for e in g.edge_ids() {
         let (u, v) = g.edge_endpoints(e);
         let (cu, cv) = (clustering.cluster_of(u), clustering.cluster_of(v));
         if cu != cv {
@@ -237,6 +280,9 @@ fn amalgamate(g: &CsrGraph, clustering: Clustering, m: f64) -> Clustering {
     while let Some((i, j, dq)) = matrix.pop_best() {
         if dq <= 0.0 {
             break; // local algorithm stops at the modularity peak
+        }
+        if budget.charge(1).is_err() {
+            break; // merges so far already form a valid clustering
         }
         matrix.merge(i, j);
         merges += 1;

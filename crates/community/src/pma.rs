@@ -12,6 +12,7 @@
 use crate::clustering::Clustering;
 use crate::dendrogram::Dendrogram;
 use crate::dq::DqMatrix;
+use snap_budget::Budget;
 use snap_graph::{CsrGraph, Graph, VertexId};
 
 /// Configuration for [`pma`].
@@ -57,6 +58,13 @@ pub struct AgglomerativeResult {
 /// assert!(result.q > 0.3);
 /// ```
 pub fn pma(g: &CsrGraph, cfg: &PmaConfig) -> AgglomerativeResult {
+    pma_with_budget(g, cfg, &Budget::unlimited())
+}
+
+/// Run pMA under a compute [`Budget`]. The greedy merge loop is charged
+/// per merge; when the budget trips, the dendrogram built so far is cut
+/// at its best prefix — a valid (if coarser-than-optimal) clustering.
+pub fn pma_with_budget(g: &CsrGraph, cfg: &PmaConfig, budget: &Budget) -> AgglomerativeResult {
     let _span = snap_obs::span("community.pma");
     assert!(
         !g.is_directed(),
@@ -77,6 +85,18 @@ pub fn pma(g: &CsrGraph, cfg: &PmaConfig) -> AgglomerativeResult {
         .map(|v| g.degree(v) as f64 / (2.0 * m))
         .collect();
     let q0: f64 = -a.iter().map(|x| x * x).sum::<f64>();
+    if let Err(why) = budget.check() {
+        // Spent before the ΔQ structure is even built (which alone costs
+        // O(m log m)): the singleton clustering is the only answer the
+        // budget can afford.
+        snap_obs::meta("degraded", why);
+        snap_obs::add("budget_cancellations", 1);
+        return AgglomerativeResult {
+            clustering: Clustering::singletons(n),
+            q: q0,
+            dendrogram: Dendrogram::new(n, q0),
+        };
+    }
     let neighbor_edges: Vec<Vec<(u32, f64)>> = (0..n as VertexId)
         .map(|v| g.neighbors(v).map(|u| (u, 1.0)).collect())
         .collect();
@@ -88,6 +108,14 @@ pub fn pma(g: &CsrGraph, cfg: &PmaConfig) -> AgglomerativeResult {
     // connected component), tracking the best prefix: merges past the
     // modularity peak are recorded but do not affect the reported cut.
     while let Some((i, j, dq)) = matrix.pop_best() {
+        if budget.charge(1).is_err() {
+            snap_obs::meta(
+                "degraded",
+                budget.exhaustion().expect("budget just tripped"),
+            );
+            snap_obs::add("budget_cancellations", 1);
+            break; // the dendrogram prefix still yields a valid cut
+        }
         matrix.merge(i, j);
         q += dq;
         dendrogram.push(i, j, q);

@@ -42,7 +42,7 @@ proptest! {
         let mut c = Clustering::singletons(n);
         let mut tracker = ModularityTracker::new(&g, &c);
         // Merge pairs of adjacent clusters a few times.
-        for e in 0..g.num_edges().min(5) as u32 {
+        for e in g.edge_ids().take(5) {
             let (u, v) = g.edge_endpoints(e);
             let (cu, cv) = (c.cluster_of(u), c.cluster_of(v));
             if cu == cv {
@@ -50,7 +50,7 @@ proptest! {
             }
             // Count edges between the two clusters.
             let mut between = 0.0;
-            for e2 in 0..g.num_edges() as u32 {
+            for e2 in g.edge_ids() {
                 let (a, b) = g.edge_endpoints(e2);
                 let (ca, cb) = (c.cluster_of(a), c.cluster_of(b));
                 if (ca, cb) == (cu, cv) || (ca, cb) == (cv, cu) {

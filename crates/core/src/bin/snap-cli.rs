@@ -20,6 +20,12 @@
 //! `--trace` to render the span tree human-readably on stderr. When the
 //! JSON report goes to stdout, the normal human output moves to stderr so
 //! stdout stays machine-readable.
+//!
+//! `--timeout SECS` attaches a wall-clock deadline: kernels check it
+//! cooperatively and degrade (sampling, coarser clusterings) or cancel
+//! cleanly. The command never hangs; it exits 0 when it produced a
+//! (possibly degraded) result, and a non-zero status when the deadline
+//! cancelled a command with nothing to show (e.g. a half-finished BFS).
 
 use snap::graph::{CsrGraph, Graph};
 use snap::prelude::*;
@@ -42,7 +48,9 @@ commands:
 common options:
   --format edgelist|dimacs|metis   input format (default: by extension)
   --report json[=PATH]             emit the snap-obs run report as JSON
-  --trace                          render the span tree on stderr"
+  --trace                          render the span tree on stderr
+  --timeout SECS                   wall-clock budget: analysis degrades
+                                   gracefully or cancels cleanly (never hangs)"
     );
     exit(2)
 }
@@ -185,6 +193,29 @@ macro_rules! say {
     ($obs:expr, $($arg:tt)*) => { $obs.say(format_args!($($arg)*)) };
 }
 
+/// Build the command's compute budget from `--timeout SECS` (fractional
+/// seconds accepted; absent = unlimited).
+fn parse_budget(args: &Args) -> snap::Budget {
+    match args.flag("timeout") {
+        None => snap::Budget::unlimited(),
+        Some(v) => {
+            let secs: f64 = v
+                .parse()
+                .ok()
+                .filter(|s: &f64| s.is_finite() && *s >= 0.0)
+                .unwrap_or_else(|| fail(&format!("bad value for --timeout: {v}")));
+            snap::Budget::with_deadline(std::time::Duration::from_secs_f64(secs))
+        }
+    }
+}
+
+/// Surface a tripped budget to the human-facing output.
+fn note_budget(obs: &Obs, budget: &snap::Budget) {
+    if let Some(why) = budget.exhaustion() {
+        say!(obs, "note: budget exhausted ({why}); results are degraded");
+    }
+}
+
 /// Input format for graph files.
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Format {
@@ -274,10 +305,12 @@ fn parse_method(name: &str) -> PartitionMethod {
 fn cmd_summary(args: &Args) {
     let path = input_path(args);
     let g = load(args, path, args.flag("directed").is_some());
+    let budget = parse_budget(args);
     let obs = Obs::parse(args);
     obs.begin("summary", path);
-    let summary = snap::metrics::summarize(&g, args.flag_parse("seed", 0u64));
+    let summary = snap::metrics::summarize_with_budget(&g, args.flag_parse("seed", 0u64), &budget);
     say!(obs, "{summary}");
+    note_budget(&obs, &budget);
     obs.emit();
 }
 
@@ -297,9 +330,19 @@ fn cmd_bfs(args: &Args) {
         alpha: args.flag_parse("alpha", defaults.alpha),
         beta: args.flag_parse("beta", defaults.beta),
     };
+    let budget = parse_budget(args);
     let obs = Obs::parse(args);
     obs.begin("bfs", path);
-    let (r, stats) = snap::kernels::par_bfs_hybrid_stats(&g, source, &cfg);
+    let (r, stats) = match snap::kernels::try_par_bfs_hybrid_stats(&g, source, &cfg, &budget) {
+        Ok(out) => out,
+        Err(why) => {
+            // A partial traversal is meaningless: report the cancellation
+            // and exit non-zero (but cleanly, with the report emitted).
+            say!(obs, "bfs cancelled: {why}");
+            obs.emit();
+            exit(3);
+        }
+    };
     let reached = r
         .dist
         .iter()
@@ -339,6 +382,7 @@ fn cmd_bfs(args: &Args) {
         stats.pull_levels(),
         stats.peak_frontier()
     );
+    note_budget(&obs, &budget);
     obs.emit();
 }
 
@@ -346,9 +390,10 @@ fn cmd_communities(args: &Args) {
     let path = input_path(args);
     let g = load(args, path, false);
     let algorithm = parse_algorithm(args.flag("algorithm").unwrap_or("pma"));
+    let budget = parse_budget(args);
     let obs = Obs::parse(args);
     obs.begin("communities", path);
-    let net = Network::new(g);
+    let net = Network::new(g).with_budget(budget.clone());
     let result = net.communities(algorithm);
     say!(
         obs,
@@ -367,6 +412,7 @@ fn cmd_communities(args: &Args) {
         let head: Vec<String> = sizes.iter().take(10).map(|s| s.to_string()).collect();
         say!(obs, "largest sizes: {}", head.join(" "));
     }
+    note_budget(&obs, &budget);
     obs.emit();
 }
 
@@ -379,9 +425,10 @@ fn cmd_partition(args: &Args) {
     }
     let method = parse_method(args.flag("method").unwrap_or("kway"));
     let seed = args.flag_parse("seed", 1u64);
+    let budget = parse_budget(args);
     let obs = Obs::parse(args);
     obs.begin("partition", path);
-    match snap::partition::partition(&g, method, parts, seed) {
+    match snap::partition::partition_with_budget(&g, method, parts, seed, &budget) {
         Ok(p) => {
             say!(
                 obs,
@@ -393,6 +440,7 @@ fn cmd_partition(args: &Args) {
         }
         Err(e) => fail(&format!("{e}")),
     }
+    note_budget(&obs, &budget);
     obs.emit();
 }
 
@@ -401,17 +449,20 @@ fn cmd_centrality(args: &Args) {
     let g = load(args, path, false);
     let top: usize = args.flag_parse("top", 10);
     let seed = args.flag_parse("seed", 7u64);
+    let budget = parse_budget(args);
     let obs = Obs::parse(args);
     obs.begin("centrality", path);
+    let net = Network::new(g).with_budget(budget.clone());
     let bc = match args.flag("approx") {
         Some(frac) => {
             let frac: f64 = frac
                 .parse()
                 .unwrap_or_else(|_| fail("bad value for --approx"));
-            snap::centrality::approx_betweenness(&g, frac, seed)
+            net.approx_betweenness(frac, seed)
         }
-        None => snap::centrality::par_brandes(&g),
+        None => net.betweenness(),
     };
+    let g = net.graph();
     let mut order: Vec<usize> = (0..g.num_vertices()).collect();
     order.sort_by(|&a, &b| bc.vertex[b].partial_cmp(&bc.vertex[a]).unwrap());
     say!(
@@ -430,6 +481,7 @@ fn cmd_centrality(args: &Args) {
             bc.vertex[v]
         );
     }
+    note_budget(&obs, &budget);
     obs.emit();
 }
 
@@ -455,28 +507,35 @@ fn cmd_run(args: &Args) {
     let method = parse_method(args.flag("method").unwrap_or("kway"));
     let frac: f64 = args.flag_parse("approx", 0.1);
     let seed = args.flag_parse("seed", 1u64);
+    let budget = parse_budget(args);
 
     let obs = Obs::parse(args);
     obs.begin("run", path);
 
-    let net = Network::new(g);
+    let net = Network::new(g).with_budget(budget.clone());
     say!(obs, "— summary —");
     let summary = net.summary_with_seed(seed);
     say!(obs, "{summary}");
 
     say!(obs, "— bfs (source {source}) —");
-    let (r, stats) = net.bfs_stats(source);
-    let reached = r
-        .dist
-        .iter()
-        .filter(|&&d| d != snap::kernels::UNREACHABLE)
-        .count();
-    say!(
-        obs,
-        "reached {reached} of {n} vertices, depth {}, edges examined {}",
-        stats.depth(),
-        stats.total_edges_examined()
-    );
+    match net.try_bfs_stats(source) {
+        Ok((r, stats)) => {
+            let reached = r
+                .dist
+                .iter()
+                .filter(|&&d| d != snap::kernels::UNREACHABLE)
+                .count();
+            say!(
+                obs,
+                "reached {reached} of {n} vertices, depth {}, edges examined {}",
+                stats.depth(),
+                stats.total_edges_examined()
+            );
+        }
+        // A cancelled traversal has no partial result; the rest of the
+        // pipeline still produces degraded output, so keep going.
+        Err(why) => say!(obs, "bfs cancelled: {why}"),
+    }
 
     say!(obs, "— communities —");
     let result = net.communities(algorithm);
@@ -495,7 +554,7 @@ fn cmd_run(args: &Args) {
     }
 
     say!(obs, "— partition ({parts} parts) —");
-    match snap::partition::partition(net.graph(), method, parts, seed) {
+    match net.partition(method, parts, seed) {
         Ok(p) => say!(
             obs,
             "edge cut {} | imbalance {:.3}",
@@ -505,6 +564,7 @@ fn cmd_run(args: &Args) {
         Err(e) => fail(&format!("{e}")),
     }
 
+    note_budget(&obs, &budget);
     obs.emit();
 }
 

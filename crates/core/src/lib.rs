@@ -27,6 +27,7 @@
 //! assert!(communities.modularity > 0.35);
 //! ```
 
+pub use snap_budget as budget;
 pub use snap_centrality as centrality;
 pub use snap_community as community;
 pub use snap_gen as gen;
@@ -40,10 +41,12 @@ pub use snap_partition as partition;
 mod session;
 
 pub use session::{Communities, CommunityAlgorithm, Network, Observed};
+pub use snap_budget::{Budget, Exhausted};
 
 /// Commonly used items in one import.
 pub mod prelude {
     pub use crate::session::{Communities, CommunityAlgorithm, Network, Observed};
+    pub use snap_budget::{Budget, Exhausted};
     pub use snap_community::{Clustering, GnConfig, PbdConfig, PlaConfig, PmaConfig};
     pub use snap_graph::{CsrGraph, Frontier, Graph, GraphBuilder, VertexId, WeightedGraph};
     pub use snap_kernels::{BfsResult, Direction, HybridConfig, LevelStats, TraversalStats};

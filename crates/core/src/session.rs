@@ -3,6 +3,7 @@
 //! the parallel programming complexity involved in the low-level kernel
 //! design from the user".
 
+use snap_budget::{Budget, Exhausted};
 use snap_centrality::BetweennessScores;
 use snap_community::{
     Clustering, GnConfig, PbdConfig, PlaConfig, PmaConfig, SpectralCommunityConfig,
@@ -53,19 +54,46 @@ pub struct Communities {
 #[derive(Clone, Debug)]
 pub struct Network {
     graph: CsrGraph,
+    budget: Budget,
 }
 
 impl Network {
     /// Wrap an existing graph.
     pub fn new(graph: CsrGraph) -> Self {
-        Network { graph }
+        Network {
+            graph,
+            budget: Budget::unlimited(),
+        }
     }
 
     /// Build an undirected network from an edge list.
     pub fn from_edges(n: usize, edges: &[(VertexId, VertexId)]) -> Self {
-        Network {
-            graph: snap_graph::builder::from_edges(n, edges),
-        }
+        Network::new(snap_graph::builder::from_edges(n, edges))
+    }
+
+    /// Attach a compute [`Budget`] to every subsequent analysis call.
+    /// Long-running kernels check it cooperatively and degrade gracefully
+    /// (sampling, coarser results) or cancel cleanly instead of running
+    /// past the deadline or work cap. With [`Budget::unlimited`] (the
+    /// default) results are identical to the unbudgeted API.
+    ///
+    /// ```
+    /// use snap::{Budget, Network};
+    /// use std::time::Duration;
+    ///
+    /// let net = Network::from_edges(3, &[(0, 1), (1, 2)])
+    ///     .with_budget(Budget::with_deadline(Duration::from_secs(30)));
+    /// let _ = net.summary();
+    /// ```
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The budget attached via [`Self::with_budget`] (unlimited by
+    /// default).
+    pub fn budget(&self) -> &Budget {
+        &self.budget
     }
 
     /// The underlying graph.
@@ -94,7 +122,7 @@ impl Network {
     /// path-length estimates (recorded in the observability report for
     /// reproducibility).
     pub fn summary_with_seed(&self, seed: u64) -> GraphSummary {
-        snap_metrics::summarize(&self.graph, seed)
+        snap_metrics::summarize_with_budget(&self.graph, seed, &self.budget)
     }
 
     /// Start an observed analysis session: enables `snap-obs` collection
@@ -127,14 +155,55 @@ impl Network {
         snap_kernels::par_bfs_hybrid_stats(&self.graph, source, cfg)
     }
 
+    /// Budget-aware [`Self::bfs_stats`]: a partial traversal has no
+    /// meaningful interpretation, so exhaustion cancels the run with
+    /// [`Exhausted`] instead of degrading.
+    pub fn try_bfs_stats(
+        &self,
+        source: VertexId,
+    ) -> Result<(BfsResult, TraversalStats), Exhausted> {
+        self.try_bfs_stats_with(source, &HybridConfig::default())
+    }
+
+    /// [`Self::try_bfs_stats`] with explicit α/β thresholds.
+    pub fn try_bfs_stats_with(
+        &self,
+        source: VertexId,
+        cfg: &HybridConfig,
+    ) -> Result<(BfsResult, TraversalStats), Exhausted> {
+        snap_kernels::try_par_bfs_hybrid_stats(&self.graph, source, cfg, &self.budget)
+    }
+
     /// Exact betweenness centrality (vertices and edges), parallel over
     /// sources.
     pub fn betweenness(&self) -> BetweennessScores {
+        if self.budget.is_limited() {
+            // Degradation path: accumulate shuffled sources until the
+            // budget trips, rescaling by the sources processed — the
+            // prefix of a uniform shuffle is itself a uniform sample.
+            let n = self.graph.num_vertices();
+            let sources = snap_centrality::sample_sources(n, n, 0);
+            return snap_centrality::try_betweenness_from_sources(
+                &self.graph,
+                &sources,
+                &self.budget,
+            )
+            .scores;
+        }
         snap_centrality::par_brandes(&self.graph)
     }
 
     /// Sampled approximate betweenness (fraction of sources).
     pub fn approx_betweenness(&self, frac: f64, seed: u64) -> BetweennessScores {
+        if self.budget.is_limited() {
+            return snap_centrality::approx_betweenness_with_budget(
+                &self.graph,
+                frac,
+                seed,
+                &self.budget,
+            )
+            .scores;
+        }
         snap_centrality::approx_betweenness(&self.graph, frac, seed)
     }
 
@@ -152,21 +221,33 @@ impl Network {
     /// Detect communities with the chosen algorithm (default
     /// configurations).
     pub fn communities(&self, algorithm: CommunityAlgorithm) -> Communities {
+        let budget = &self.budget;
         let (clustering, modularity) = match algorithm {
+            CommunityAlgorithm::GirvanNewman | CommunityAlgorithm::Divisive
+                if budget.is_exhausted() =>
+            {
+                // The divisive algorithms cannot even bootstrap on a spent
+                // budget; fall back to pLA, whose degraded form (singleton
+                // leftovers) is still a valid clustering.
+                snap_obs::meta("degraded", "divisive->pla (budget exhausted)");
+                snap_obs::add("budget_degradations", 1);
+                let r = snap_community::pla_with_budget(&self.graph, &PlaConfig::default(), budget);
+                (r.clustering, r.q)
+            }
             CommunityAlgorithm::GirvanNewman => {
                 let r = snap_community::girvan_newman(&self.graph, &GnConfig::default());
                 (r.clustering, r.q)
             }
             CommunityAlgorithm::Divisive => {
-                let r = snap_community::pbd(&self.graph, &PbdConfig::default());
+                let r = snap_community::pbd_with_budget(&self.graph, &PbdConfig::default(), budget);
                 (r.clustering, r.q)
             }
             CommunityAlgorithm::Agglomerative => {
-                let r = snap_community::pma(&self.graph, &PmaConfig::default());
+                let r = snap_community::pma_with_budget(&self.graph, &PmaConfig::default(), budget);
                 (r.clustering, r.q)
             }
             CommunityAlgorithm::LocalAggregation => {
-                let r = snap_community::pla(&self.graph, &PlaConfig::default());
+                let r = snap_community::pla_with_budget(&self.graph, &PlaConfig::default(), budget);
                 (r.clustering, r.q)
             }
             CommunityAlgorithm::Spectral => {
@@ -195,7 +276,7 @@ impl Network {
         parts: usize,
         seed: u64,
     ) -> Result<Partition, SpectralError> {
-        snap_partition::partition(&self.graph, method, parts, seed)
+        snap_partition::partition_with_budget(&self.graph, method, parts, seed, &self.budget)
     }
 }
 

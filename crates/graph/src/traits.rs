@@ -53,6 +53,15 @@ pub trait Graph: Sync {
         0..self.num_vertices() as VertexId
     }
 
+    /// Iterate over the ids of *live* edges. For plain graphs this is the
+    /// contiguous range `0..num_edges()`; filtered views yield the sparse
+    /// subset of `0..edge_id_bound()` that is still live. Any "for every
+    /// edge" sweep outside the representation layer must use this — a flat
+    /// `0..num_edges()` loop silently reads the wrong edges on a view.
+    fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        0..self.num_edges() as EdgeId
+    }
+
     /// Sum of degrees over all vertices (equals `num_arcs` when every arc is
     /// live). Provided for sanity checks and modularity denominators.
     fn total_degree(&self) -> usize {

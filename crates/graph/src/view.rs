@@ -79,6 +79,25 @@ impl<'g> FilteredGraph<'g> {
     pub fn live_edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
         self.live.iter_ones().map(|e| e as EdgeId)
     }
+
+    /// Compact the view into a standalone [`CsrGraph`] containing only the
+    /// live edges (weights preserved, edge ids renumbered densely). The
+    /// reference implementation the filtered-view regression tests compare
+    /// against; also useful when a long-lived result should not pin the base.
+    pub fn rebuild(&self) -> CsrGraph {
+        let mut b = if self.base.is_directed() {
+            crate::builder::GraphBuilder::directed(self.base.num_vertices())
+        } else {
+            crate::builder::GraphBuilder::undirected(self.base.num_vertices())
+        }
+        .with_self_loops()
+        .with_capacity(self.live_edges);
+        for e in self.live_edge_ids() {
+            let (u, v) = self.base.edge_endpoints(e);
+            b.add_weighted_edge(u, v, self.base.edge_weight(e));
+        }
+        b.build()
+    }
 }
 
 impl Graph for FilteredGraph<'_> {
@@ -134,6 +153,11 @@ impl Graph for FilteredGraph<'_> {
     #[inline]
     fn edge_id_bound(&self) -> usize {
         self.base.num_edges()
+    }
+
+    #[inline]
+    fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.live_edge_ids()
     }
 }
 

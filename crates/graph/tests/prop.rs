@@ -135,3 +135,33 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    /// The edge-id contract: `edge_ids()` yields exactly `num_edges()`
+    /// live ids, all below `edge_id_bound()`, for both the dense CSR
+    /// representation and a filtered view with random deletions.
+    #[test]
+    fn edge_ids_count_matches_num_edges(
+        (n, edges) in edge_list(),
+        dels in prop::collection::vec(0usize..64, 0..32),
+    ) {
+        let g = GraphBuilder::undirected(n).add_edges(edges).build();
+        prop_assert_eq!(g.edge_ids().count(), g.num_edges());
+        prop_assert!(g.edge_ids().all(|e| (e as usize) < g.edge_id_bound()));
+
+        let mut view = FilteredGraph::new(&g);
+        for d in dels {
+            if g.num_edges() > 0 {
+                view.delete_edge((d % g.num_edges()) as u32);
+            }
+        }
+        prop_assert_eq!(view.edge_ids().count(), view.num_edges());
+        prop_assert!(view.edge_ids().all(|e| view.is_live(e)));
+        prop_assert!(view.edge_ids().all(|e| (e as usize) < view.edge_id_bound()));
+
+        // The rebuilt graph compacts ids but keeps the live count.
+        let rebuilt = view.rebuild();
+        prop_assert_eq!(rebuilt.num_edges(), view.num_edges());
+        prop_assert_eq!(rebuilt.edge_ids().count(), view.edge_ids().count());
+    }
+}

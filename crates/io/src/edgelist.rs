@@ -67,7 +67,7 @@ pub fn write_edge_list<W: Write, G: Graph + WeightedGraph>(
             "undirected"
         }
     )?;
-    for e in 0..g.num_edges() as u32 {
+    for e in g.edge_ids() {
         let (u, v) = g.edge_endpoints(e);
         let w = g.edge_weight(e);
         if w == 1 {

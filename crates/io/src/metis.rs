@@ -113,7 +113,10 @@ pub fn write_metis<W: Write, G: Graph + WeightedGraph>(
     g: &G,
 ) -> Result<(), IoError> {
     assert!(!g.is_directed(), "METIS format is undirected");
-    let weighted = (0..g.num_edges() as u32).any(|e| g.edge_weight(e) != 1);
+    // Probe only the live edges: on a filtered view, flat ids up to
+    // `num_edges()` would read weights of edges that may be deleted (or
+    // miss live ones above the count).
+    let weighted = g.edge_ids().any(|e| g.edge_weight(e) != 1);
     if weighted {
         writeln!(writer, "{} {} 001", g.num_vertices(), g.num_edges())?;
     } else {
@@ -176,6 +179,53 @@ mod tests {
     fn out_of_range_neighbor_is_error() {
         let text = "2 1\n3\n\n";
         assert!(read_metis(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn round_trip_through_filtered_view() {
+        // Deleting edges leaves the view's live ids sparse in the base id
+        // space; the writer must still emit exactly the live topology and
+        // weights. Compare against the compacted rebuild.
+        let g = snap_graph::GraphBuilder::undirected(5)
+            .add_weighted_edges([(0, 1, 3), (1, 2, 1), (2, 3, 5), (3, 4, 1), (0, 4, 2)])
+            .build();
+        let mut view = snap_graph::FilteredGraph::new(&g);
+        view.delete_edge(0); // weight-3 edge: detection must not see it
+        view.delete_edge(2);
+        let mut buf = Vec::new();
+        write_metis(&mut buf, &view).unwrap();
+        let h = read_metis(buf.as_slice()).unwrap();
+        let rebuilt = view.rebuild();
+        assert_eq!(h.num_vertices(), rebuilt.num_vertices());
+        assert_eq!(h.num_edges(), rebuilt.num_edges());
+        for v in rebuilt.vertices() {
+            let mut a: Vec<_> = rebuilt
+                .neighbors_with_eid(v)
+                .map(|(u, e)| (u, rebuilt.edge_weight(e)))
+                .collect();
+            let mut b: Vec<_> = h
+                .neighbors_with_eid(v)
+                .map(|(u, e)| (u, h.edge_weight(e)))
+                .collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn filtered_view_weight_detection_ignores_dead_edges() {
+        // Only the *deleted* edge is weighted: the writer must fall back
+        // to the unweighted format.
+        let g = snap_graph::GraphBuilder::undirected(3)
+            .add_weighted_edges([(0, 1, 9), (1, 2, 1)])
+            .build();
+        let mut view = snap_graph::FilteredGraph::new(&g);
+        view.delete_edge(0);
+        let mut buf = Vec::new();
+        write_metis(&mut buf, &view).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("3 1\n"), "{text}");
     }
 
     #[test]

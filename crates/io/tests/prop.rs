@@ -23,7 +23,7 @@ fn graphs_equal(a: &snap_graph::CsrGraph, b: &snap_graph::CsrGraph) -> bool {
     if a.num_vertices() != b.num_vertices() || a.num_edges() != b.num_edges() {
         return false;
     }
-    for e in 0..a.num_edges() as u32 {
+    for e in a.edge_ids() {
         if a.edge_endpoints(e) != b.edge_endpoints(e) || a.edge_weight(e) != b.edge_weight(e) {
             return false;
         }

@@ -20,6 +20,7 @@
 //! sparse/dense [`Frontier`] representation from `snap-graph`.
 
 use rayon::prelude::*;
+use snap_budget::{Budget, Exhausted};
 use snap_graph::{AtomicBitmap, Frontier, Graph, VertexId};
 use std::sync::atomic::{AtomicU32, Ordering};
 
@@ -220,6 +221,20 @@ pub fn par_bfs_hybrid_stats<G: Graph>(
     source: VertexId,
     cfg: &HybridConfig,
 ) -> (BfsResult, TraversalStats) {
+    try_par_bfs_hybrid_stats(g, source, cfg, &Budget::unlimited())
+        .expect("unlimited budget cannot be exhausted")
+}
+
+/// [`par_bfs_hybrid_stats`] under a compute [`Budget`]: the budget is
+/// probed once per level (a traversal has O(diameter) levels) and charged
+/// for the arcs each level examined. A partial BFS has no meaningful
+/// distances, so exhaustion aborts with `Err` rather than degrading.
+pub fn try_par_bfs_hybrid_stats<G: Graph>(
+    g: &G,
+    source: VertexId,
+    cfg: &HybridConfig,
+    budget: &Budget,
+) -> Result<(BfsResult, TraversalStats), Exhausted> {
     let _span = snap_obs::span("bfs.hybrid");
     let n = g.num_vertices();
     let visited = AtomicBitmap::new(n);
@@ -238,6 +253,11 @@ pub fn par_bfs_hybrid_stats<G: Graph>(
     let mut unexplored: u64 = g.num_arcs() as u64;
 
     while !frontier.is_empty() {
+        if let Err(why) = budget.check() {
+            snap_obs::meta("cancelled", why);
+            snap_obs::add("budget_cancellations", 1);
+            return Err(why);
+        }
         level += 1;
         let nf = frontier.len();
         // Arcs out of the frontier (Beamer's m_f). Its vertices are
@@ -306,6 +326,8 @@ pub fn par_bfs_hybrid_stats<G: Graph>(
             }
         };
 
+        // Cap accounting; an overdraft surfaces at the next level's check.
+        let _ = budget.charge(edges_examined.max(nf as u64));
         stats.levels.push(LevelStats {
             depth: level,
             direction,
@@ -331,13 +353,13 @@ pub fn par_bfs_hybrid_stats<G: Graph>(
         snap_obs::record_max("peak_frontier", stats.peak_frontier() as u64);
     }
 
-    (
+    Ok((
         BfsResult {
             dist: dist.into_iter().map(|d| d.into_inner()).collect(),
             parent: parent.into_iter().map(|p| p.into_inner()).collect(),
         },
         stats,
-    )
+    ))
 }
 
 /// Push-only lock-free level-synchronous parallel BFS (the pre-hybrid

@@ -17,8 +17,9 @@ pub struct Bicc {
     pub articulation: Vec<bool>,
     /// Edge ids of bridges (cut edges).
     pub bridges: Vec<EdgeId>,
-    /// Biconnected-component label per edge (`u32::MAX` for edges not
-    /// reached, e.g. in filtered views where both endpoints are isolated).
+    /// Biconnected-component label per edge, indexed by base edge id
+    /// (length `edge_id_bound()`; `u32::MAX` for ids not reached —
+    /// deleted edges of a filtered view, or edges in untraversed chaff).
     pub edge_comp: Vec<u32>,
     /// Number of biconnected components.
     pub count: usize,
@@ -45,7 +46,9 @@ pub fn biconnected_components<G: Graph>(g: &G) -> Bicc {
         "biconnectivity is defined on undirected graphs"
     );
     let n = g.num_vertices();
-    let m = g.num_edges();
+    // Per-edge arrays are indexed by *base* edge id, which on filtered
+    // views exceeds the live-edge count: size by the id bound.
+    let m = g.edge_id_bound();
 
     // Flatten adjacencies once; generic `neighbors()` iterators cannot be
     // indexed, and DFS frames need resumable cursors.
@@ -230,8 +233,8 @@ mod tests {
             ],
         );
         let b = biconnected_components(&g);
-        for e in 0..g.num_edges() {
-            assert_ne!(b.edge_comp[e], u32::MAX, "edge {e} unlabeled");
+        for e in g.edge_ids() {
+            assert_ne!(b.edge_comp[e as usize], u32::MAX, "edge {e} unlabeled");
         }
     }
 

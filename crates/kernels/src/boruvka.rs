@@ -190,7 +190,6 @@ mod tests {
     #[test]
     fn matches_kruskal_on_random_graph() {
         use rand::{Rng, SeedableRng};
-        use snap_graph::Graph;
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let n = 40;
         let mut edges = Vec::new();
@@ -205,7 +204,7 @@ mod tests {
         let msf = boruvka_msf(&g);
 
         // Kruskal reference.
-        let mut by_weight: Vec<u32> = (0..g.num_edges() as u32).collect();
+        let mut by_weight: Vec<u32> = snap_graph::Graph::edge_ids(&g).collect();
         by_weight.sort_by_key(|&e| (snap_graph::WeightedGraph::edge_weight(&g, e), e));
         let mut dsu = DisjointSet::new(n);
         let mut total = 0u64;

@@ -31,8 +31,8 @@ pub mod stcon;
 
 pub use bfs::{
     bfs, bfs_limited, par_bfs, par_bfs_hybrid, par_bfs_hybrid_stats, par_bfs_hybrid_with,
-    par_bfs_push, par_bfs_vertex_partitioned, BfsResult, Direction, HybridConfig, LevelStats,
-    TraversalStats, NO_PARENT, UNREACHABLE,
+    par_bfs_push, par_bfs_vertex_partitioned, try_par_bfs_hybrid_stats, BfsResult, Direction,
+    HybridConfig, LevelStats, TraversalStats, NO_PARENT, UNREACHABLE,
 };
 pub use bicc::{biconnected_components, Bicc};
 pub use boruvka::{boruvka_msf, Msf};
@@ -41,5 +41,5 @@ pub use components::{
 };
 pub use dyncc::IncrementalComponents;
 pub use spanning::{par_spanning_forest, spanning_forest, SpanningForest};
-pub use sssp::{delta_stepping, dijkstra, SsspResult, INF};
+pub use sssp::{delta_stepping, dijkstra, try_delta_stepping, SsspResult, INF};
 pub use stcon::{st_connectivity, StResult};

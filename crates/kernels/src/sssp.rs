@@ -9,6 +9,7 @@
 //! phases; with Δ = 1 (unweighted) it is level-synchronous BFS.
 
 use rayon::prelude::*;
+use snap_budget::{Budget, Exhausted};
 use snap_graph::{VertexId, WeightedGraph};
 
 /// Distance assigned to unreachable vertices.
@@ -51,10 +52,24 @@ pub fn dijkstra<G: WeightedGraph>(g: &G, source: VertexId) -> SsspResult {
 /// Δ-stepping SSSP. `delta = 0` selects a heuristic Δ (average edge
 /// weight, clamped to ≥ 1).
 pub fn delta_stepping<G: WeightedGraph>(g: &G, source: VertexId, delta: u64) -> SsspResult {
+    try_delta_stepping(g, source, delta, &Budget::unlimited())
+        .expect("unlimited budget cannot be exhausted")
+}
+
+/// [`delta_stepping`] under a compute [`Budget`]: probed once per bucket
+/// and per light-edge phase, charged per relaxation request. Partial
+/// tentative distances are not shortest paths, so exhaustion aborts with
+/// `Err` rather than degrading.
+pub fn try_delta_stepping<G: WeightedGraph>(
+    g: &G,
+    source: VertexId,
+    delta: u64,
+    budget: &Budget,
+) -> Result<SsspResult, Exhausted> {
     let _span = snap_obs::span("sssp.delta_stepping");
     let n = g.num_vertices();
     if n == 0 {
-        return SsspResult { dist: Vec::new() };
+        return Ok(SsspResult { dist: Vec::new() });
     }
     let delta = if delta == 0 {
         // Average over live arcs. A flat sweep over `0..num_edges()`
@@ -90,9 +105,20 @@ pub fn delta_stepping<G: WeightedGraph>(g: &G, source: VertexId, delta: u64) -> 
 
     let mut i = 0usize;
     while i < buckets.len() {
+        if let Err(why) = budget.check() {
+            snap_obs::meta("cancelled", why);
+            snap_obs::add("budget_cancellations", 1);
+            return Err(why);
+        }
         let mut settled: Vec<VertexId> = Vec::new();
         // Light-edge fixpoint within bucket i.
         while !buckets[i].is_empty() {
+            if budget.is_exhausted() {
+                let why = budget.exhaustion().unwrap_or(Exhausted::Deadline);
+                snap_obs::meta("cancelled", why);
+                snap_obs::add("budget_cancellations", 1);
+                return Err(why);
+            }
             obs_phases += 1;
             let current = std::mem::take(&mut buckets[i]);
             // Generate relaxation requests for light edges in parallel.
@@ -118,6 +144,7 @@ pub fn delta_stepping<G: WeightedGraph>(g: &G, source: VertexId, delta: u64) -> 
                 }
             }
             obs_light_requests += requests.len() as u64;
+            let _ = budget.charge(requests.len() as u64 + 1);
             let (relaxed, re_relaxed) =
                 apply_requests(requests, &mut dist, &mut buckets, &mut bucket_of, delta, i);
             obs_relaxations += relaxed;
@@ -139,6 +166,7 @@ pub fn delta_stepping<G: WeightedGraph>(g: &G, source: VertexId, delta: u64) -> 
             })
             .collect();
         obs_heavy_requests += requests.len() as u64;
+        let _ = budget.charge(requests.len() as u64 + 1);
         let (relaxed, re_relaxed) =
             apply_requests(requests, &mut dist, &mut buckets, &mut bucket_of, delta, i);
         obs_relaxations += relaxed;
@@ -155,7 +183,7 @@ pub fn delta_stepping<G: WeightedGraph>(g: &G, source: VertexId, delta: u64) -> 
         snap_obs::add("re_relaxations", obs_re_relaxations);
         snap_obs::gauge("delta", delta as f64);
     }
-    SsspResult { dist }
+    Ok(SsspResult { dist })
 }
 
 /// Apply relaxation requests; returns `(relaxations, re_relaxations)` —

@@ -93,7 +93,7 @@ proptest! {
     fn bridges_are_exactly_the_cut_edges(g in arb_graph()) {
         let bicc = biconnected_components(&g);
         let base = connected_components(&g).count;
-        for e in 0..g.num_edges() as u32 {
+        for e in g.edge_ids() {
             let mut f = snap_graph::FilteredGraph::new(&g);
             f.delete_edge(e);
             let after = connected_components(&f).count;

@@ -21,7 +21,7 @@ pub fn degree_assortativity<G: Graph>(g: &G) -> f64 {
     // "remaining degree" — but the plain-degree form is equivalent for
     // the correlation coefficient).
     let (mut s_jk, mut s_j, mut s_k, mut s_j2, mut s_k2) = (0.0f64, 0.0, 0.0, 0.0, 0.0);
-    for e in 0..m as u32 {
+    for e in g.edge_ids() {
         let (u, v) = g.edge_endpoints(e);
         // For undirected graphs each edge contributes both orientations,
         // symmetrizing the correlation.

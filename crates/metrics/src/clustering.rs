@@ -6,6 +6,7 @@
 //! embarrassingly parallel over vertices.
 
 use rayon::prelude::*;
+use snap_budget::Budget;
 use snap_graph::{CsrGraph, Graph, VertexId};
 
 /// Number of triangles through each vertex.
@@ -91,6 +92,96 @@ pub fn transitivity(g: &CsrGraph) -> f64 {
         return 0.0;
     }
     3.0 * triangle_count(g) as f64 / wedges as f64
+}
+
+/// Clustering-coefficient estimates from a budgeted triangle sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct PartialClustering {
+    /// Average local clustering coefficient over the processed vertices.
+    pub average: f64,
+    /// Transitivity estimate `Σ t(v) / Σ wedges(v)` over the processed
+    /// vertices (exact when none were skipped).
+    pub transitivity: f64,
+    /// Vertices whose triangles were actually counted.
+    pub vertices_used: usize,
+    /// Total vertex count.
+    pub vertices_total: usize,
+}
+
+impl PartialClustering {
+    /// True when the budget cut the sweep short.
+    pub fn degraded(&self) -> bool {
+        self.vertices_used < self.vertices_total
+    }
+}
+
+/// Average clustering and transitivity under a compute [`Budget`]: the
+/// triangle sweep (the `O(Σ deg²)` cost) charges per adjacency-merge and
+/// skips remaining vertices once the budget trips. The estimates over the
+/// processed subset stay consistent; only their variance grows.
+pub fn clustering_with_budget(g: &CsrGraph, budget: &Budget) -> PartialClustering {
+    assert!(
+        !g.is_directed(),
+        "triangle counting assumes undirected input"
+    );
+    let n = g.num_vertices();
+    if n == 0 {
+        return PartialClustering {
+            average: 0.0,
+            transitivity: 0.0,
+            vertices_used: 0,
+            vertices_total: 0,
+        };
+    }
+    // (Σ local coefficients, Σ triangles, Σ wedges, vertices processed).
+    let (coeff, tri, wedges, used) = (0..n as VertexId)
+        .into_par_iter()
+        .fold(
+            || (0.0f64, 0u64, 0u64, 0usize),
+            |(mut coeff, mut tri, mut wedges, mut used), u| {
+                if budget.is_exhausted() {
+                    return (coeff, tri, wedges, used);
+                }
+                let nu = g.neighbor_slice(u);
+                let mut count = 0u64;
+                let mut cost = 1 + nu.len() as u64;
+                for &v in nu {
+                    let nv = g.neighbor_slice(v);
+                    cost += nv.len() as u64;
+                    count += sorted_intersection_size(nu, nv);
+                }
+                if budget.charge(cost).is_err() {
+                    return (coeff, tri, wedges, used);
+                }
+                let t = count / 2;
+                let d = nu.len() as u64;
+                let w = d * d.saturating_sub(1) / 2;
+                if d >= 2 {
+                    coeff += t as f64 / w as f64;
+                }
+                tri += t;
+                wedges += w;
+                used += 1;
+                (coeff, tri, wedges, used)
+            },
+        )
+        .reduce(
+            || (0.0f64, 0u64, 0u64, 0usize),
+            |a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2, a.3 + b.3),
+        );
+    if used < n {
+        snap_obs::add("clustering_vertices_skipped", (n - used) as u64);
+    }
+    PartialClustering {
+        average: if used == 0 { 0.0 } else { coeff / used as f64 },
+        transitivity: if wedges == 0 {
+            0.0
+        } else {
+            tri as f64 / wedges as f64
+        },
+        vertices_used: used,
+        vertices_total: n,
+    }
 }
 
 #[cfg(test)]

@@ -5,8 +5,10 @@
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rayon::prelude::*;
+use snap_budget::Budget;
 use snap_graph::{Graph, VertexId};
 use snap_kernels::bfs::{bfs, par_bfs_hybrid, UNREACHABLE};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Path-length statistics over (a sample of) source vertices.
 #[derive(Clone, Copy, Debug)]
@@ -37,6 +39,55 @@ pub fn path_stats_sampled<G: Graph>(g: &G, k: usize, seed: u64) -> PathStats {
     path_stats_from_sources(g, &sources)
 }
 
+/// Path statistics computed from however many BFS sources the budget
+/// allowed.
+#[derive(Clone, Copy, Debug)]
+pub struct PartialPathStats {
+    /// Statistics over the pairs observed from the processed sources.
+    pub stats: PathStats,
+    /// Sources actually traversed before the budget tripped.
+    pub sources_used: usize,
+    /// Sources the caller asked for.
+    pub sources_requested: usize,
+}
+
+impl PartialPathStats {
+    /// Whether the budget cut the source sweep short.
+    pub fn degraded(&self) -> bool {
+        self.sources_used < self.sources_requested
+    }
+}
+
+/// Sampled path statistics under a compute [`Budget`]: traverses sampled
+/// sources until the budget trips. The processed prefix of the shuffled
+/// sample is itself a uniform sample, so the averages stay unbiased —
+/// only the variance grows. Pass `k = n` for budget-degraded "exact"
+/// statistics.
+pub fn path_stats_with_budget<G: Graph>(
+    g: &G,
+    k: usize,
+    seed: u64,
+    budget: &Budget,
+) -> PartialPathStats {
+    let n = g.num_vertices();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut sources: Vec<VertexId> = (0..n as VertexId).collect();
+    sources.shuffle(&mut rng);
+    sources.truncate(k.max(1).min(n.max(1)));
+    let (stats, used) = path_stats_from_sources_budgeted(g, &sources, budget);
+    if used < sources.len() {
+        if let Some(why) = budget.exhaustion() {
+            snap_obs::meta("degraded", why);
+        }
+        snap_obs::add("sources_skipped", (sources.len() - used) as u64);
+    }
+    PartialPathStats {
+        stats,
+        sources_used: used,
+        sources_requested: sources.len(),
+    }
+}
+
 /// Fold one source's distance array into the distance histogram.
 fn add_distances(acc: &mut Vec<u64>, s: VertexId, dist: &[u32]) {
     for (v, &d) in dist.iter().enumerate() {
@@ -50,6 +101,14 @@ fn add_distances(acc: &mut Vec<u64>, s: VertexId, dist: &[u32]) {
 }
 
 fn path_stats_from_sources<G: Graph>(g: &G, sources: &[VertexId]) -> PathStats {
+    path_stats_from_sources_budgeted(g, sources, &Budget::unlimited()).0
+}
+
+fn path_stats_from_sources_budgeted<G: Graph>(
+    g: &G,
+    sources: &[VertexId],
+    budget: &Budget,
+) -> (PathStats, usize) {
     // Histogram of distances (small-world graphs have tiny diameters, so
     // a growable histogram beats storing all pair distances).
     //
@@ -57,11 +116,19 @@ fn path_stats_from_sources<G: Graph>(g: &G, sources: &[VertexId]) -> PathStats {
     // one source per worker each traversal runs on the parallel
     // direction-optimizing engine instead. With plenty of sources, one
     // sequential BFS per worker wins: no atomic traffic, no level
-    // barriers.
+    // barriers. The budget is gated once per source (one relaxed load)
+    // and charged per traversal.
+    let n = g.num_vertices();
+    let processed = AtomicU64::new(0);
     let hist = if sources.len() < rayon::current_num_threads() {
         let mut acc = Vec::new();
         for &s in sources {
+            if budget.check().is_err() {
+                break;
+            }
             let r = par_bfs_hybrid(g, s);
+            let _ = budget.charge(n as u64 + 1);
+            processed.fetch_add(1, Ordering::Relaxed);
             add_distances(&mut acc, s, &r.dist);
         }
         acc
@@ -69,7 +136,12 @@ fn path_stats_from_sources<G: Graph>(g: &G, sources: &[VertexId]) -> PathStats {
         sources
             .par_iter()
             .fold(Vec::<u64>::new, |mut acc, &s| {
+                if budget.is_exhausted() {
+                    return acc;
+                }
                 let r = bfs(g, s);
+                let _ = budget.charge(n as u64 + 1);
+                processed.fetch_add(1, Ordering::Relaxed);
                 add_distances(&mut acc, s, &r.dist);
                 acc
             })
@@ -83,15 +155,19 @@ fn path_stats_from_sources<G: Graph>(g: &G, sources: &[VertexId]) -> PathStats {
                 a
             })
     };
+    let processed = processed.load(Ordering::Relaxed) as usize;
 
     let pairs: u64 = hist.iter().sum();
     if pairs == 0 {
-        return PathStats {
-            average: 0.0,
-            max: 0,
-            effective_diameter: 0.0,
-            pairs: 0,
-        };
+        return (
+            PathStats {
+                average: 0.0,
+                max: 0,
+                effective_diameter: 0.0,
+                pairs: 0,
+            },
+            processed,
+        );
     }
     let total: u64 = hist.iter().enumerate().map(|(d, &c)| d as u64 * c).sum();
     let max = (hist.len() - 1) as u32;
@@ -113,12 +189,15 @@ fn path_stats_from_sources<G: Graph>(g: &G, sources: &[VertexId]) -> PathStats {
             break;
         }
     }
-    PathStats {
-        average: total as f64 / pairs as f64,
-        max,
-        effective_diameter: eff.max(0.0),
-        pairs,
-    }
+    (
+        PathStats {
+            average: total as f64 / pairs as f64,
+            max,
+            effective_diameter: eff.max(0.0),
+            pairs,
+        },
+        processed,
+    )
 }
 
 #[cfg(test)]

@@ -3,9 +3,10 @@
 //! of topological metrics".
 
 use crate::assortativity::degree_assortativity;
-use crate::clustering::{average_clustering, transitivity};
+use crate::clustering::{average_clustering, clustering_with_budget, transitivity};
 use crate::degree_dist::{degree_stats, DegreeStats};
-use crate::pathlen::{path_stats_exact, path_stats_sampled, PathStats};
+use crate::pathlen::{path_stats_exact, path_stats_sampled, path_stats_with_budget, PathStats};
+use snap_budget::Budget;
 use snap_graph::{CsrGraph, Graph};
 use snap_kernels::connected_components;
 
@@ -43,27 +44,49 @@ const PATH_SAMPLES: usize = 64;
 /// Compute the full summary. Cost: triangle counting plus
 /// `min(n, PATH_SAMPLES)` BFS traversals.
 pub fn summarize(g: &CsrGraph, seed: u64) -> GraphSummary {
+    summarize_with_budget(g, seed, &Budget::unlimited())
+}
+
+/// [`summarize`] under a compute [`Budget`]. The path-statistics BFS
+/// sweep — the dominant cost on large graphs — degrades to however many
+/// sampled sources the budget allows; `paths_sampled` is set whenever the
+/// sweep was cut short of an exact all-pairs pass.
+pub fn summarize_with_budget(g: &CsrGraph, seed: u64, budget: &Budget) -> GraphSummary {
     let _span = snap_obs::span("metrics.summary");
     snap_obs::meta("seed", seed);
     let n = g.num_vertices();
     let comps = connected_components(g);
-    let (paths, paths_sampled) = if n <= EXACT_PATH_LIMIT {
-        (path_stats_exact(g), false)
+    let (paths, paths_sampled, path_sources) = if n <= EXACT_PATH_LIMIT {
+        if budget.is_limited() {
+            let p = path_stats_with_budget(g, n, seed, budget);
+            (p.stats, p.degraded(), p.sources_used)
+        } else {
+            (path_stats_exact(g), false, n)
+        }
+    } else if budget.is_limited() {
+        let p = path_stats_with_budget(g, PATH_SAMPLES, seed, budget);
+        (p.stats, true, p.sources_used)
     } else {
-        (path_stats_sampled(g, PATH_SAMPLES, seed), true)
+        (path_stats_sampled(g, PATH_SAMPLES, seed), true, {
+            PATH_SAMPLES.min(n)
+        })
+    };
+    let (clustering, transitivity) = if budget.is_limited() {
+        let c = clustering_with_budget(g, budget);
+        if c.degraded() {
+            if let Some(why) = budget.exhaustion() {
+                snap_obs::meta("degraded", why);
+            }
+        }
+        (c.average, c.transitivity)
+    } else {
+        (average_clustering(g), transitivity(g))
     };
     if snap_obs::is_enabled() {
         snap_obs::add("n", n as u64);
         snap_obs::add("m", g.num_edges() as u64);
         snap_obs::add("components", comps.count as u64);
-        snap_obs::add(
-            "path_sources",
-            if paths_sampled {
-                PATH_SAMPLES.min(n)
-            } else {
-                n
-            } as u64,
-        );
+        snap_obs::add("path_sources", path_sources as u64);
     }
     GraphSummary {
         n,
@@ -75,8 +98,8 @@ pub fn summarize(g: &CsrGraph, seed: u64) -> GraphSummary {
         } else {
             comps.giant_size() as f64 / n as f64
         },
-        clustering: average_clustering(g),
-        transitivity: transitivity(g),
+        clustering,
+        transitivity,
         assortativity: degree_assortativity(g),
         paths,
         paths_sampled,

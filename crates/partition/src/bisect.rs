@@ -4,7 +4,8 @@
 //! compares against.
 
 use crate::coarsen::coarsen;
-use crate::fm::{bisection_cut, fm_refine};
+use crate::fm::{bisection_cut, fm_refine_budgeted};
+use snap_budget::Budget;
 use snap_graph::{CsrGraph, Graph, VertexId};
 use snap_kernels::bfs;
 
@@ -35,10 +36,47 @@ impl Default for BisectConfig {
 /// Bisect `g` targeting total vertex weight `target0` on side 0.
 /// Returns a 0/1 side label per vertex.
 pub fn multilevel_bisect(g: &CsrGraph, vwgt: &[u32], target0: u64, cfg: &BisectConfig) -> Vec<u8> {
+    multilevel_bisect_budgeted(g, vwgt, target0, cfg, &Budget::unlimited())
+}
+
+/// [`multilevel_bisect`] under a compute [`Budget`]: FM refinement at
+/// every level is budgeted, and once the budget trips remaining levels
+/// project the coarse side up without refining. The result is always a
+/// valid (if rougher) bisection.
+pub fn multilevel_bisect_budgeted(
+    g: &CsrGraph,
+    vwgt: &[u32],
+    target0: u64,
+    cfg: &BisectConfig,
+    budget: &Budget,
+) -> Vec<u8> {
     let n = g.num_vertices();
+    if budget.is_exhausted() {
+        // Degraded split: fill side 0 to the target weight in index
+        // order — balanced, no coarsening or refinement work.
+        let mut side = vec![1u8; n];
+        let mut load0 = 0u64;
+        for v in 0..n {
+            if load0 >= target0 {
+                break;
+            }
+            side[v] = 0;
+            load0 += vwgt[v] as u64;
+        }
+        return side;
+    }
+    let _ = budget.charge(n as u64 + 1);
     if n <= cfg.coarse_limit {
         let mut side = initial_bisect(g, vwgt, target0, cfg.seed);
-        fm_refine(g, vwgt, &mut side, target0, cfg.tolerance, cfg.fm_passes);
+        fm_refine_budgeted(
+            g,
+            vwgt,
+            &mut side,
+            target0,
+            cfg.tolerance,
+            cfg.fm_passes,
+            budget,
+        );
         return side;
     }
     let level = coarsen(g, vwgt, cfg.seed);
@@ -46,16 +84,33 @@ pub fn multilevel_bisect(g: &CsrGraph, vwgt: &[u32], target0: u64, cfg: &BisectC
     // Coarsening stall (e.g. star graphs): bisect directly.
     if level.graph.num_vertices() as f64 > 0.95 * n as f64 {
         let mut side = initial_bisect(g, vwgt, target0, cfg.seed);
-        fm_refine(g, vwgt, &mut side, target0, cfg.tolerance, cfg.fm_passes);
+        fm_refine_budgeted(
+            g,
+            vwgt,
+            &mut side,
+            target0,
+            cfg.tolerance,
+            cfg.fm_passes,
+            budget,
+        );
         return side;
     }
     let mut sub_cfg = *cfg;
     sub_cfg.seed = cfg.seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
-    let coarse_side = multilevel_bisect(&level.graph, &level.vwgt, target0, &sub_cfg);
+    let coarse_side =
+        multilevel_bisect_budgeted(&level.graph, &level.vwgt, target0, &sub_cfg, budget);
 
     // Project to the fine level and refine.
     let mut side: Vec<u8> = (0..n).map(|v| coarse_side[level.map[v] as usize]).collect();
-    fm_refine(g, vwgt, &mut side, target0, cfg.tolerance, cfg.fm_passes);
+    fm_refine_budgeted(
+        g,
+        vwgt,
+        &mut side,
+        target0,
+        cfg.tolerance,
+        cfg.fm_passes,
+        budget,
+    );
     side
 }
 

@@ -43,7 +43,7 @@ pub fn coarsen(g: &CsrGraph, vwgt: &[u32], seed: u64) -> CoarseLevel {
     }
 
     let mut builder = GraphBuilder::undirected(cn).with_capacity(g.num_edges());
-    for e in 0..g.num_edges() as u32 {
+    for e in g.edge_ids() {
         let (u, v) = g.edge_endpoints(e);
         let (cu, cv) = (map[u as usize], map[v as usize]);
         if cu != cv {
@@ -90,7 +90,9 @@ mod tests {
         let g = from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
         for seed in 0..5 {
             let level = coarsen(&g, &[1; 4], seed);
-            let cm: u64 = (0..level.graph.num_edges() as u32)
+            let cm: u64 = level
+                .graph
+                .edge_ids()
                 .map(|e| level.graph.edge_weight(e) as u64)
                 .sum();
             // Cut edges' weights are all preserved.

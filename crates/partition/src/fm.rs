@@ -3,6 +3,7 @@
 //! move sequence and reverting past it. The refinement step of the
 //! multilevel partitioners.
 
+use snap_budget::Budget;
 use snap_graph::{CsrGraph, Graph, VertexId, WeightedGraph};
 use std::collections::BinaryHeap;
 
@@ -25,7 +26,7 @@ fn gain(g: &CsrGraph, side: &[u8], v: VertexId) -> i64 {
 /// Current cut weight of a bisection.
 pub fn bisection_cut(g: &CsrGraph, side: &[u8]) -> u64 {
     let mut cut = 0u64;
-    for e in 0..g.num_edges() as u32 {
+    for e in g.edge_ids() {
         let (u, v) = g.edge_endpoints(e);
         if side[u as usize] != side[v as usize] {
             cut += g.edge_weight(e) as u64;
@@ -49,6 +50,31 @@ pub fn fm_refine(
     tolerance: f64,
     max_passes: usize,
 ) {
+    fm_refine_budgeted(
+        g,
+        vwgt,
+        side,
+        target0,
+        tolerance,
+        max_passes,
+        &Budget::unlimited(),
+    );
+}
+
+/// [`fm_refine`] under a compute [`Budget`]: passes stop early when the
+/// budget trips. A pass interrupted mid-sequence still rolls back to its
+/// best prefix, so `side` is always left in a valid (refined-so-far)
+/// state.
+#[allow(clippy::too_many_arguments)]
+pub fn fm_refine_budgeted(
+    g: &CsrGraph,
+    vwgt: &[u32],
+    side: &mut [u8],
+    target0: u64,
+    tolerance: f64,
+    max_passes: usize,
+    budget: &Budget,
+) {
     let n = g.num_vertices();
     if n == 0 {
         return;
@@ -66,6 +92,9 @@ pub fn fm_refine(
     let mut obs_moves = 0u64;
     let mut obs_gain = 0i64;
     for _pass in 0..max_passes {
+        if budget.check().is_err() {
+            break;
+        }
         obs_passes += 1;
         let mut load0: i64 = (0..n)
             .filter(|&v| side[v] == 0)
@@ -85,6 +114,9 @@ pub fn fm_refine(
         while let Some((gval, v)) = heap.pop() {
             if locked[v as usize] || gval != gains[v as usize] {
                 continue; // stale entry
+            }
+            if budget.charge(1 + g.degree(v) as u64).is_err() {
+                break; // rollback below still restores the best prefix
             }
             // Balance check.
             let w = vwgt[v as usize] as i64;

@@ -2,10 +2,11 @@
 //! scheme), optionally followed by direct k-way greedy refinement (the
 //! kmetis-flavored variant).
 
-use crate::bisect::{multilevel_bisect, BisectConfig};
+use crate::bisect::{multilevel_bisect_budgeted, BisectConfig};
 use crate::metrics::Partition;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use snap_budget::Budget;
 use snap_graph::{CsrGraph, Graph, InducedSubgraph, VertexId, WeightedGraph};
 
 /// Configuration for the k-way partitioners.
@@ -51,6 +52,14 @@ impl KwayConfig {
 /// Partition `g` into `cfg.parts` parts by recursive multilevel
 /// bisection (+ optional k-way refinement).
 pub fn kway_partition(g: &CsrGraph, cfg: &KwayConfig) -> Partition {
+    kway_partition_with_budget(g, cfg, &Budget::unlimited())
+}
+
+/// [`kway_partition`] under a compute [`Budget`]. When the budget trips,
+/// remaining recursive bisections fall back to unrefined round-robin
+/// splits (balanced, every part non-empty) and refinement passes stop
+/// early — the returned partition is always valid.
+pub fn kway_partition_with_budget(g: &CsrGraph, cfg: &KwayConfig, budget: &Budget) -> Partition {
     let _span = snap_obs::span("partition.multilevel");
     assert!(cfg.parts >= 1, "parts must be positive");
     let n = g.num_vertices();
@@ -68,6 +77,7 @@ pub fn kway_partition(g: &CsrGraph, cfg: &KwayConfig) -> Partition {
             &mut next_label,
             &mut assignment,
             &cfg.bisect,
+            budget,
         );
     }
     let mut p = Partition {
@@ -75,7 +85,17 @@ pub fn kway_partition(g: &CsrGraph, cfg: &KwayConfig) -> Partition {
         parts: cfg.parts,
     };
     if cfg.kway_refine_passes > 0 {
-        kway_refine(g, &mut p, cfg.tolerance, cfg.kway_refine_passes, cfg.seed);
+        kway_refine_budgeted(
+            g,
+            &mut p,
+            cfg.tolerance,
+            cfg.kway_refine_passes,
+            cfg.seed,
+            budget,
+        );
+    }
+    if let Some(why) = budget.exhaustion() {
+        snap_obs::meta("degraded", why);
     }
     p
 }
@@ -92,6 +112,7 @@ fn rb(
     next_label: &mut u32,
     out: &mut [u32],
     bisect_cfg: &BisectConfig,
+    budget: &Budget,
 ) {
     if parts == 1 || vertices.len() <= 1 {
         let label = *next_label;
@@ -99,6 +120,15 @@ fn rb(
         for &v in vertices {
             out[v as usize] = label;
         }
+        return;
+    }
+    if budget.is_exhausted() {
+        // Degraded split: round-robin keeps every part balanced and
+        // non-empty without any further multilevel work.
+        for (i, &v) in vertices.iter().enumerate() {
+            out[v as usize] = *next_label + (i % parts) as u32;
+        }
+        *next_label += parts as u32;
         return;
     }
     let sub = InducedSubgraph::extract(g, vertices);
@@ -110,7 +140,7 @@ fn rb(
 
     let mut cfg = *bisect_cfg;
     cfg.seed = seed;
-    let side = multilevel_bisect(&sub.graph, &sub_vwgt, target0, &cfg);
+    let side = multilevel_bisect_budgeted(&sub.graph, &sub_vwgt, target0, &cfg, budget);
 
     let mut left = Vec::new();
     let mut right = Vec::new();
@@ -135,13 +165,31 @@ fn rb(
         seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(3),
         seed.wrapping_mul(0xc2b2ae3d27d4eb4f).wrapping_add(7),
     );
-    rb(g, vwgt, &left, kl, seed_l, next_label, out, bisect_cfg);
-    rb(g, vwgt, &right, kr, seed_r, next_label, out, bisect_cfg);
+    rb(
+        g, vwgt, &left, kl, seed_l, next_label, out, bisect_cfg, budget,
+    );
+    rb(
+        g, vwgt, &right, kr, seed_r, next_label, out, bisect_cfg, budget,
+    );
 }
 
 /// Greedy direct k-way refinement: boundary vertices move to the adjacent
 /// part with the largest positive gain, balance permitting.
 pub fn kway_refine(g: &CsrGraph, p: &mut Partition, tolerance: f64, passes: usize, seed: u64) {
+    kway_refine_budgeted(g, p, tolerance, passes, seed, &Budget::unlimited());
+}
+
+/// [`kway_refine`] under a compute [`Budget`]: refinement stops at the
+/// first exhausted pass boundary or mid-pass vertex. Every applied move
+/// preserves balance, so the partition stays valid wherever it stops.
+pub fn kway_refine_budgeted(
+    g: &CsrGraph,
+    p: &mut Partition,
+    tolerance: f64,
+    passes: usize,
+    seed: u64,
+    budget: &Budget,
+) {
     let n = g.num_vertices();
     let k = p.parts;
     if n == 0 || k <= 1 {
@@ -162,10 +210,16 @@ pub fn kway_refine(g: &CsrGraph, p: &mut Partition, tolerance: f64, passes: usiz
     let mut wto = vec![0i64; k];
     let mut obs_moves = 0u64;
     let mut obs_passes = 0u64;
-    for _ in 0..passes {
+    'passes: for _ in 0..passes {
+        if budget.check().is_err() {
+            break;
+        }
         obs_passes += 1;
         let mut moved = 0usize;
         for &v in &order {
+            if budget.charge(1 + g.degree(v) as u64).is_err() {
+                break 'passes;
+            }
             let cur = p.assignment[v as usize] as usize;
             let mut touched: Vec<usize> = Vec::new();
             for (u, e) in g.neighbors_with_eid(v) {

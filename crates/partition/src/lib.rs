@@ -22,16 +22,21 @@ pub mod matching;
 pub mod metrics;
 pub mod spectral;
 
-pub use bisect::{bisect_with_cut, initial_bisect, multilevel_bisect, BisectConfig};
+pub use bisect::{
+    bisect_with_cut, initial_bisect, multilevel_bisect, multilevel_bisect_budgeted, BisectConfig,
+};
 pub use coarsen::{coarsen, CoarseLevel};
-pub use fm::{bisection_cut, fm_refine};
-pub use kway::{kway_partition, kway_refine, KwayConfig};
+pub use fm::{bisection_cut, fm_refine, fm_refine_budgeted};
+pub use kway::{
+    kway_partition, kway_partition_with_budget, kway_refine, kway_refine_budgeted, KwayConfig,
+};
 pub use matching::{heavy_edge_matching, is_valid_matching};
 pub use metrics::{conductance, edge_cut, imbalance, Partition};
 pub use spectral::{
     fiedler_lanczos, fiedler_power, spectral_partition, Eigensolver, SpectralConfig, SpectralError,
 };
 
+use snap_budget::Budget;
 use snap_graph::CsrGraph;
 
 /// The four partitioning methods of Table 1.
@@ -78,13 +83,35 @@ pub fn partition(
     parts: usize,
     seed: u64,
 ) -> Result<Partition, SpectralError> {
+    partition_with_budget(g, method, parts, seed, &Budget::unlimited())
+}
+
+/// [`partition`] under a compute [`Budget`]. The multilevel methods
+/// degrade gracefully (budgeted FM / k-way refinement, round-robin
+/// fallback splits); the spectral solvers are bounded by their own
+/// iteration caps and run to completion.
+pub fn partition_with_budget(
+    g: &CsrGraph,
+    method: Method,
+    parts: usize,
+    seed: u64,
+    budget: &Budget,
+) -> Result<Partition, SpectralError> {
     let _span = snap_obs::span("partition");
     snap_obs::meta("method", method.label());
     snap_obs::meta("parts", parts);
     snap_obs::meta("seed", seed);
     let result = match method {
-        Method::MultilevelKway => Ok(kway_partition(g, &KwayConfig::kway(parts, seed))),
-        Method::MultilevelRecursive => Ok(kway_partition(g, &KwayConfig::recursive(parts, seed))),
+        Method::MultilevelKway => Ok(kway_partition_with_budget(
+            g,
+            &KwayConfig::kway(parts, seed),
+            budget,
+        )),
+        Method::MultilevelRecursive => Ok(kway_partition_with_budget(
+            g,
+            &KwayConfig::recursive(parts, seed),
+            budget,
+        )),
         Method::SpectralRqi => spectral_partition(g, &SpectralConfig::rqi(parts, seed)),
         Method::SpectralLanczos => spectral_partition(g, &SpectralConfig::lanczos(parts, seed)),
     };

@@ -35,7 +35,7 @@ impl Partition {
 /// Total weight of edges whose endpoints land in different parts.
 pub fn edge_cut<G: WeightedGraph>(g: &G, p: &Partition) -> u64 {
     let mut cut = 0u64;
-    for e in 0..g.num_edges() as u32 {
+    for e in g.edge_ids() {
         let (u, v) = g.edge_endpoints(e);
         if p.assignment[u as usize] != p.assignment[v as usize] {
             cut += g.edge_weight(e) as u64;
@@ -51,7 +51,7 @@ pub fn conductance<G: WeightedGraph>(g: &G, p: &Partition) -> Vec<f64> {
     let mut vol = vec![0u64; p.parts];
     let mut cut = vec![0u64; p.parts];
     let mut total_vol = 0u64;
-    for e in 0..g.num_edges() as u32 {
+    for e in g.edge_ids() {
         let (u, v) = g.edge_endpoints(e);
         let w = g.edge_weight(e) as u64;
         let (pu, pv) = (p.assignment[u as usize], p.assignment[v as usize]);

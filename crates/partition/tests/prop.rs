@@ -78,7 +78,7 @@ proptest! {
         );
         level.graph.validate().unwrap();
         // Total edge weight is preserved minus the contracted edges.
-        let coarse_weight: u64 = (0..level.graph.num_edges() as u32)
+        let coarse_weight: u64 = level.graph.edge_ids()
             .map(|e| snap_graph::WeightedGraph::edge_weight(&level.graph, e) as u64)
             .sum();
         prop_assert!(coarse_weight <= g.num_edges() as u64);

@@ -132,6 +132,108 @@ fn centrality_lists_top_vertices() {
 }
 
 #[test]
+fn timeout_zero_run_exits_cleanly_with_degraded_report() {
+    let path = scratch("t.txt");
+    cli()
+        .args([
+            "generate",
+            "rmat",
+            "--scale",
+            "10",
+            "--edges",
+            "8192",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let out = cli()
+        .args([
+            "run",
+            path.to_str().unwrap(),
+            "--timeout",
+            "0",
+            "--report",
+            "json",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "degraded run must still exit 0: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let human = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(human.contains("budget exhausted"), "{human}");
+    assert!(human.contains("bfs cancelled"), "{human}");
+    // Stdout carries exactly the JSON report; it must parse and mark the
+    // cancelled traversal.
+    let json = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(json.trim_start().starts_with('{'), "{json}");
+    assert!(json.contains("\"cancelled\""), "{json}");
+    assert!(json.contains("deadline passed"), "{json}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn timeout_zero_bfs_exits_nonzero() {
+    let path = scratch("tb.txt");
+    cli()
+        .args([
+            "generate",
+            "er",
+            "--scale",
+            "8",
+            "--edges",
+            "1024",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let out = cli()
+        .args(["bfs", path.to_str().unwrap(), "--timeout", "0"])
+        .output()
+        .unwrap();
+    // A cancelled BFS has no partial result to show: non-zero, but clean.
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(3));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("bfs cancelled"), "{text}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn generous_timeout_changes_nothing() {
+    let path = scratch("tg.txt");
+    cli()
+        .args([
+            "generate",
+            "planted",
+            "--scale",
+            "7",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let with = cli()
+        .args(["communities", path.to_str().unwrap(), "--timeout", "3600"])
+        .output()
+        .unwrap();
+    let without = cli()
+        .args(["communities", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(with.status.success());
+    assert_eq!(
+        with.stdout, without.stdout,
+        "generous budget must not alter results"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn missing_file_fails_cleanly() {
     let out = cli()
         .args(["summary", "/nonexistent/definitely-missing.txt"])

@@ -1,0 +1,139 @@
+//! Filtered-view regression tests for the edge-id contract.
+//!
+//! A `FilteredGraph` keeps the *base* edge-id space: after deletions,
+//! live ids are non-contiguous and `0..num_edges()` sweeps silently read
+//! the wrong edges. Every analysis quantity computed on a view with
+//! deleted edges must equal the same quantity on the equivalent compact
+//! graph (`FilteredGraph::rebuild`).
+
+use snap::community::{modularity, pla_view, Clustering, PlaConfig};
+use snap::graph::{CsrGraph, FilteredGraph, Graph};
+use snap::metrics::degree_assortativity;
+
+/// Two triangle pairs joined by bridges, plus chaff edges that get
+/// deleted to leave holes in the edge-id space.
+fn base_graph() -> CsrGraph {
+    snap::graph::builder::from_edges(
+        8,
+        &[
+            (0, 1), // 0
+            (1, 2), // 1
+            (0, 2), // 2
+            (2, 3), // 3  chaff: cross edge, deleted
+            (2, 4), // 4  bridge
+            (4, 5), // 5
+            (5, 6), // 6
+            (4, 6), // 7
+            (0, 7), // 8  chaff: pendant, deleted
+            (3, 6), // 9
+        ],
+    )
+}
+
+fn holey_view(g: &CsrGraph) -> FilteredGraph<'_> {
+    let mut view = FilteredGraph::new(g);
+    assert!(view.delete_edge(3));
+    assert!(view.delete_edge(8));
+    view
+}
+
+#[test]
+fn modularity_on_view_equals_rebuilt() {
+    let g = base_graph();
+    let view = holey_view(&g);
+    let rebuilt = view.rebuild();
+    // Any labeling will do; pick one splitting at the bridge.
+    let labels = vec![0u32, 0, 0, 1, 1, 1, 1, 0];
+    let c = Clustering::from_labels(&labels);
+    let qv = modularity(&view, &c);
+    let qr = modularity(&rebuilt, &c);
+    assert!(
+        (qv - qr).abs() < 1e-12,
+        "view q {qv} != rebuilt q {qr} (edge-id sweep bug)"
+    );
+}
+
+#[test]
+fn assortativity_on_view_equals_rebuilt() {
+    let g = base_graph();
+    let view = holey_view(&g);
+    let rebuilt = view.rebuild();
+    let av = degree_assortativity(&view);
+    let ar = degree_assortativity(&rebuilt);
+    assert!(
+        (av - ar).abs() < 1e-12,
+        "view assortativity {av} != rebuilt {ar}"
+    );
+}
+
+#[test]
+fn pla_on_view_equals_rebuilt() {
+    let g = base_graph();
+    let view = holey_view(&g);
+    let rebuilt = view.rebuild();
+    let cfg = PlaConfig::default();
+    let rv = pla_view(&view, &cfg);
+    let rr = snap::community::pla(&rebuilt, &cfg);
+    assert!(
+        (rv.q - rr.q).abs() < 1e-9,
+        "view pla q {} != rebuilt pla q {}",
+        rv.q,
+        rr.q
+    );
+    assert_eq!(rv.clustering.count, rr.clustering.count);
+    let nmi = snap::community::normalized_mutual_information(&rv.clustering, &rr.clustering);
+    assert!(nmi > 0.999, "clusterings diverge: nmi = {nmi}");
+}
+
+#[test]
+fn view_quantities_change_when_deletions_matter() {
+    // Sanity: the quantities above actually depend on the deletions —
+    // a sweep reading dead edges would get these wrong.
+    let g = base_graph();
+    let view = holey_view(&g);
+    let labels = vec![0u32, 0, 0, 1, 1, 1, 1, 0];
+    let c = Clustering::from_labels(&labels);
+    let q_full = modularity(&g, &c);
+    let q_view = modularity(&view, &c);
+    assert!(
+        (q_full - q_view).abs() > 1e-9,
+        "test graph too weak: deletions do not move modularity"
+    );
+    assert!(
+        (degree_assortativity(&g) - degree_assortativity(&view)).abs() > 1e-9,
+        "test graph too weak: deletions do not move assortativity"
+    );
+}
+
+#[test]
+fn modularity_on_larger_random_view() {
+    // Planted partition with a batch of random deletions: view and
+    // rebuilt graph must agree on modularity of the planted labels.
+    let cfg = snap::gen::PlantedConfig::uniform(4, 25, 0.4, 0.02);
+    let (g, truth) = snap::gen::planted_partition(&cfg, 11);
+    let mut view = FilteredGraph::new(&g);
+    let m = g.num_edges();
+    for k in 0..m / 5 {
+        view.delete_edge(((k * 7919) % m) as u32);
+    }
+    let rebuilt = view.rebuild();
+    let c = Clustering::from_labels(&truth);
+    let qv = modularity(&view, &c);
+    let qr = modularity(&rebuilt, &c);
+    assert!((qv - qr).abs() < 1e-12, "view q {qv} != rebuilt q {qr}");
+    assert_eq!(view.edge_ids().count(), rebuilt.num_edges());
+}
+
+#[test]
+fn bicc_on_view_uses_base_edge_ids() {
+    // Bridge/articulation detection on a view must size its per-edge
+    // state by `edge_id_bound()`, not the live count — live ids above
+    // `num_edges()` exist once edges are deleted.
+    let g = base_graph();
+    let view = holey_view(&g);
+    let bicc = snap::kernels::biconnected_components(&view);
+    assert_eq!(bicc.edge_comp.len(), view.edge_id_bound());
+    for &b in &bicc.bridges {
+        assert!(view.is_live(b), "bridge {b} must be a live edge");
+    }
+}

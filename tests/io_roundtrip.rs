@@ -64,7 +64,7 @@ fn dimacs_file_roundtrip_weighted() {
     let h =
         snap::io::dimacs::read_dimacs(BufReader::new(File::open(&path).unwrap()), false).unwrap();
     assert_eq!(h.num_edges(), g.num_edges());
-    for e in 0..g.num_edges() as u32 {
+    for e in g.edge_ids() {
         assert_eq!(h.edge_weight(e), g.edge_weight(e));
     }
     // Shortest paths computed on the round-tripped graph agree.
