@@ -1,0 +1,148 @@
+//! perf_suite — fixed-seed kernel timing suite for regression tracking.
+//!
+//! Times the multi-source kernels (sampled betweenness, exact closeness,
+//! sampled path statistics, hybrid BFS) on deterministic R-MAT/ER
+//! instances and emits a machine-readable `BENCH_kernels.json`:
+//!
+//! ```text
+//! [{"bench": "...", "n": 32768, "m": 219382, "wall_ms": 1234.5, "work_units": 987654}, ...]
+//! ```
+//!
+//! `wall_ms` is the minimum over `--reps` runs (the low-noise statistic on
+//! a shared host); `work_units` is an implementation-independent work
+//! measure per bench (traversal vertices or arcs examined), so a result
+//! file from one tree is comparable against another.
+//!
+//! ```text
+//! cargo run --release -p snap-bench --bin perf_suite -- \
+//!     [--scale N] [--reps R] [--seed S] [--out PATH]
+//! ```
+
+use snap::centrality::{betweenness_from_sources, closeness, sample_sources};
+use snap::gen::{erdos_renyi, rmat, RmatConfig};
+use snap::graph::{CsrGraph, Graph};
+use snap::kernels::{par_bfs_hybrid_stats, HybridConfig};
+use snap::metrics::path_stats_sampled;
+use snap_bench::time;
+use std::time::Duration;
+
+/// One emitted benchmark record.
+struct Entry {
+    bench: &'static str,
+    n: usize,
+    m: usize,
+    wall_ms: f64,
+    work_units: u64,
+}
+
+fn min_wall(reps: usize, mut f: impl FnMut() -> Duration) -> f64 {
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        best = best.min(f());
+    }
+    best.as_secs_f64() * 1e3
+}
+
+fn main() {
+    let mut scale = 15u32;
+    let mut reps = 3usize;
+    let mut seed = 0x5eedu64;
+    let mut out = String::from("BENCH_kernels.json");
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match flag.as_str() {
+            "--scale" => scale = val("--scale").parse().expect("--scale must be a u32"),
+            "--reps" => reps = val("--reps").parse().expect("--reps must be a usize"),
+            "--seed" => seed = val("--seed").parse().expect("--seed must be a u64"),
+            "--out" => out = val("--out"),
+            other => panic!("unknown flag {other}; supported: --scale N --reps R --seed S --out P"),
+        }
+    }
+    let reps = reps.max(1);
+    let mut entries = Vec::new();
+
+    // --- Sampled betweenness, k = 64 sources, R-MAT m = 8n. ---
+    {
+        let n = 1usize << scale;
+        let g = rmat(&RmatConfig::small_world(scale, n * 8), seed);
+        let sources = sample_sources(g.num_vertices(), 64, seed);
+        // Work units: total traversal vertices over all sources, read from
+        // the kernel's own counters in one observed warm-up run.
+        snap_obs::enable();
+        let _ = betweenness_from_sources(&g, &sources);
+        let report = snap_obs::finish().unwrap_or_default();
+        let work = report.total_counter("frontier_vertices");
+        let wall = min_wall(reps, || time(|| betweenness_from_sources(&g, &sources)).1);
+        entries.push(entry("sampled_betweenness_k64", &g, wall, work));
+    }
+
+    // --- Exact closeness (all-sources BFS sweep) on an ER instance. ---
+    {
+        let n = 1usize << scale.saturating_sub(3);
+        let g = erdos_renyi(n, n * 8, seed);
+        let wall = min_wall(reps, || time(|| closeness(&g)).1);
+        entries.push(entry("closeness_exact", &g, wall, g.num_vertices() as u64));
+    }
+
+    // --- Sampled path statistics, k = 256 sources. ---
+    {
+        let s = scale.saturating_sub(1);
+        let n = 1usize << s;
+        let g = rmat(&RmatConfig::small_world(s, n * 8), seed);
+        let wall = min_wall(reps, || time(|| path_stats_sampled(&g, 256, seed)).1);
+        entries.push(entry("path_stats_sampled_k256", &g, wall, 256));
+    }
+
+    // --- Direction-optimizing hybrid BFS from 64 sampled sources. ---
+    {
+        let n = 1usize << scale;
+        let g = rmat(&RmatConfig::small_world(scale, n * 8), seed);
+        let sources = sample_sources(g.num_vertices(), 64, seed ^ 1);
+        let cfg = HybridConfig::default();
+        let mut work = 0u64;
+        let wall = min_wall(reps, || {
+            let (edges, d) = time(|| {
+                sources
+                    .iter()
+                    .map(|&s| par_bfs_hybrid_stats(&g, s, &cfg).1.total_edges_examined())
+                    .sum::<u64>()
+            });
+            work = edges;
+            d
+        });
+        entries.push(entry("hybrid_bfs_64", &g, wall, work));
+    }
+
+    let json = render(&entries);
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("{json}");
+    eprintln!("wrote {out} (scale {scale}, reps {reps}, seed {seed:#x})");
+}
+
+fn entry(bench: &'static str, g: &CsrGraph, wall_ms: f64, work_units: u64) -> Entry {
+    Entry {
+        bench,
+        n: g.num_vertices(),
+        m: g.num_edges(),
+        wall_ms,
+        work_units,
+    }
+}
+
+fn render(entries: &[Entry]) -> String {
+    let mut s = String::from("[\n");
+    for (i, e) in entries.iter().enumerate() {
+        s.push_str(&format!(
+            "  {{\"bench\": \"{}\", \"n\": {}, \"m\": {}, \"wall_ms\": {:.3}, \"work_units\": {}}}{}\n",
+            e.bench,
+            e.n,
+            e.m,
+            e.wall_ms,
+            e.work_units,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("]\n");
+    s
+}

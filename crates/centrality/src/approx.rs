@@ -9,16 +9,29 @@
 //! crosses `alpha * n`, spending fewer traversals on high-centrality
 //! targets (exactly the entities pBD cares about).
 
-use crate::brandes::{accumulate_source, BetweennessScores, PartialBetweenness, Scratch};
+use crate::brandes::{
+    accumulate_source, try_betweenness_from_sources_with_workspace, BetweennessScores,
+    PartialBetweenness,
+};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use snap_budget::Budget;
-use snap_graph::{Graph, VertexId};
+use snap_graph::{Graph, TraversalWorkspace, VertexId, WorkspacePool};
 
 /// Estimate vertex and edge betweenness from a random `frac` fraction of
 /// sources (at least one). Unbiased; variance shrinks with `frac`.
 /// Parallel over the sampled sources.
 pub fn approx_betweenness<G: Graph>(g: &G, frac: f64, seed: u64) -> BetweennessScores {
+    approx_betweenness_with_workspace(g, frac, seed, &WorkspacePool::new())
+}
+
+/// [`approx_betweenness`] drawing traversal scratch from `pool`.
+pub fn approx_betweenness_with_workspace<G: Graph>(
+    g: &G,
+    frac: f64,
+    seed: u64,
+    pool: &WorkspacePool,
+) -> BetweennessScores {
     let _span = snap_obs::span("centrality.approx_betweenness");
     let n = g.num_vertices();
     if n == 0 {
@@ -31,7 +44,7 @@ pub fn approx_betweenness<G: Graph>(g: &G, frac: f64, seed: u64) -> BetweennessS
     snap_obs::add("samples_drawn", k as u64);
     snap_obs::gauge("sample_fraction", frac);
     let sources = sample_sources(n, k, seed);
-    crate::brandes::betweenness_from_sources(g, &sources)
+    crate::brandes::betweenness_from_sources_with_workspace(g, &sources, pool)
 }
 
 /// [`approx_betweenness`] under a compute [`Budget`]: accumulates sampled
@@ -44,6 +57,19 @@ pub fn approx_betweenness_with_budget<G: Graph>(
     frac: f64,
     seed: u64,
     budget: &Budget,
+) -> PartialBetweenness {
+    approx_betweenness_with_budget_and_workspace(g, frac, seed, budget, &WorkspacePool::new())
+}
+
+/// [`approx_betweenness_with_budget`] drawing traversal scratch from
+/// `pool`. pBD holds one pool across its betweenness rounds so each
+/// round's traversals reuse the previous round's slot arrays.
+pub fn approx_betweenness_with_budget_and_workspace<G: Graph>(
+    g: &G,
+    frac: f64,
+    seed: u64,
+    budget: &Budget,
+    pool: &WorkspacePool,
 ) -> PartialBetweenness {
     let _span = snap_obs::span("centrality.approx_betweenness");
     let n = g.num_vertices();
@@ -61,7 +87,7 @@ pub fn approx_betweenness_with_budget<G: Graph>(
     snap_obs::add("samples_drawn", k as u64);
     snap_obs::gauge("sample_fraction", frac);
     let sources = sample_sources(n, k, seed);
-    crate::brandes::try_betweenness_from_sources(g, &sources, budget)
+    try_betweenness_from_sources_with_workspace(g, &sources, budget, pool)
 }
 
 /// Result of the adaptive single-entity estimator.
@@ -86,13 +112,14 @@ pub fn adaptive_vertex_betweenness<G: Graph>(
     let n = g.num_vertices();
     let m = g.edge_id_bound();
     let sources = sample_sources(n, n, seed);
-    let mut scratch = Scratch::new(n);
+    let mut ws = TraversalWorkspace::new();
+    ws.bind_preds(g);
     let mut vacc = vec![0.0; n];
     let mut eacc = vec![0.0; m];
     let threshold = alpha * n as f64;
     let mut used = 0usize;
     for &s in &sources {
-        accumulate_source(g, s, &mut scratch, &mut vacc, &mut eacc);
+        accumulate_source(g, s, &mut ws, &mut vacc, &mut eacc);
         used += 1;
         if vacc[target as usize] >= threshold {
             break;
@@ -119,13 +146,14 @@ pub fn adaptive_edge_betweenness<G: Graph>(
     let n = g.num_vertices();
     let m = g.edge_id_bound();
     let sources = sample_sources(n, n, seed);
-    let mut scratch = Scratch::new(n);
+    let mut ws = TraversalWorkspace::new();
+    ws.bind_preds(g);
     let mut vacc = vec![0.0; n];
     let mut eacc = vec![0.0; m];
     let threshold = alpha * n as f64;
     let mut used = 0usize;
     for &s in &sources {
-        accumulate_source(g, s, &mut scratch, &mut vacc, &mut eacc);
+        accumulate_source(g, s, &mut ws, &mut vacc, &mut eacc);
         used += 1;
         if eacc[target as usize] >= threshold {
             break;

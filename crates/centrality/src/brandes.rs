@@ -10,7 +10,8 @@
 
 use rayon::prelude::*;
 use snap_budget::Budget;
-use snap_graph::{Graph, VertexId};
+use snap_graph::scratch::{stamped, BrandesSlot, PredArc};
+use snap_graph::{Graph, TraversalWorkspace, VertexId, WorkspacePool};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Betweenness scores for all vertices and edges.
@@ -46,93 +47,102 @@ impl BetweennessScores {
     }
 }
 
-/// Reusable per-traversal state. Reset cost is proportional to the set of
-/// vertices actually reached, not `n`, which matters when the divisive
-/// algorithms run traversals inside small components.
-pub(crate) struct Scratch {
-    dist: Vec<u32>,
-    sigma: Vec<f64>,
-    delta: Vec<f64>,
-    /// Predecessor arcs as (pred_vertex, edge_id).
-    preds: Vec<Vec<(VertexId, u32)>>,
-    /// Vertices in non-decreasing distance order (the BFS "stack").
-    order: Vec<VertexId>,
-    queue: std::collections::VecDeque<VertexId>,
-}
-
-impl Scratch {
-    pub(crate) fn new(n: usize) -> Self {
-        Scratch {
-            dist: vec![u32::MAX; n],
-            sigma: vec![0.0; n],
-            delta: vec![0.0; n],
-            preds: vec![Vec::new(); n],
-            order: Vec::new(),
-            queue: std::collections::VecDeque::new(),
-        }
-    }
-
-    fn reset(&mut self) {
-        for &v in &self.order {
-            let v = v as usize;
-            self.dist[v] = u32::MAX;
-            self.sigma[v] = 0.0;
-            self.delta[v] = 0.0;
-            self.preds[v].clear();
-        }
-        self.order.clear();
-        self.queue.clear();
-    }
-}
-
 /// One Brandes accumulation from `s`: adds the dependencies of all
 /// shortest paths out of `s` into `vacc` (vertices) and `eacc` (edges).
+///
+/// `ws` must have its predecessor buffer bound to `g` (see
+/// [`TraversalWorkspace::bind_preds`]) — callers bind once per kernel
+/// call, then run every source through the same workspace. Clearing
+/// between sources is the epoch bump inside [`TraversalWorkspace::begin`];
+/// no per-source allocation or `O(n)` reset happens here.
 pub(crate) fn accumulate_source<G: Graph>(
     g: &G,
     s: VertexId,
-    scratch: &mut Scratch,
+    ws: &mut TraversalWorkspace,
     vacc: &mut [f64],
     eacc: &mut [f64],
 ) {
-    scratch.reset();
-    let Scratch {
+    let tag = ws.begin(g.num_vertices());
+    let snap_graph::scratch::Slots {
         dist,
-        sigma,
-        delta,
-        preds,
+        bslot: slot,
         order,
-        queue,
-    } = scratch;
+        pred,
+        ..
+    } = ws.slots();
 
-    dist[s as usize] = 0;
-    sigma[s as usize] = 1.0;
-    queue.push_back(s);
-    while let Some(u) = queue.pop_front() {
-        order.push(u);
-        let du = dist[u as usize];
+    let si = s as usize;
+    dist[si] = tag; // distance 0
+    slot[si].sigma = 1.0;
+    slot[si].delta = 0.0;
+    slot[si].pred_end = slot[si].pred_off;
+    // The discovery-order vector doubles as the FIFO queue (`head` chases
+    // the push end) — same level structure, no separate queue traffic.
+    // `level_end` marks where the current BFS level ends in `order`, so
+    // the expansion never re-reads dist[u]: the depth is a loop counter,
+    // and a same-level shortest-path arc is a whole-word compare against
+    // the precomputed next-level stamp. Every scanned arc probes the
+    // dense `dist` array; only shortest-path arcs touch the packed
+    // [`BrandesSlot`], where σ and the predecessor cursor share a line.
+    order.push(s);
+    let mut head = 0usize;
+    let mut level_end = 1usize;
+    let mut dnext = tag | 1;
+    while head < order.len() {
+        if head == level_end {
+            level_end = order.len();
+            dnext += 1;
+        }
+        let u = order[head];
+        head += 1;
+        // σ(u) is loop-invariant over u's adjacency: a neighbor at
+        // distance du + 1 can never feed back into σ(u) mid-scan.
+        let su = slot[u as usize].sigma;
         for (v, e) in g.neighbors_with_eid(u) {
-            let vd = &mut dist[v as usize];
-            if *vd == u32::MAX {
-                *vd = du + 1;
-                queue.push_back(v);
-            }
-            if dist[v as usize] == du + 1 {
-                sigma[v as usize] += sigma[u as usize];
-                preds[v as usize].push((u, e));
+            let vi = v as usize;
+            let wv = dist[vi];
+            if wv == dnext {
+                // Already discovered at the next level: another shortest
+                // path; append this arc to v's predecessor list.
+                let sv = &mut slot[vi];
+                sv.sigma += su;
+                pred[sv.pred_end as usize] = PredArc { v: u, e };
+                sv.pred_end += 1;
+            } else if !stamped(wv, tag) {
+                // First touch this epoch: stamp and write the slot's
+                // live fields outright (σ = σ(u), first pred arc) —
+                // pure stores, no read-modify-write of stale state.
+                dist[vi] = dnext;
+                let sv = &mut slot[vi];
+                let off = sv.pred_off;
+                sv.sigma = su;
+                sv.delta = 0.0;
+                sv.pred_end = off + 1;
+                pred[off as usize] = PredArc { v: u, e };
+                order.push(v);
             }
         }
     }
-    // Dependency accumulation in reverse BFS order.
-    for &w in order.iter().rev() {
-        let dw = delta[w as usize];
-        let coeff = (1.0 + dw) / sigma[w as usize];
-        for &(v, e) in &preds[w as usize] {
-            let c = sigma[v as usize] * coeff;
-            delta[v as usize] += c;
+    // Dependency accumulation in reverse BFS order, reading each
+    // vertex's predecessor arcs from the flat CSR buffer.
+    for i in (0..order.len()).rev() {
+        let w = order[i];
+        let wi = w as usize;
+        let BrandesSlot {
+            sigma: sw,
+            delta: dw,
+            pred_off,
+            pred_end,
+            ..
+        } = slot[wi];
+        let coeff = (1.0 + dw) / sw;
+        for &PredArc { v, e } in &pred[pred_off as usize..pred_end as usize] {
+            let c = slot[v as usize].sigma * coeff;
+            slot[v as usize].delta += c;
             eacc[e as usize] += c;
         }
         if w != s {
-            vacc[w as usize] += dw;
+            vacc[wi] += dw;
         }
     }
 }
@@ -155,9 +165,10 @@ pub fn brandes<G: Graph>(g: &G) -> BetweennessScores {
     let m = g.edge_id_bound();
     let mut vertex = vec![0.0; n];
     let mut edge = vec![0.0; m];
-    let mut scratch = Scratch::new(n);
+    let mut ws = TraversalWorkspace::new();
+    ws.bind_preds(g);
     for s in 0..n as VertexId {
-        accumulate_source(g, s, &mut scratch, &mut vertex, &mut edge);
+        accumulate_source(g, s, &mut ws, &mut vertex, &mut edge);
     }
     finalize(g, vertex, edge)
 }
@@ -180,25 +191,44 @@ pub fn brandes<G: Graph>(g: &G) -> BetweennessScores {
 /// assert_eq!(snap_graph::Graph::edge_endpoints(&g, top_edge), (2, 3));
 /// ```
 pub fn par_brandes<G: Graph>(g: &G) -> BetweennessScores {
-    betweenness_from_sources_scaled(g, None, 1.0)
+    par_brandes_with_workspace(g, &WorkspacePool::new())
+}
+
+/// [`par_brandes`] drawing traversal scratch from `pool` (see
+/// [`betweenness_from_sources_with_workspace`]).
+pub fn par_brandes_with_workspace<G: Graph>(g: &G, pool: &WorkspacePool) -> BetweennessScores {
+    betweenness_from_sources_scaled(g, None, 1.0, pool)
 }
 
 /// Betweenness accumulated from an explicit set of sources, scaled by
 /// `scale` (used by the sampling-based approximations: `scale = n / k`
 /// turns a k-source sample into an unbiased estimate of the full sum).
 pub fn betweenness_from_sources<G: Graph>(g: &G, sources: &[VertexId]) -> BetweennessScores {
+    betweenness_from_sources_with_workspace(g, sources, &WorkspacePool::new())
+}
+
+/// [`betweenness_from_sources`] drawing traversal scratch from `pool`.
+/// Callers that recompute betweenness repeatedly (GN rounds, pBD
+/// phases, a serving session) hold one pool across calls so every
+/// traversal after the first reuses warm slot arrays.
+pub fn betweenness_from_sources_with_workspace<G: Graph>(
+    g: &G,
+    sources: &[VertexId],
+    pool: &WorkspacePool,
+) -> BetweennessScores {
     let scale = if sources.is_empty() {
         1.0
     } else {
         g.num_vertices() as f64 / sources.len() as f64
     };
-    betweenness_from_sources_scaled(g, Some(sources), scale)
+    betweenness_from_sources_scaled(g, Some(sources), scale, pool)
 }
 
 fn betweenness_from_sources_scaled<G: Graph>(
     g: &G,
     sources: Option<&[VertexId]>,
     scale: f64,
+    pool: &WorkspacePool,
 ) -> BetweennessScores {
     let n = g.num_vertices();
     let all: Vec<VertexId>;
@@ -209,7 +239,7 @@ fn betweenness_from_sources_scaled<G: Graph>(
             &all
         }
     };
-    let (vertex, edge, _) = accumulate_sources_budgeted(g, sources, &Budget::unlimited());
+    let (vertex, edge, _) = accumulate_sources_budgeted(g, sources, &Budget::unlimited(), pool);
     let vertex = vertex.into_iter().map(|x| x * scale).collect();
     let edge = edge.into_iter().map(|x| x * scale).collect();
     finalize(g, vertex, edge)
@@ -248,7 +278,18 @@ pub fn try_betweenness_from_sources<G: Graph>(
     sources: &[VertexId],
     budget: &Budget,
 ) -> PartialBetweenness {
-    let (vertex, edge, used) = accumulate_sources_budgeted(g, sources, budget);
+    try_betweenness_from_sources_with_workspace(g, sources, budget, &WorkspacePool::new())
+}
+
+/// [`try_betweenness_from_sources`] drawing traversal scratch from
+/// `pool` (see [`betweenness_from_sources_with_workspace`]).
+pub fn try_betweenness_from_sources_with_workspace<G: Graph>(
+    g: &G,
+    sources: &[VertexId],
+    budget: &Budget,
+    pool: &WorkspacePool,
+) -> PartialBetweenness {
+    let (vertex, edge, used) = accumulate_sources_budgeted(g, sources, budget, pool);
     let scale = if used == 0 {
         1.0
     } else {
@@ -276,6 +317,7 @@ fn accumulate_sources_budgeted<G: Graph>(
     g: &G,
     sources: &[VertexId],
     budget: &Budget,
+    pool: &WorkspacePool,
 ) -> (Vec<f64>, Vec<f64>, usize) {
     let _span = snap_obs::span("centrality.betweenness");
     let n = g.num_vertices();
@@ -288,7 +330,13 @@ fn accumulate_sources_budgeted<G: Graph>(
     let (vertex, edge) = sources
         .par_iter()
         .fold(
-            || (Vec::new(), Vec::new(), None::<Box<Scratch>>),
+            || {
+                (
+                    Vec::new(),
+                    Vec::new(),
+                    None::<snap_graph::PooledWorkspace<'_>>,
+                )
+            },
             |(mut vacc, mut eacc, mut scratch), &s| {
                 // The budget gate costs one relaxed load per source; a
                 // tripped budget turns the remaining sources into no-ops.
@@ -299,12 +347,18 @@ fn accumulate_sources_budgeted<G: Graph>(
                     vacc = vec![0.0; n];
                     eacc = vec![0.0; m];
                 }
-                let sc = scratch.get_or_insert_with(|| Box::new(Scratch::new(n)));
-                accumulate_source(g, s, sc, &mut vacc, &mut eacc);
+                let ws = scratch.get_or_insert_with(|| {
+                    // One checkout per rayon chunk; the offsets bind is
+                    // amortized over every source the chunk runs.
+                    let mut ws = pool.acquire();
+                    ws.bind_preds(g);
+                    ws
+                });
+                accumulate_source(g, s, ws, &mut vacc, &mut eacc);
                 processed.fetch_add(1, Ordering::Relaxed);
                 sources_processed.incr();
-                frontier_vertices.add(sc.order.len() as u64);
-                let _ = budget.charge(sc.order.len() as u64 + 1);
+                frontier_vertices.add(ws.order.len() as u64);
+                let _ = budget.charge(ws.order.len() as u64 + 1);
                 (vacc, eacc, scratch)
             },
         )
@@ -326,6 +380,10 @@ fn accumulate_sources_budgeted<G: Graph>(
                 (va, ea)
             },
         );
+    // Workers have no snap-obs context of their own; their workspace
+    // counters rode back on the pool and are emitted here, inside the
+    // kernel span, by the thread that owns it.
+    pool.flush_obs();
     let vertex = if vertex.is_empty() {
         vec![0.0; n]
     } else {

@@ -4,12 +4,18 @@
 //! For large graphs a sampled estimator averages distances from a random
 //! subset of sources (the standard Eppstein–Wang style approximation the
 //! paper's exploratory workflow calls for).
+//!
+//! All per-source traversals run on pooled epoch-stamped
+//! [`TraversalWorkspace`]s: each worker checks one workspace out for its
+//! whole chunk of sources, so an n-source exact pass performs O(workers)
+//! allocations instead of O(n), and the per-source distance sums walk the
+//! *touched* vertex set (`ws.order`) instead of scanning all n slots.
 
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rayon::prelude::*;
-use snap_graph::{Graph, VertexId};
-use snap_kernels::bfs::{bfs, par_bfs_hybrid, UNREACHABLE};
+use snap_graph::{Graph, PooledWorkspace, TraversalWorkspace, VertexId, WorkspacePool};
+use snap_kernels::bfs::bfs_levels_into;
 
 /// Exact closeness for every vertex, parallel over sources.
 ///
@@ -19,38 +25,77 @@ use snap_kernels::bfs::{bfs, par_bfs_hybrid, UNREACHABLE};
 /// vertices in small components do not get inflated scores. Isolated
 /// vertices score 0.
 pub fn closeness<G: Graph>(g: &G) -> Vec<f64> {
+    closeness_with_workspace(g, &WorkspacePool::new())
+}
+
+/// [`closeness`] drawing traversal scratch from `pool`. Sessions that
+/// interleave centrality queries hold one pool so the slot arrays warm
+/// up once.
+pub fn closeness_with_workspace<G: Graph>(g: &G, pool: &WorkspacePool) -> Vec<f64> {
     let n = g.num_vertices();
     if n <= 1 {
         return vec![0.0; n];
     }
     // One sequential BFS per worker: with n sources there is plenty of
-    // outer parallelism, so the cheapest traversal per source wins.
-    (0..n as VertexId)
+    // outer parallelism, so the cheapest traversal per source wins. Each
+    // worker folds into (workspace, scores) and the scores scatter back
+    // by vertex id, keeping the output independent of chunking.
+    let scored: Vec<(VertexId, f64)> = (0..n as VertexId)
         .into_par_iter()
-        .map(|v| closeness_from_distances(n, &bfs(g, v).dist))
-        .collect()
+        .fold(
+            || (None::<PooledWorkspace<'_>>, Vec::new()),
+            |(mut ws, mut acc), v| {
+                let w = ws.get_or_insert_with(|| pool.acquire());
+                bfs_levels_into(g, v, w);
+                acc.push((v, closeness_from_workspace(n, w)));
+                (ws, acc)
+            },
+        )
+        .map(|(_ws, acc)| acc)
+        .reduce(Vec::new, |mut a, mut b| {
+            a.append(&mut b);
+            a
+        });
+    let mut out = vec![0.0; n];
+    for (v, cc) in scored {
+        out[v as usize] = cc;
+    }
+    pool.flush_obs();
+    out
 }
 
 /// Closeness of a single vertex.
-///
-/// A lone query has no source-level parallelism to exploit, so the
-/// traversal itself runs on the parallel direction-optimizing BFS.
 pub fn closeness_of<G: Graph>(g: &G, v: VertexId) -> f64 {
+    closeness_of_with_workspace(g, v, &mut TraversalWorkspace::new())
+}
+
+/// [`closeness_of`] on a reusable workspace: a batch of single-vertex
+/// queries pays no per-query allocation — the traversal state, queue,
+/// and discovery order all live in `ws` (no per-call `Frontier` or
+/// dense distance vector is built at all).
+pub fn closeness_of_with_workspace<G: Graph>(
+    g: &G,
+    v: VertexId,
+    ws: &mut TraversalWorkspace,
+) -> f64 {
     let n = g.num_vertices();
     if n <= 1 {
         return 0.0;
     }
-    closeness_from_distances(n, &par_bfs_hybrid(g, v).dist)
+    bfs_levels_into(g, v, ws);
+    closeness_from_workspace(n, ws)
 }
 
-fn closeness_from_distances(n: usize, dist: &[u32]) -> f64 {
+/// Wasserman–Faust-corrected closeness from a finished [`bfs_levels_into`]
+/// traversal. The distance sum collapses to `Σ depth · |level|` over the
+/// BFS level runs — an exact integer sum identical to summing per vertex,
+/// computed from `O(D log n)` dist reads instead of one gather per
+/// touched vertex.
+fn closeness_from_workspace(n: usize, ws: &TraversalWorkspace) -> f64 {
     let mut sum = 0u64;
-    let mut reached = 0u64;
-    for &d in dist {
-        if d != UNREACHABLE {
-            sum += d as u64;
-            reached += 1;
-        }
+    let reached = ws.order.len() as u64;
+    for (d, run) in ws.depth_runs() {
+        sum += d as u64 * run.len() as u64;
     }
     if reached <= 1 || sum == 0 {
         return 0.0;
@@ -62,6 +107,16 @@ fn closeness_from_distances(n: usize, dist: &[u32]) -> f64 {
 /// Sampled closeness: average distance from `k` random sources, inverted.
 /// Unbiased for connected graphs up to sampling noise; `O(k (m + n))`.
 pub fn sampled_closeness<G: Graph>(g: &G, k: usize, seed: u64) -> Vec<f64> {
+    sampled_closeness_with_workspace(g, k, seed, &WorkspacePool::new())
+}
+
+/// [`sampled_closeness`] drawing traversal scratch from `pool`.
+pub fn sampled_closeness_with_workspace<G: Graph>(
+    g: &G,
+    k: usize,
+    seed: u64,
+    pool: &WorkspacePool,
+) -> Vec<f64> {
     let n = g.num_vertices();
     if n == 0 {
         return Vec::new();
@@ -71,21 +126,28 @@ pub fn sampled_closeness<G: Graph>(g: &G, k: usize, seed: u64) -> Vec<f64> {
     sources.shuffle(&mut rng);
     sources.truncate(k.max(1).min(n));
 
-    // Sum of distances to each vertex from the sampled sources.
+    // Sum of distances to each vertex from the sampled sources. The
+    // per-source scatter walks the touched set only; the u64 sums make
+    // the result independent of accumulation order.
     let sums: Vec<u64> = sources
         .par_iter()
         .fold(
-            || vec![0u64; n],
-            |mut acc, &s| {
-                let r = bfs(g, s);
-                for (v, &d) in r.dist.iter().enumerate() {
-                    if d != UNREACHABLE {
-                        acc[v] += d as u64;
+            || (None::<PooledWorkspace<'_>>, vec![0u64; n]),
+            |(mut ws, mut acc), &s| {
+                let w = ws.get_or_insert_with(|| pool.acquire());
+                bfs_levels_into(g, s, w);
+                // Per-vertex sums need a scatter, but the depth runs let
+                // it stream over `order` without re-reading a dist word
+                // per vertex.
+                for (d, run) in w.depth_runs() {
+                    for &u in &w.order[run] {
+                        acc[u as usize] += d as u64;
                     }
                 }
-                acc
+                (ws, acc)
             },
         )
+        .map(|(_ws, acc)| acc)
         .reduce(
             || vec![0u64; n],
             |mut a, b| {
@@ -95,6 +157,7 @@ pub fn sampled_closeness<G: Graph>(g: &G, k: usize, seed: u64) -> Vec<f64> {
                 a
             },
         );
+    pool.flush_obs();
     let k = sources.len() as f64;
     // E[sampled sum] = k/n * (full distance sum), so scale by n/k and
     // invert with the usual (n - 1) numerator.
@@ -131,6 +194,21 @@ mod tests {
         let cc = closeness(&g);
         assert!(cc[2] > cc[1] && cc[1] > cc[0]);
         assert!((cc[2] - 4.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_query_matches_full_pass() {
+        let g = from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (1, 5)]);
+        let cc = closeness(&g);
+        let mut ws = TraversalWorkspace::new();
+        for v in 0..6u32 {
+            assert_eq!(cc[v as usize], closeness_of(&g, v), "v{v}");
+            assert_eq!(
+                cc[v as usize],
+                closeness_of_with_workspace(&g, v, &mut ws),
+                "v{v} (reused workspace)"
+            );
+        }
     }
 
     #[test]

@@ -9,8 +9,8 @@
 
 use crate::clustering::Clustering;
 use crate::divisive::DivisiveEngine;
-use snap_centrality::brandes::betweenness_from_sources;
-use snap_graph::{CsrGraph, EdgeId, Graph, VertexId};
+use snap_centrality::brandes::betweenness_from_sources_with_workspace;
+use snap_graph::{CsrGraph, EdgeId, Graph, VertexId, WorkspacePool};
 
 /// Configuration for [`girvan_newman`].
 #[derive(Clone, Debug, Default)]
@@ -44,11 +44,15 @@ pub fn girvan_newman(g: &CsrGraph, cfg: &GnConfig) -> DivisiveResult {
     let max_removals = cfg.max_removals.unwrap_or(m).min(m);
     let all_sources: Vec<VertexId> = (0..g.num_vertices() as VertexId).collect();
     let mut since_best = 0usize;
+    // One workspace pool across all removal rounds: each round's
+    // betweenness pass rebinds the predecessor offsets to the mutated
+    // view but reuses every slot array.
+    let pool = WorkspacePool::new();
 
     while removals.len() < max_removals && engine.live_edges() > 0 {
         // Exact edge betweenness on the current filtered view,
         // parallelized over sources.
-        let bc = betweenness_from_sources(&engine.view, &all_sources);
+        let bc = betweenness_from_sources_with_workspace(&engine.view, &all_sources, &pool);
         let best_edge = engine
             .view
             .live_edge_ids()

@@ -24,9 +24,11 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rayon::prelude::*;
 use snap_budget::Budget;
-use snap_centrality::approx_betweenness_with_budget;
-use snap_centrality::brandes::{betweenness_from_sources, try_betweenness_from_sources};
-use snap_graph::{CsrGraph, Graph, InducedSubgraph, VertexId};
+use snap_centrality::approx_betweenness_with_budget_and_workspace;
+use snap_centrality::brandes::{
+    betweenness_from_sources_with_workspace, try_betweenness_from_sources_with_workspace,
+};
+use snap_graph::{CsrGraph, Graph, InducedSubgraph, VertexId, WorkspacePool};
 use snap_kernels::{bfs_limited, biconnected_components};
 
 /// Configuration for [`pbd`].
@@ -125,6 +127,10 @@ pub fn pbd_with_budget(g: &CsrGraph, cfg: &PbdConfig, budget: &Budget) -> Divisi
     }
 
     // --- Fine-grained phase: sampled betweenness, cut the top edges. ---
+    // One workspace pool across every betweenness round of the fine and
+    // granularity-bridge phases: each round rebinds the predecessor
+    // offsets to the mutated view, the slot arrays warm up once.
+    let pool = WorkspacePool::new();
     let fine_phase = snap_obs::span("fine_phase");
     let mut round = 0u64;
     let mut since_best = 0usize;
@@ -150,7 +156,13 @@ pub fn pbd_with_budget(g: &CsrGraph, cfg: &PbdConfig, budget: &Budget) -> Divisi
             .sample_frac
             .max(cfg.min_sources as f64 / n.max(1) as f64)
             .min(1.0);
-        let partial = approx_betweenness_with_budget(&engine.view, frac, cfg.seed ^ round, budget);
+        let partial = approx_betweenness_with_budget_and_workspace(
+            &engine.view,
+            frac,
+            cfg.seed ^ round,
+            budget,
+            &pool,
+        );
         if partial.sources_used == 0 {
             break; // no traversal completed: no ranking to cut by
         }
@@ -227,7 +239,8 @@ pub fn pbd_with_budget(g: &CsrGraph, cfg: &PbdConfig, budget: &Budget) -> Divisi
         let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ 0x6272_6467 ^ round);
         sources.shuffle(&mut rng);
         sources.truncate(k);
-        let partial = try_betweenness_from_sources(&engine.view, &sources, budget);
+        let partial =
+            try_betweenness_from_sources_with_workspace(&engine.view, &sources, budget, &pool);
         if partial.sources_used == 0 {
             break;
         }
@@ -371,7 +384,9 @@ fn refine_components(
             }
             local.reset_best();
             let q_before = local.q();
-            // Exact divisive run to completion on this small component.
+            // Exact divisive run to completion on this small component;
+            // the pool persists across its whole dendrogram.
+            let pool = WorkspacePool::new();
             let sources: Vec<VertexId> = (0..base_sub.graph.num_vertices() as VertexId).collect();
             while local.live_edges() > 0 {
                 if budget
@@ -380,7 +395,7 @@ fn refine_components(
                 {
                     break; // best prefix of the dendrogram still stands
                 }
-                let bc = betweenness_from_sources(&local.view, &sources);
+                let bc = betweenness_from_sources_with_workspace(&local.view, &sources, &pool);
                 let best_edge = local
                     .view
                     .live_edge_ids()

@@ -8,10 +8,11 @@ use snap_centrality::BetweennessScores;
 use snap_community::{
     Clustering, GnConfig, PbdConfig, PlaConfig, PmaConfig, SpectralCommunityConfig,
 };
-use snap_graph::{CsrGraph, Graph, VertexId};
+use snap_graph::{CsrGraph, Graph, VertexId, WorkspacePool};
 use snap_kernels::{BfsResult, HybridConfig, TraversalStats};
 use snap_metrics::GraphSummary;
 use snap_partition::{Method as PartitionMethod, Partition, SpectralError};
+use std::sync::Arc;
 
 /// Which community-detection algorithm to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -55,6 +56,11 @@ pub struct Communities {
 pub struct Network {
     graph: CsrGraph,
     budget: Budget,
+    // Traversal scratch shared by every multi-source analysis call on
+    // this session (clones share it too — it is a cache, not state): the
+    // slot arrays warm up on the first centrality query and are reused
+    // by every later one.
+    pool: Arc<WorkspacePool>,
 }
 
 impl Network {
@@ -63,6 +69,7 @@ impl Network {
         Network {
             graph,
             budget: Budget::unlimited(),
+            pool: Arc::new(WorkspacePool::new()),
         }
     }
 
@@ -183,33 +190,35 @@ impl Network {
             // prefix of a uniform shuffle is itself a uniform sample.
             let n = self.graph.num_vertices();
             let sources = snap_centrality::sample_sources(n, n, 0);
-            return snap_centrality::try_betweenness_from_sources(
+            return snap_centrality::try_betweenness_from_sources_with_workspace(
                 &self.graph,
                 &sources,
                 &self.budget,
+                &self.pool,
             )
             .scores;
         }
-        snap_centrality::par_brandes(&self.graph)
+        snap_centrality::par_brandes_with_workspace(&self.graph, &self.pool)
     }
 
     /// Sampled approximate betweenness (fraction of sources).
     pub fn approx_betweenness(&self, frac: f64, seed: u64) -> BetweennessScores {
         if self.budget.is_limited() {
-            return snap_centrality::approx_betweenness_with_budget(
+            return snap_centrality::approx_betweenness_with_budget_and_workspace(
                 &self.graph,
                 frac,
                 seed,
                 &self.budget,
+                &self.pool,
             )
             .scores;
         }
-        snap_centrality::approx_betweenness(&self.graph, frac, seed)
+        snap_centrality::approx_betweenness_with_workspace(&self.graph, frac, seed, &self.pool)
     }
 
     /// Closeness centrality for every vertex.
     pub fn closeness(&self) -> Vec<f64> {
-        snap_centrality::closeness(&self.graph)
+        snap_centrality::closeness_with_workspace(&self.graph, &self.pool)
     }
 
     /// Weighted betweenness centrality (shortest paths by edge weight;

@@ -28,6 +28,7 @@ pub mod csr;
 pub mod dynamic;
 pub mod frontier;
 pub mod perm;
+pub mod scratch;
 pub mod subgraph;
 pub mod traits;
 pub mod treap;
@@ -39,6 +40,7 @@ pub use csr::CsrGraph;
 pub use dynamic::DynGraph;
 pub use frontier::{Frontier, FrontierRepr};
 pub use perm::{apply_permutation, bfs_order, degree_order};
+pub use scratch::{PooledWorkspace, TraversalWorkspace, WorkspacePool, WorkspaceStats};
 pub use subgraph::InducedSubgraph;
 pub use traits::{Graph, WeightedGraph};
 pub use treap::Treap;

@@ -21,7 +21,8 @@
 
 use rayon::prelude::*;
 use snap_budget::{Budget, Exhausted};
-use snap_graph::{AtomicBitmap, Frontier, Graph, VertexId};
+use snap_graph::scratch::{dist_of, stamped};
+use snap_graph::{AtomicBitmap, Frontier, Graph, TraversalWorkspace, VertexId};
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Distance assigned to unreachable vertices.
@@ -165,21 +166,95 @@ impl Default for HybridConfig {
 /// assert_eq!(r.dist[4], UNREACHABLE);
 /// ```
 pub fn bfs<G: Graph>(g: &G, source: VertexId) -> BfsResult {
-    let n = g.num_vertices();
-    let mut dist = vec![UNREACHABLE; n];
-    let mut parent = vec![NO_PARENT; n];
-    let mut queue = std::collections::VecDeque::with_capacity(256);
-    dist[source as usize] = 0;
-    queue.push_back(source);
-    while let Some(u) = queue.pop_front() {
-        let du = dist[u as usize];
+    let mut ws = TraversalWorkspace::new();
+    let tag = bfs_into(g, source, &mut ws);
+    export_bfs(g.num_vertices(), &ws, tag)
+}
+
+/// Sequential BFS into a reusable [`TraversalWorkspace`] — the zero-
+/// allocation engine behind [`bfs`]. Returns the epoch tag of this
+/// traversal; afterwards `ws.dist[v]` is `tag | distance` for every
+/// reached `v` (stale otherwise), `ws.parent[v]` is the BFS-tree parent
+/// (`NO_PARENT` for the source), and `ws.order` lists the reached
+/// vertices in discovery order — which is what lets multi-source callers
+/// (closeness, path statistics) aggregate over the *touched* set instead
+/// of scanning all `n` slots.
+pub fn bfs_into<G: Graph>(g: &G, source: VertexId, ws: &mut TraversalWorkspace) -> u64 {
+    let tag = ws.begin(g.num_vertices());
+    ws.ensure_parent();
+    let slots = ws.slots();
+    let (dist, parent) = (slots.dist, slots.parent);
+    let order = slots.order;
+    dist[source as usize] = tag;
+    parent[source as usize] = NO_PARENT;
+    // The discovery-order vector doubles as the FIFO queue: `head` chases
+    // the push end, so the level structure is identical to an explicit
+    // queue without moving each vertex through one. `level_end` marks
+    // where the current level stops, so depth is a counter and the
+    // expansion never reads dist[u] back.
+    order.push(source);
+    let mut head = 0usize;
+    let mut level_end = 1usize;
+    let mut dnext = tag | 1;
+    while head < order.len() {
+        if head == level_end {
+            level_end = order.len();
+            dnext += 1;
+        }
+        let u = order[head];
+        head += 1;
         for v in g.neighbors(u) {
-            if dist[v as usize] == UNREACHABLE {
-                dist[v as usize] = du + 1;
+            if !stamped(dist[v as usize], tag) {
+                dist[v as usize] = dnext;
                 parent[v as usize] = u;
-                queue.push_back(v);
+                order.push(v);
             }
         }
+    }
+    tag
+}
+
+/// [`bfs_into`] without parent tracking: distances and discovery order
+/// only. The per-source engine for aggregate metrics (closeness, path
+/// statistics) that never look at the BFS tree — skipping the parent
+/// writes removes one random store per discovered vertex.
+pub fn bfs_levels_into<G: Graph>(g: &G, source: VertexId, ws: &mut TraversalWorkspace) -> u64 {
+    let tag = ws.begin(g.num_vertices());
+    let slots = ws.slots();
+    let dist = slots.dist;
+    let order = slots.order;
+    dist[source as usize] = tag;
+    order.push(source);
+    let mut head = 0usize;
+    let mut level_end = 1usize;
+    let mut dnext = tag | 1;
+    while head < order.len() {
+        if head == level_end {
+            level_end = order.len();
+            dnext += 1;
+        }
+        let u = order[head];
+        head += 1;
+        for v in g.neighbors(u) {
+            if !stamped(dist[v as usize], tag) {
+                dist[v as usize] = dnext;
+                order.push(v);
+            }
+        }
+    }
+    tag
+}
+
+/// Densify a [`bfs_into`] traversal into the classic [`BfsResult`]
+/// layout (`UNREACHABLE` / `NO_PARENT` fills, then touched slots copied
+/// over in discovery order).
+pub fn export_bfs(n: usize, ws: &TraversalWorkspace, tag: u64) -> BfsResult {
+    debug_assert_eq!(ws.tag(), tag, "workspace was re-begun since bfs_into");
+    let mut dist = vec![UNREACHABLE; n];
+    let mut parent = vec![NO_PARENT; n];
+    for &v in &ws.order {
+        dist[v as usize] = dist_of(ws.dist[v as usize]);
+        parent[v as usize] = ws.parent[v as usize];
     }
     BfsResult { dist, parent }
 }

@@ -30,9 +30,9 @@ pub mod sssp;
 pub mod stcon;
 
 pub use bfs::{
-    bfs, bfs_limited, par_bfs, par_bfs_hybrid, par_bfs_hybrid_stats, par_bfs_hybrid_with,
-    par_bfs_push, par_bfs_vertex_partitioned, try_par_bfs_hybrid_stats, BfsResult, Direction,
-    HybridConfig, LevelStats, TraversalStats, NO_PARENT, UNREACHABLE,
+    bfs, bfs_into, bfs_limited, export_bfs, par_bfs, par_bfs_hybrid, par_bfs_hybrid_stats,
+    par_bfs_hybrid_with, par_bfs_push, par_bfs_vertex_partitioned, try_par_bfs_hybrid_stats,
+    BfsResult, Direction, HybridConfig, LevelStats, TraversalStats, NO_PARENT, UNREACHABLE,
 };
 pub use bicc::{biconnected_components, Bicc};
 pub use boruvka::{boruvka_msf, Msf};
@@ -42,4 +42,4 @@ pub use components::{
 pub use dyncc::IncrementalComponents;
 pub use spanning::{par_spanning_forest, spanning_forest, SpanningForest};
 pub use sssp::{delta_stepping, dijkstra, try_delta_stepping, SsspResult, INF};
-pub use stcon::{st_connectivity, StResult};
+pub use stcon::{st_connectivity, st_connectivity_with_workspace, StResult};

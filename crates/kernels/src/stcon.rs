@@ -10,7 +10,8 @@
 //! hops, and `normalize` flips that side to the dense bitmap
 //! representation instead of a proportionally huge membership vector.
 
-use snap_graph::{Frontier, Graph, VertexId};
+use snap_graph::scratch::stamped;
+use snap_graph::{Frontier, Graph, TraversalWorkspace, VertexId};
 
 /// Result of an st-connectivity query.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -23,6 +24,27 @@ pub struct StResult {
 
 /// Bidirectional BFS between `s` and `t`.
 pub fn st_connectivity<G: Graph>(g: &G, s: VertexId, t: VertexId) -> StResult {
+    st_connectivity_with_workspace(g, s, t, &mut TraversalWorkspace::new())
+}
+
+/// Side marker packed into bit 31 of the workspace distance word: clear
+/// for the `s`-side ball, set for the `t`-side. Depths are bounded by
+/// `n < 2^31`, so the bit never collides with a real depth.
+const T_SIDE: u64 = 1 << 31;
+
+/// Depth mask stripping the side marker.
+const DEPTH: u32 = !(T_SIDE as u32);
+
+/// [`st_connectivity`] on a reusable [`TraversalWorkspace`]: the side
+/// ownership and per-vertex depth both live in the epoch-stamped `dist`
+/// word (unvisited ⇔ stale slot, side ⇔ bit 31), so a batch of queries
+/// pays no per-query allocation or clear for the per-vertex state.
+pub fn st_connectivity_with_workspace<G: Graph>(
+    g: &G,
+    s: VertexId,
+    t: VertexId,
+    ws: &mut TraversalWorkspace,
+) -> StResult {
     if s == t {
         return StResult {
             connected: true,
@@ -30,11 +52,10 @@ pub fn st_connectivity<G: Graph>(g: &G, s: VertexId, t: VertexId) -> StResult {
         };
     }
     let n = g.num_vertices();
-    // 0 = unvisited, 1 = s-side, 2 = t-side.
-    let mut owner = vec![0u8; n];
-    let mut dist = vec![0u32; n];
-    owner[s as usize] = 1;
-    owner[t as usize] = 2;
+    let tag = ws.begin(n);
+    let dist = ws.slots().dist;
+    dist[s as usize] = tag;
+    dist[t as usize] = tag | T_SIDE;
     let mut front_s = Frontier::singleton(n, s);
     let mut front_t = Frontier::singleton(n, t);
     let (mut d_s, mut d_t) = (0u32, 0u32);
@@ -50,28 +71,27 @@ pub fn st_connectivity<G: Graph>(g: &G, s: VertexId, t: VertexId) -> StResult {
         let expand_s = front_s.len() <= front_t.len();
         let (front, own, depth) = if expand_s {
             d_s += 1;
-            (&mut front_s, 1u8, d_s)
+            (&mut front_s, 0u64, d_s)
         } else {
             d_t += 1;
-            (&mut front_t, 2u8, d_t)
+            (&mut front_t, T_SIDE, d_t)
         };
         let mut next = Vec::new();
         let mut best_meet: Option<u32> = None;
         for x in front.iter() {
             for y in g.neighbors(x) {
-                let o = owner[y as usize];
-                if o == own {
-                    continue;
-                }
-                if o != 0 {
+                let w = dist[y as usize];
+                if stamped(w, tag) {
+                    if w & T_SIDE == own {
+                        continue;
+                    }
                     // Frontiers meet: total = depth of x's side + 1 +
                     // y's recorded depth on the other side.
-                    let total = (depth - 1) + 1 + dist[y as usize];
+                    let total = (depth - 1) + 1 + (w as u32 & DEPTH);
                     best_meet = Some(best_meet.map_or(total, |b: u32| b.min(total)));
                     continue;
                 }
-                owner[y as usize] = own;
-                dist[y as usize] = depth;
+                dist[y as usize] = tag | own | depth as u64;
                 next.push(y);
             }
         }

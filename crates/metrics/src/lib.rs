@@ -25,7 +25,9 @@ pub use clustering::{
 };
 pub use degree_dist::{degree_ccdf, degree_histogram, degree_stats, DegreeStats};
 pub use pathlen::{
-    path_stats_exact, path_stats_sampled, path_stats_with_budget, PartialPathStats, PathStats,
+    path_stats_exact, path_stats_exact_with_workspace, path_stats_sampled,
+    path_stats_sampled_with_workspace, path_stats_with_budget,
+    path_stats_with_budget_and_workspace, PartialPathStats, PathStats,
 };
 pub use richclub::{rich_club_coefficient, rich_club_curve};
 pub use summary::{summarize, summarize_with_budget, GraphSummary};

@@ -6,8 +6,8 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rayon::prelude::*;
 use snap_budget::Budget;
-use snap_graph::{Graph, VertexId};
-use snap_kernels::bfs::{bfs, par_bfs_hybrid, UNREACHABLE};
+use snap_graph::{Graph, PooledWorkspace, TraversalWorkspace, VertexId, WorkspacePool};
+use snap_kernels::bfs::{bfs_levels_into, par_bfs_hybrid, UNREACHABLE};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Path-length statistics over (a sample of) source vertices.
@@ -25,18 +25,33 @@ pub struct PathStats {
 
 /// Exact statistics via all-pairs BFS (`O(n(m + n))`; small graphs only).
 pub fn path_stats_exact<G: Graph>(g: &G) -> PathStats {
+    path_stats_exact_with_workspace(g, &WorkspacePool::new())
+}
+
+/// [`path_stats_exact`] drawing traversal scratch from `pool`.
+pub fn path_stats_exact_with_workspace<G: Graph>(g: &G, pool: &WorkspacePool) -> PathStats {
     let sources: Vec<VertexId> = (0..g.num_vertices() as VertexId).collect();
-    path_stats_from_sources(g, &sources)
+    path_stats_from_sources(g, &sources, pool)
 }
 
 /// Sampled statistics from `k` random sources.
 pub fn path_stats_sampled<G: Graph>(g: &G, k: usize, seed: u64) -> PathStats {
+    path_stats_sampled_with_workspace(g, k, seed, &WorkspacePool::new())
+}
+
+/// [`path_stats_sampled`] drawing traversal scratch from `pool`.
+pub fn path_stats_sampled_with_workspace<G: Graph>(
+    g: &G,
+    k: usize,
+    seed: u64,
+    pool: &WorkspacePool,
+) -> PathStats {
     let n = g.num_vertices();
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let mut sources: Vec<VertexId> = (0..n as VertexId).collect();
     sources.shuffle(&mut rng);
     sources.truncate(k.max(1).min(n.max(1)));
-    path_stats_from_sources(g, &sources)
+    path_stats_from_sources(g, &sources, pool)
 }
 
 /// Path statistics computed from however many BFS sources the budget
@@ -69,12 +84,23 @@ pub fn path_stats_with_budget<G: Graph>(
     seed: u64,
     budget: &Budget,
 ) -> PartialPathStats {
+    path_stats_with_budget_and_workspace(g, k, seed, budget, &WorkspacePool::new())
+}
+
+/// [`path_stats_with_budget`] drawing traversal scratch from `pool`.
+pub fn path_stats_with_budget_and_workspace<G: Graph>(
+    g: &G,
+    k: usize,
+    seed: u64,
+    budget: &Budget,
+    pool: &WorkspacePool,
+) -> PartialPathStats {
     let n = g.num_vertices();
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let mut sources: Vec<VertexId> = (0..n as VertexId).collect();
     sources.shuffle(&mut rng);
     sources.truncate(k.max(1).min(n.max(1)));
-    let (stats, used) = path_stats_from_sources_budgeted(g, &sources, budget);
+    let (stats, used) = path_stats_from_sources_budgeted(g, &sources, budget, pool);
     if used < sources.len() {
         if let Some(why) = budget.exhaustion() {
             snap_obs::meta("degraded", why);
@@ -100,14 +126,38 @@ fn add_distances(acc: &mut Vec<u64>, s: VertexId, dist: &[u32]) {
     }
 }
 
-fn path_stats_from_sources<G: Graph>(g: &G, sources: &[VertexId]) -> PathStats {
-    path_stats_from_sources_budgeted(g, sources, &Budget::unlimited()).0
+/// [`add_distances`] over a finished [`bfs_levels_into`] traversal: each
+/// BFS level contributes its size to one histogram bucket, so the whole
+/// fold is `O(D log n)` dist reads (run boundaries by binary search over
+/// the depth-sorted discovery order). The depth-0 run is exactly the
+/// source, which the dense scan excludes. Histogram counts are
+/// order-independent, so the result is identical to the dense scan.
+fn add_distances_ws(acc: &mut Vec<u64>, ws: &TraversalWorkspace) {
+    for (d, run) in ws.depth_runs() {
+        if d == 0 {
+            continue;
+        }
+        let d = d as usize;
+        if d >= acc.len() {
+            acc.resize(d + 1, 0);
+        }
+        acc[d] += run.len() as u64;
+    }
+}
+
+fn path_stats_from_sources<G: Graph>(
+    g: &G,
+    sources: &[VertexId],
+    pool: &WorkspacePool,
+) -> PathStats {
+    path_stats_from_sources_budgeted(g, sources, &Budget::unlimited(), pool).0
 }
 
 fn path_stats_from_sources_budgeted<G: Graph>(
     g: &G,
     sources: &[VertexId],
     budget: &Budget,
+    pool: &WorkspacePool,
 ) -> (PathStats, usize) {
     // Histogram of distances (small-world graphs have tiny diameters, so
     // a growable histogram beats storing all pair distances).
@@ -135,16 +185,21 @@ fn path_stats_from_sources_budgeted<G: Graph>(
     } else {
         sources
             .par_iter()
-            .fold(Vec::<u64>::new, |mut acc, &s| {
-                if budget.is_exhausted() {
-                    return acc;
-                }
-                let r = bfs(g, s);
-                let _ = budget.charge(n as u64 + 1);
-                processed.fetch_add(1, Ordering::Relaxed);
-                add_distances(&mut acc, s, &r.dist);
-                acc
-            })
+            .fold(
+                || (None::<PooledWorkspace<'_>>, Vec::<u64>::new()),
+                |(mut ws, mut acc), &s| {
+                    if budget.is_exhausted() {
+                        return (ws, acc);
+                    }
+                    let w = ws.get_or_insert_with(|| pool.acquire());
+                    bfs_levels_into(g, s, w);
+                    let _ = budget.charge(n as u64 + 1);
+                    processed.fetch_add(1, Ordering::Relaxed);
+                    add_distances_ws(&mut acc, w);
+                    (ws, acc)
+                },
+            )
+            .map(|(_ws, acc)| acc)
             .reduce(Vec::new, |mut a, b| {
                 if a.len() < b.len() {
                     a.resize(b.len(), 0);
@@ -155,6 +210,7 @@ fn path_stats_from_sources_budgeted<G: Graph>(
                 a
             })
     };
+    pool.flush_obs();
     let processed = processed.load(Ordering::Relaxed) as usize;
 
     let pairs: u64 = hist.iter().sum();

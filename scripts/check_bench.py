@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Compare a perf_suite run against a committed baseline.
+
+Usage: check_bench.py BASELINE.json CURRENT.json [TOLERANCE]
+
+Fails (exit 1) when:
+  * either file is not a JSON array of rows with exactly the keys
+    {bench, n, m, wall_ms, work_units} (schema drift);
+  * the two files do not cover the same set of benches;
+  * any bench's wall_ms exceeds TOLERANCE x the baseline (default 3.0 --
+    loose on purpose: shared CI runners are noisy, and this job exists to
+    catch order-of-magnitude regressions and schema drift, not percents);
+  * work_units changed for a bench with matching n/m (the kernel did a
+    different amount of work on the same input -- a silent semantic
+    change, not noise).
+"""
+
+import json
+import sys
+
+SCHEMA = {"bench", "n", "m", "wall_ms", "work_units"}
+
+
+def load(path):
+    with open(path) as f:
+        rows = json.load(f)
+    if not isinstance(rows, list) or not rows:
+        sys.exit(f"{path}: expected a non-empty JSON array")
+    out = {}
+    for row in rows:
+        keys = set(row)
+        if keys != SCHEMA:
+            sys.exit(f"{path}: schema drift: got {sorted(keys)}, want {sorted(SCHEMA)}")
+        out[row["bench"]] = row
+    return out
+
+
+def main():
+    if len(sys.argv) not in (3, 4):
+        sys.exit(__doc__)
+    base = load(sys.argv[1])
+    cur = load(sys.argv[2])
+    tol = float(sys.argv[3]) if len(sys.argv) == 4 else 3.0
+
+    if set(base) != set(cur):
+        sys.exit(
+            f"bench sets differ: baseline {sorted(base)} vs current {sorted(cur)}"
+        )
+
+    failures = []
+    for name, b in sorted(base.items()):
+        c = cur[name]
+        limit = tol * b["wall_ms"]
+        status = "ok"
+        if c["wall_ms"] > limit:
+            status = f"FAIL (> {tol}x baseline)"
+            failures.append(name)
+        if (c["n"], c["m"]) == (b["n"], b["m"]) and c["work_units"] != b["work_units"]:
+            status = (
+                f"FAIL (work_units {b['work_units']} -> {c['work_units']} "
+                "on identical input)"
+            )
+            failures.append(name)
+        print(
+            f"{name:30s} baseline {b['wall_ms']:9.3f} ms   "
+            f"current {c['wall_ms']:9.3f} ms   {status}"
+        )
+
+    if failures:
+        sys.exit(f"bench regression check failed: {sorted(set(failures))}")
+    print(f"all {len(base)} benches within {tol}x of baseline")
+
+
+if __name__ == "__main__":
+    main()

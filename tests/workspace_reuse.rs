@@ -1,0 +1,145 @@
+//! The workspace-history contract (DESIGN.md §11): kernel results must
+//! never depend on what a [`TraversalWorkspace`] was previously used
+//! for. One workspace (or pool) driven across a long sequence of calls
+//! on *different* graphs — including filtered views whose shape differs
+//! from the previous binding — must produce output bit-identical to a
+//! fresh workspace per call.
+//!
+//! Floating-point outputs are compared with `==` on purpose: the epoch
+//! layer claims exact reuse, not "close enough" reuse.
+
+use proptest::prelude::*;
+use snap::centrality::{
+    betweenness_from_sources_with_workspace, closeness, closeness_of, closeness_of_with_workspace,
+    closeness_with_workspace,
+};
+use snap::gen::{rmat, RmatConfig};
+use snap::graph::{FilteredGraph, Graph, TraversalWorkspace, WorkspacePool};
+use snap::kernels::{bfs, bfs_into, export_bfs, st_connectivity, st_connectivity_with_workspace};
+use snap::metrics::{path_stats_sampled, path_stats_sampled_with_workspace};
+use snap::Network;
+
+/// A small connected-ish small-world instance; `seed` varies the shape.
+fn graph(seed: u64) -> snap::graph::CsrGraph {
+    let scale = 5 + (seed % 3) as u32; // 32..128 vertices
+    rmat(&RmatConfig::small_world(scale, 4 << scale), seed)
+}
+
+/// Every vertex of `g`, as a source list for exact betweenness.
+fn all_sources<G: Graph>(g: &G) -> Vec<u32> {
+    (0..g.num_vertices() as u32).collect()
+}
+
+/// 50 sequential kernel calls on differing graphs (every 5th one a
+/// filtered view), all through ONE workspace and ONE pool, each compared
+/// bit-exactly against a fresh-scratch run.
+#[test]
+fn fifty_calls_one_workspace_bit_identical() {
+    let mut ws = TraversalWorkspace::new();
+    let pool = WorkspacePool::new();
+    for i in 0..50u64 {
+        let base = graph(i);
+        if i % 5 == 4 {
+            // Filtered view: drop every 3rd edge, shrinking shortest-path
+            // structure without rebuilding the CSR.
+            let mut fg = FilteredGraph::new(&base);
+            for e in (0..base.edge_id_bound() as u32).step_by(3) {
+                fg.delete_edge(e);
+            }
+            check_all(&fg, &mut ws, &pool, i);
+        } else {
+            check_all(&base, &mut ws, &pool, i);
+        }
+    }
+    // 50 rounds × several kernels: the shared scratch must have been
+    // reused far more often than it was allocated.
+    let s = pool.stats();
+    assert!(
+        s.reuses > 10 * s.full_clears,
+        "pool reuse did not dominate: {s:?}"
+    );
+}
+
+fn check_all<G: Graph>(g: &G, ws: &mut TraversalWorkspace, pool: &WorkspacePool, round: u64) {
+    let n = g.num_vertices();
+    let s = (round % n as u64) as u32;
+    let t = ((round * 7 + 3) % n as u64) as u32;
+
+    // BFS: distances and parents.
+    let fresh = bfs(g, s);
+    let tag = bfs_into(g, s, ws);
+    let reused = export_bfs(n, ws, tag);
+    assert_eq!(fresh.dist, reused.dist, "bfs dist, round {round}");
+    assert_eq!(fresh.parent, reused.parent, "bfs parent, round {round}");
+
+    // st-connectivity.
+    assert_eq!(
+        st_connectivity(g, s, t),
+        st_connectivity_with_workspace(g, s, t, ws),
+        "st-con, round {round}"
+    );
+
+    // Closeness: single-vertex (shared workspace) and full pass (pool).
+    assert_eq!(
+        closeness_of(g, s),
+        closeness_of_with_workspace(g, s, ws),
+        "closeness_of, round {round}"
+    );
+    assert_eq!(
+        closeness(g),
+        closeness_with_workspace(g, pool),
+        "closeness, round {round}"
+    );
+
+    // Exact betweenness through the pool vs a fresh pool.
+    let sources = all_sources(g);
+    let a = betweenness_from_sources_with_workspace(g, &sources, &WorkspacePool::new());
+    let b = betweenness_from_sources_with_workspace(g, &sources, pool);
+    assert_eq!(a.vertex, b.vertex, "betweenness vertex, round {round}");
+    assert_eq!(a.edge, b.edge, "betweenness edge, round {round}");
+
+    // Sampled path statistics.
+    let pa = path_stats_sampled(g, 8, round);
+    let pb = path_stats_sampled_with_workspace(g, 8, round, pool);
+    assert_eq!(pa.average.to_bits(), pb.average.to_bits(), "round {round}");
+    assert_eq!(pa.max, pb.max, "round {round}");
+    assert_eq!(pa.pairs, pb.pairs, "round {round}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random interleavings: whatever graph the workspace saw last, the
+    /// next call's results are exactly those of a fresh workspace.
+    #[test]
+    fn reuse_is_invisible(seeds in prop::collection::vec(0u64..1000, 2..6)) {
+        let mut ws = TraversalWorkspace::new();
+        let pool = WorkspacePool::new();
+        for (i, &seed) in seeds.iter().enumerate() {
+            let g = graph(seed);
+            check_all(&g, &mut ws, &pool, i as u64 + seed);
+        }
+    }
+}
+
+/// The acceptance-side observability contract: a pooled multi-source
+/// kernel reports at least `sources - 1` workspace reuses (every
+/// traversal after each worker's first is a pure epoch reset).
+#[test]
+fn observed_run_reports_workspace_reuses() {
+    let net = Network::new(rmat(&RmatConfig::small_world(8, 2048), 11));
+    let n = net.graph().num_vertices() as u64;
+    let obs = net.observed();
+    let _ = net.betweenness();
+    let report = obs.finish();
+    let span = report
+        .find("centrality.betweenness")
+        .expect("betweenness span recorded");
+    let reuses = span.counter("workspace_reuses").unwrap_or(0);
+    assert!(
+        reuses >= n - 1,
+        "expected >= {} workspace reuses, report shows {reuses}",
+        n - 1
+    );
+    assert!(span.counter("epoch_resets").unwrap_or(0) >= reuses);
+}
