@@ -67,7 +67,7 @@ fn main() {
     let g2 = erdos_renyi(500, 2000, 7);
     let g3 = watts_strogatz(256, 8, 0.1, 11);
     let mut view = FilteredGraph::new(&g1);
-    for e in (0..g1.num_edges() as u32).step_by(5) {
+    for e in g1.edge_ids().step_by(5) {
         view.delete_edge(e);
     }
 

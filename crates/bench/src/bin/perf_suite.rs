@@ -13,9 +13,17 @@
 //! measure per bench (traversal vertices or arcs examined), so a result
 //! file from one tree is comparable against another.
 //!
+//! Alongside the flat table, one extra *observed* run per bench (after
+//! the timed reps, so instrumentation never touches the timings) is
+//! collected into a single `snap-obs` run report written to `--spans-out`
+//! (default `BENCH_spans.json`). Each bench is a top-level span wrapping
+//! the kernel's own span tree, counters, and latency histograms — the
+//! file feeds `snap-cli obs diff` for span-level regression gating and
+//! `snap-cli obs top` for a self-time ranking.
+//!
 //! ```text
 //! cargo run --release -p snap-bench --bin perf_suite -- \
-//!     [--scale N] [--reps R] [--seed S] [--out PATH]
+//!     [--scale N] [--reps R] [--seed S] [--out PATH] [--spans-out PATH]
 //! ```
 
 use snap::centrality::{betweenness_from_sources, closeness, sample_sources};
@@ -43,11 +51,28 @@ fn min_wall(reps: usize, mut f: impl FnMut() -> Duration) -> f64 {
     best.as_secs_f64() * 1e3
 }
 
+/// Run `f` once with collection live, wrapped in a span named `bench`,
+/// and return that bench's span subtree (plus the run's report for
+/// counter extraction). Instrumented runs happen *after* the timed reps,
+/// so `wall_ms` never includes collection overhead.
+fn observed_spans(bench: &'static str, f: impl FnOnce()) -> (snap_obs::ReportNode, u64) {
+    snap_obs::enable();
+    {
+        let _span = snap_obs::span(bench);
+        f();
+    }
+    let report = snap_obs::finish().unwrap_or_default();
+    let work = report.total_counter("frontier_vertices");
+    let node = report.root.children.into_iter().next().unwrap_or_default();
+    (node, work)
+}
+
 fn main() {
     let mut scale = 15u32;
     let mut reps = 3usize;
     let mut seed = 0x5eedu64;
     let mut out = String::from("BENCH_kernels.json");
+    let mut spans_out = String::from("BENCH_spans.json");
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut val = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
@@ -56,24 +81,28 @@ fn main() {
             "--reps" => reps = val("--reps").parse().expect("--reps must be a usize"),
             "--seed" => seed = val("--seed").parse().expect("--seed must be a u64"),
             "--out" => out = val("--out"),
-            other => panic!("unknown flag {other}; supported: --scale N --reps R --seed S --out P"),
+            "--spans-out" => spans_out = val("--spans-out"),
+            other => panic!(
+                "unknown flag {other}; supported: --scale N --reps R --seed S --out P --spans-out P"
+            ),
         }
     }
     let reps = reps.max(1);
     let mut entries = Vec::new();
+    let mut bench_spans = Vec::new();
 
     // --- Sampled betweenness, k = 64 sources, R-MAT m = 8n. ---
     {
         let n = 1usize << scale;
         let g = rmat(&RmatConfig::small_world(scale, n * 8), seed);
         let sources = sample_sources(g.num_vertices(), 64, seed);
-        // Work units: total traversal vertices over all sources, read from
-        // the kernel's own counters in one observed warm-up run.
-        snap_obs::enable();
-        let _ = betweenness_from_sources(&g, &sources);
-        let report = snap_obs::finish().unwrap_or_default();
-        let work = report.total_counter("frontier_vertices");
         let wall = min_wall(reps, || time(|| betweenness_from_sources(&g, &sources)).1);
+        // Work units: total traversal vertices over all sources, read from
+        // the kernel's own counters in the observed run.
+        let (node, work) = observed_spans("sampled_betweenness_k64", || {
+            let _ = betweenness_from_sources(&g, &sources);
+        });
+        bench_spans.push(node);
         entries.push(entry("sampled_betweenness_k64", &g, wall, work));
     }
 
@@ -82,6 +111,10 @@ fn main() {
         let n = 1usize << scale.saturating_sub(3);
         let g = erdos_renyi(n, n * 8, seed);
         let wall = min_wall(reps, || time(|| closeness(&g)).1);
+        let (node, _) = observed_spans("closeness_exact", || {
+            let _ = closeness(&g);
+        });
+        bench_spans.push(node);
         entries.push(entry("closeness_exact", &g, wall, g.num_vertices() as u64));
     }
 
@@ -91,6 +124,10 @@ fn main() {
         let n = 1usize << s;
         let g = rmat(&RmatConfig::small_world(s, n * 8), seed);
         let wall = min_wall(reps, || time(|| path_stats_sampled(&g, 256, seed)).1);
+        let (node, _) = observed_spans("path_stats_sampled_k256", || {
+            let _ = path_stats_sampled(&g, 256, seed);
+        });
+        bench_spans.push(node);
         entries.push(entry("path_stats_sampled_k256", &g, wall, 256));
     }
 
@@ -111,13 +148,37 @@ fn main() {
             work = edges;
             d
         });
+        let (node, _) = observed_spans("hybrid_bfs_64", || {
+            for &s in &sources {
+                let _ = par_bfs_hybrid_stats(&g, s, &cfg);
+            }
+        });
+        bench_spans.push(node);
         entries.push(entry("hybrid_bfs_64", &g, wall, work));
     }
 
     let json = render(&entries);
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
     println!("{json}");
-    eprintln!("wrote {out} (scale {scale}, reps {reps}, seed {seed:#x})");
+
+    // One combined span report covering every bench, for `obs diff`.
+    let spans_report = snap_obs::RunReport {
+        root: snap_obs::ReportNode {
+            name: "perf_suite".to_string(),
+            meta: vec![
+                ("scale".to_string(), scale.to_string()),
+                ("seed".to_string(), format!("{seed:#x}")),
+            ],
+            children: bench_spans,
+            ..Default::default()
+        },
+        trace: Vec::new(),
+    };
+    let mut spans_json = spans_report.to_json();
+    spans_json.push('\n');
+    std::fs::write(&spans_out, &spans_json)
+        .unwrap_or_else(|e| panic!("cannot write {spans_out}: {e}"));
+    eprintln!("wrote {out} and {spans_out} (scale {scale}, reps {reps}, seed {seed:#x})");
 }
 
 fn entry(bench: &'static str, g: &CsrGraph, wall_ms: f64, work_units: u64) -> Entry {

@@ -323,46 +323,56 @@ fn accumulate_sources_budgeted<G: Graph>(
     let n = g.num_vertices();
     let m = g.edge_id_bound();
     // Handles are captured by the worker closures: every rayon worker
-    // lands its per-source tallies in the same relaxed atomics.
+    // lands its per-source tallies in the same relaxed atomics, and the
+    // per-source latency distribution merges by relaxed bucket adds.
     let sources_processed = snap_obs::counter("sources_processed");
     let frontier_vertices = snap_obs::counter("frontier_vertices");
+    let source_us = snap_obs::hist("source_us");
     let processed = AtomicU64::new(0);
+    // Coarse-grained fan-out: explicit multi-source chunks. A plain
+    // par_iter would fall below the shim's small-input threshold for
+    // short source lists (a k = 64 sample), serializing work where each
+    // item is a whole graph traversal; par_chunks makes the granularity
+    // the caller's call. The chunk size depends only on the source count,
+    // never the thread count: per-chunk f64 accumulators reduce in chunk
+    // order, so a thread-count-independent chunking keeps the floating
+    // point bracketing — and therefore every downstream tie-break (pBD
+    // edge ranking) — bit-identical from 1 thread to 64.
+    let per = sources.len().div_ceil(64).max(16);
     let (vertex, edge) = sources
-        .par_iter()
-        .fold(
-            || {
-                (
-                    Vec::new(),
-                    Vec::new(),
-                    None::<snap_graph::PooledWorkspace<'_>>,
-                )
-            },
-            |(mut vacc, mut eacc, mut scratch), &s| {
+        .par_chunks(per)
+        .map(|chunk| {
+            let mut vacc = Vec::new();
+            let mut eacc = Vec::new();
+            let mut scratch = None::<snap_graph::PooledWorkspace<'_>>;
+            for &s in chunk {
                 // The budget gate costs one relaxed load per source; a
-                // tripped budget turns the remaining sources into no-ops.
+                // tripped budget skips the chunk's remaining sources.
                 if budget.is_exhausted() {
-                    return (vacc, eacc, scratch);
+                    break;
                 }
                 if vacc.is_empty() {
                     vacc = vec![0.0; n];
                     eacc = vec![0.0; m];
                 }
                 let ws = scratch.get_or_insert_with(|| {
-                    // One checkout per rayon chunk; the offsets bind is
+                    // One checkout per chunk; the offsets bind is
                     // amortized over every source the chunk runs.
                     let mut ws = pool.acquire();
                     ws.bind_preds(g);
                     ws
                 });
+                let _task = snap_obs::task("brandes.source");
+                let timer = source_us.start();
                 accumulate_source(g, s, ws, &mut vacc, &mut eacc);
+                source_us.stop_us(timer);
                 processed.fetch_add(1, Ordering::Relaxed);
                 sources_processed.incr();
                 frontier_vertices.add(ws.order.len() as u64);
                 let _ = budget.charge(ws.order.len() as u64 + 1);
-                (vacc, eacc, scratch)
-            },
-        )
-        .map(|(v, e, _)| (v, e))
+            }
+            (vacc, eacc)
+        })
         .reduce(
             || (Vec::new(), Vec::new()),
             |(mut va, mut ea), (vb, eb)| {

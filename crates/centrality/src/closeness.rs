@@ -36,6 +36,9 @@ pub fn closeness_with_workspace<G: Graph>(g: &G, pool: &WorkspacePool) -> Vec<f6
     if n <= 1 {
         return vec![0.0; n];
     }
+    let _span = snap_obs::span("centrality.closeness");
+    let sources_processed = snap_obs::counter("sources_processed");
+    let source_us = snap_obs::hist("source_us");
     // One sequential BFS per worker: with n sources there is plenty of
     // outer parallelism, so the cheapest traversal per source wins. Each
     // worker folds into (workspace, scores) and the scores scatter back
@@ -46,8 +49,12 @@ pub fn closeness_with_workspace<G: Graph>(g: &G, pool: &WorkspacePool) -> Vec<f6
             || (None::<PooledWorkspace<'_>>, Vec::new()),
             |(mut ws, mut acc), v| {
                 let w = ws.get_or_insert_with(|| pool.acquire());
+                let _task = snap_obs::task("closeness.source");
+                let timer = source_us.start();
                 bfs_levels_into(g, v, w);
                 acc.push((v, closeness_from_workspace(n, w)));
+                source_us.stop_us(timer);
+                sources_processed.incr();
                 (ws, acc)
             },
         )
@@ -121,10 +128,14 @@ pub fn sampled_closeness_with_workspace<G: Graph>(
     if n == 0 {
         return Vec::new();
     }
+    let _span = snap_obs::span("centrality.closeness");
+    let sources_processed = snap_obs::counter("sources_processed");
+    let source_us = snap_obs::hist("source_us");
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let mut sources: Vec<VertexId> = (0..n as VertexId).collect();
     sources.shuffle(&mut rng);
     sources.truncate(k.max(1).min(n));
+    snap_obs::add("samples_drawn", sources.len() as u64);
 
     // Sum of distances to each vertex from the sampled sources. The
     // per-source scatter walks the touched set only; the u64 sums make
@@ -135,6 +146,8 @@ pub fn sampled_closeness_with_workspace<G: Graph>(
             || (None::<PooledWorkspace<'_>>, vec![0u64; n]),
             |(mut ws, mut acc), &s| {
                 let w = ws.get_or_insert_with(|| pool.acquire());
+                let _task = snap_obs::task("closeness.source");
+                let timer = source_us.start();
                 bfs_levels_into(g, s, w);
                 // Per-vertex sums need a scatter, but the depth runs let
                 // it stream over `order` without re-reading a dist word
@@ -144,6 +157,8 @@ pub fn sampled_closeness_with_workspace<G: Graph>(
                         acc[u as usize] += d as u64;
                     }
                 }
+                source_us.stop_us(timer);
+                sources_processed.incr();
                 (ws, acc)
             },
         )

@@ -132,12 +132,16 @@ pub fn pbd_with_budget(g: &CsrGraph, cfg: &PbdConfig, budget: &Budget) -> Divisi
     // offsets to the mutated view, the slot arrays warm up once.
     let pool = WorkspacePool::new();
     let fine_phase = snap_obs::span("fine_phase");
+    // Per-round latency: early rounds run betweenness on the giant
+    // component and dwarf later rounds, so the spread is the signal.
+    let round_us = snap_obs::hist("round_us");
     let mut round = 0u64;
     let mut since_best = 0usize;
     loop {
         if removals.len() >= cap || engine.live_edges() == 0 {
             break;
         }
+        let round_timer = round_us.start();
         // Granularity switch: all components small → coarse phase.
         let giant = engine
             .current_clustering()
@@ -191,6 +195,7 @@ pub fn pbd_with_budget(g: &CsrGraph, cfg: &PbdConfig, budget: &Budget) -> Divisi
             let q = engine.delete_edge(e);
             removals.push((e, q));
         }
+        round_us.stop_us(round_timer);
         if let Some(p) = cfg.patience {
             if engine.best_q() > before_best {
                 since_best = 0;

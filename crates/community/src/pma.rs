@@ -104,6 +104,10 @@ pub fn pma_with_budget(g: &CsrGraph, cfg: &PmaConfig, budget: &Budget) -> Agglom
 
     let mut dendrogram = Dendrogram::new(n, q0);
     let mut q = q0;
+    // Per-merge latency: merges between high-degree communities dominate
+    // tail cost (their ΔQ row unions grow), so p99 tracks the heavy
+    // merges a mean would hide.
+    let merge_us = snap_obs::hist("merge_us");
     // CNM runs the greedy schedule to exhaustion (one community per
     // connected component), tracking the best prefix: merges past the
     // modularity peak are recorded but do not affect the reported cut.
@@ -116,7 +120,9 @@ pub fn pma_with_budget(g: &CsrGraph, cfg: &PmaConfig, budget: &Budget) -> Agglom
             snap_obs::add("budget_cancellations", 1);
             break; // the dendrogram prefix still yields a valid cut
         }
+        let merge_timer = merge_us.start();
         matrix.merge(i, j);
+        merge_us.stop_us(merge_timer);
         q += dq;
         dendrogram.push(i, j, q);
     }

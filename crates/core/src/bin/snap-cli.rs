@@ -8,6 +8,8 @@
 //! snap-cli centrality   <graph> [--approx FRAC] [--top K] [--seed S]
 //! snap-cli run          <graph> [--source V] [--algorithm A] [--parts K] [--approx FRAC] [--seed S]
 //! snap-cli generate     rmat|er|ws|grid|planted --out FILE [--scale S] [--edges M] [--seed S]
+//! snap-cli obs diff     BASE.json CURRENT.json [--fail-over-pct P] [--min-ms M]
+//! snap-cli obs top      REPORT.json [--limit N]
 //! ```
 //!
 //! Graph files may be whitespace edge lists (`u v [w]`, `#` comments,
@@ -16,10 +18,17 @@
 //! can be forced with `--format edgelist|dimacs|metis`.
 //!
 //! Every analysis command accepts `--report json[=PATH]` to emit the
-//! structured `snap-obs` run report (to stdout, or to `PATH`) and
-//! `--trace` to render the span tree human-readably on stderr. When the
-//! JSON report goes to stdout, the normal human output moves to stderr so
-//! stdout stays machine-readable.
+//! structured `snap-obs` run report (to stdout, or to `PATH`),
+//! `--trace` to render the span tree human-readably on stderr, and
+//! `--trace-out PATH` to record a per-thread event timeline and write it
+//! as Chrome trace-event JSON (loadable in Perfetto / `chrome://tracing`).
+//! When the JSON report goes to stdout, the normal human output moves to
+//! stderr so stdout stays machine-readable.
+//!
+//! `obs diff` aligns two saved reports by span path and prints wall-time
+//! and counter deltas; with `--fail-over-pct` it exits non-zero when any
+//! span regressed past the threshold (the CI hook). `obs top` ranks spans
+//! by self time (total minus children — the flamegraph view).
 //!
 //! `--timeout SECS` attaches a wall-clock deadline: kernels check it
 //! cooperatively and degrade (sampling, coarser clusterings) or cancel
@@ -44,11 +53,16 @@ commands:
   centrality   <graph> [--approx FRAC] [--top K] [--seed S]
   run          <graph> [--source V] [--algorithm A] [--parts K] [--approx FRAC] [--seed S]
   generate     rmat|er|ws|grid|planted --out FILE [--scale S] [--edges M] [--seed S]
+  obs diff     BASE.json CURRENT.json [--fail-over-pct P] [--min-ms M]
+  obs top      REPORT.json [--limit N]
 
 common options:
   --format edgelist|dimacs|metis   input format (default: by extension)
   --report json[=PATH]             emit the snap-obs run report as JSON
   --trace                          render the span tree on stderr
+  --trace-out PATH                 write a Chrome trace-event timeline
+                                   (load in Perfetto / chrome://tracing)
+  --threads N                      worker threads (default: host cores)
   --timeout SECS                   wall-clock budget: analysis degrades
                                    gracefully or cancels cleanly (never hangs)"
     );
@@ -118,6 +132,7 @@ enum ReportSink {
 struct Obs {
     report: Option<ReportSink>,
     trace: bool,
+    trace_out: Option<String>,
 }
 
 impl Obs {
@@ -132,22 +147,34 @@ impl Obs {
                 )),
             },
         };
+        let trace_out = match args.flag("trace-out") {
+            None | Some("true") => None,
+            Some(path) => Some(path.to_string()),
+        };
+        if args.flag("trace-out") == Some("true") {
+            fail("--trace-out needs a file path");
+        }
         Obs {
             report,
             trace: args.flag("trace").is_some(),
+            trace_out,
         }
     }
 
     fn active(&self) -> bool {
-        self.report.is_some() || self.trace
+        self.report.is_some() || self.trace || self.trace_out.is_some()
     }
 
-    /// Start collection (no-op when neither --report nor --trace given).
+    /// Start collection (no-op when neither --report, --trace, nor
+    /// --trace-out given).
     fn begin(&self, command: &str, graph_path: &str) {
         if self.active() {
             snap::obs::enable();
             snap::obs::meta("command", command);
             snap::obs::meta("graph", graph_path);
+        }
+        if self.trace_out.is_some() {
+            snap::obs::enable_tracing();
         }
     }
 
@@ -173,8 +200,17 @@ impl Obs {
             return;
         }
         let report = snap::obs::finish().unwrap_or_default();
+        if self.trace_out.is_some() {
+            snap::obs::disable_tracing();
+        }
         if self.trace {
             eprint!("{}", report.render());
+        }
+        if let Some(path) = &self.trace_out {
+            let mut text = report.to_chrome_trace();
+            text.push('\n');
+            std::fs::write(path, text)
+                .unwrap_or_else(|e| fail(&format!("cannot write trace {path}: {e}")));
         }
         match &self.report {
             Some(ReportSink::Stdout) => stdout_line(format_args!("{}", report.to_json())),
@@ -262,7 +298,7 @@ fn main() {
     let command = raw[0].clone();
     let args = Args::parse(raw[1..].to_vec());
 
-    match command.as_str() {
+    let dispatch = || match command.as_str() {
         "summary" => cmd_summary(&args),
         "bfs" => cmd_bfs(&args),
         "communities" => cmd_communities(&args),
@@ -270,7 +306,80 @@ fn main() {
         "centrality" => cmd_centrality(&args),
         "run" => cmd_run(&args),
         "generate" => cmd_generate(&args),
+        "obs" => cmd_obs(&args),
         _ => usage(),
+    };
+    match args.flag("threads") {
+        Some(v) => {
+            let threads: usize = v
+                .parse()
+                .ok()
+                .filter(|&t: &usize| t >= 1)
+                .unwrap_or_else(|| fail(&format!("bad value for --threads: {v}")));
+            snap::with_threads(threads, dispatch)
+        }
+        None => dispatch(),
+    }
+}
+
+/// Load a saved `--report json=PATH` file.
+fn load_report(path: &str) -> snap::obs::RunReport {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    snap::obs::RunReport::from_json(&text)
+        .unwrap_or_else(|e| fail(&format!("cannot parse report {path}: {e}")))
+}
+
+/// `obs diff` / `obs top` — offline analysis of saved run reports.
+fn cmd_obs(args: &Args) {
+    match args.positional.first().map(|s| s.as_str()) {
+        Some("diff") => {
+            let (base_path, cur_path) = match (args.positional.get(1), args.positional.get(2)) {
+                (Some(a), Some(b)) => (a.as_str(), b.as_str()),
+                _ => fail("obs diff needs BASE.json and CURRENT.json"),
+            };
+            let base = load_report(base_path);
+            let cur = load_report(cur_path);
+            let entries = snap::obs::diff::diff(&base, &cur);
+            print!("{}", snap::obs::diff::render(&entries));
+            if let Some(pct) = args.flag("fail-over-pct") {
+                let pct: f64 = pct
+                    .parse()
+                    .ok()
+                    .filter(|p: &f64| p.is_finite() && *p >= 0.0)
+                    .unwrap_or_else(|| fail("bad value for --fail-over-pct"));
+                let min_ms: f64 = args.flag_parse("min-ms", 0.0);
+                let min_us = (min_ms * 1000.0).max(0.0) as u64;
+                let slow = snap::obs::diff::regressions(&entries, pct, min_us);
+                if !slow.is_empty() {
+                    eprintln!(
+                        "obs diff: {} span(s) regressed more than {pct}% (and {min_ms}ms):",
+                        slow.len()
+                    );
+                    for r in &slow {
+                        eprintln!(
+                            "  {}  {} -> {} us",
+                            r.path,
+                            r.base_us.unwrap_or(0),
+                            r.cur_us.unwrap_or(0)
+                        );
+                    }
+                    exit(1);
+                }
+            }
+        }
+        Some("top") => {
+            let path = args
+                .positional
+                .get(1)
+                .map(|s| s.as_str())
+                .unwrap_or_else(|| fail("obs top needs REPORT.json"));
+            let report = load_report(path);
+            let rows = snap::obs::diff::top(&report);
+            let limit: usize = args.flag_parse("limit", 20);
+            print!("{}", snap::obs::diff::render_top(&rows, limit));
+        }
+        _ => fail("obs needs a subcommand: diff or top"),
     }
 }
 

@@ -320,6 +320,13 @@ impl std::ops::Deref for Observed<'_> {
 impl Observed<'_> {
     /// Snapshot everything recorded so far and reset the tree; collection
     /// continues.
+    ///
+    /// The snapshot is *consistent*: spans still open at the call (for
+    /// example when reporting from inside a long pipeline) appear with
+    /// their wall time accrued up to this instant and a call counted,
+    /// rather than being silently truncated. Their remaining time after
+    /// the snapshot accrues to the next report, so consecutive reports
+    /// tile the timeline without double counting.
     pub fn report(&self) -> snap_obs::RunReport {
         snap_obs::take_report().unwrap_or_default()
     }

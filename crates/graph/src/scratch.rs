@@ -386,6 +386,16 @@ pub struct WorkspacePool {
     full_clears: AtomicU64,
     // Same totals, monotonic (never drained by flush) — for stats().
     total: [AtomicU64; 3],
+    // Concurrency high-water mark: workspaces checked out right now, and
+    // the peak since the last flush. The peak is the pool's actual memory
+    // footprint driver (each outstanding checkout owns its slot arrays),
+    // so it surfaces as the `workspace_pool_peak` gauge.
+    outstanding: AtomicU64,
+    peak: AtomicU64,
+    // Traversals each returned checkout performed, drained into the
+    // `checkout_traversals` histogram at flush: a skewed distribution
+    // means chunked work is unbalanced across workers.
+    checkout_begins: Mutex<Vec<u64>>,
 }
 
 impl WorkspacePool {
@@ -403,6 +413,8 @@ impl WorkspacePool {
             .expect("workspace pool poisoned")
             .pop()
             .unwrap_or_default();
+        let now = self.outstanding.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak.fetch_max(now, Ordering::Relaxed);
         PooledWorkspace {
             pool: self,
             ws: Some(ws),
@@ -410,6 +422,10 @@ impl WorkspacePool {
     }
 
     fn absorb(&self, p: WorkspaceStats) {
+        self.outstanding.fetch_sub(1, Ordering::Relaxed);
+        if let Ok(mut begins) = self.checkout_begins.lock() {
+            begins.push(p.epoch_resets + p.full_clears);
+        }
         self.reuses.fetch_add(p.reuses, Ordering::Relaxed);
         self.epoch_resets
             .fetch_add(p.epoch_resets, Ordering::Relaxed);
@@ -449,6 +465,31 @@ impl WorkspacePool {
             full_clears: self.full_clears.swap(0, Ordering::Relaxed),
         };
         emit(p, self.bytes_held() as f64);
+        let peak = self.peak.swap(0, Ordering::Relaxed);
+        // Workspaces still checked out seed the next flush window.
+        self.peak
+            .fetch_max(self.outstanding.load(Ordering::Relaxed), Ordering::Relaxed);
+        if !snap_obs::is_enabled() {
+            // Reset the window anyway so a later enabled run does not
+            // inherit stale checkout stats.
+            if let Ok(mut begins) = self.checkout_begins.lock() {
+                begins.clear();
+            }
+            return;
+        }
+        if peak > 0 {
+            snap_obs::gauge("workspace_pool_peak", peak as f64);
+        }
+        let begins = match self.checkout_begins.lock() {
+            Ok(mut b) => std::mem::take(&mut *b),
+            Err(_) => Vec::new(),
+        };
+        if !begins.is_empty() {
+            let hist = snap_obs::hist("checkout_traversals");
+            for b in begins {
+                hist.record(b);
+            }
+        }
     }
 }
 
@@ -561,6 +602,41 @@ mod tests {
         assert_eq!(s.full_clears, 1);
         assert_eq!(s.reuses, 2);
         assert!(pool.bytes_held() > 0);
+    }
+
+    #[test]
+    fn pool_tracks_checkout_high_water_mark() {
+        let pool = WorkspacePool::new();
+        {
+            let _a = pool.acquire();
+            let _b = pool.acquire();
+            assert_eq!(pool.outstanding.load(Ordering::Relaxed), 2);
+            assert_eq!(pool.peak.load(Ordering::Relaxed), 2);
+        }
+        assert_eq!(pool.outstanding.load(Ordering::Relaxed), 0);
+        // Peak survives the returns until a flush drains the window.
+        assert_eq!(pool.peak.load(Ordering::Relaxed), 2);
+        pool.flush_obs();
+        assert_eq!(pool.peak.load(Ordering::Relaxed), 0);
+        let _c = pool.acquire();
+        assert_eq!(pool.peak.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn pool_records_traversals_per_checkout() {
+        let pool = WorkspacePool::new();
+        {
+            let mut ws = pool.acquire();
+            ws.begin(4);
+            ws.begin(4);
+            ws.begin(4);
+        }
+        {
+            let mut ws = pool.acquire();
+            ws.begin(4);
+        }
+        let begins = pool.checkout_begins.lock().unwrap();
+        assert_eq!(*begins, vec![3, 1]);
     }
 
     #[test]

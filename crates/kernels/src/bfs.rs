@@ -326,6 +326,9 @@ pub fn try_par_bfs_hybrid_stats<G: Graph>(
     let pull_allowed = !g.is_directed();
     // Arcs incident to not-yet-visited vertices (Beamer's m_u).
     let mut unexplored: u64 = g.num_arcs() as u64;
+    // Per-level wall-time distribution: skewed levels (the hub level of
+    // an R-MAT) stand out where the summed span duration hides them.
+    let level_us = snap_obs::hist("level_us");
 
     while !frontier.is_empty() {
         if let Err(why) = budget.check() {
@@ -333,6 +336,7 @@ pub fn try_par_bfs_hybrid_stats<G: Graph>(
             snap_obs::add("budget_cancellations", 1);
             return Err(why);
         }
+        let level_timer = level_us.start();
         level += 1;
         let nf = frontier.len();
         // Arcs out of the frontier (Beamer's m_f). Its vertices are
@@ -412,6 +416,7 @@ pub fn try_par_bfs_hybrid_stats<G: Graph>(
         });
         frontier = Frontier::from_vec(n, next);
         frontier.normalize();
+        level_us.stop_us(level_timer);
     }
 
     // Fold the per-level stats (collected regardless) into the report

@@ -102,6 +102,10 @@ pub fn try_delta_stepping<G: WeightedGraph>(
     let mut obs_relaxations = 0u64;
     let mut obs_re_relaxations = 0u64;
     let mut obs_phases = 0u64;
+    // Per-bucket latency: buckets touched early carry most of the light
+    // fixpoint work on small-diameter graphs, so the distribution (not the
+    // mean) is the Δ-tuning signal.
+    let bucket_us = snap_obs::hist("bucket_us");
 
     let mut i = 0usize;
     while i < buckets.len() {
@@ -110,6 +114,7 @@ pub fn try_delta_stepping<G: WeightedGraph>(
             snap_obs::add("budget_cancellations", 1);
             return Err(why);
         }
+        let bucket_timer = bucket_us.start();
         let mut settled: Vec<VertexId> = Vec::new();
         // Light-edge fixpoint within bucket i.
         while !buckets[i].is_empty() {
@@ -171,6 +176,7 @@ pub fn try_delta_stepping<G: WeightedGraph>(
             apply_requests(requests, &mut dist, &mut buckets, &mut bucket_of, delta, i);
         obs_relaxations += relaxed;
         obs_re_relaxations += re_relaxed;
+        bucket_us.stop_us(bucket_timer);
         i += 1;
     }
 

@@ -20,6 +20,23 @@
 //! the activations), so round-based kernels produce bounded reports no
 //! matter how many iterations they run.
 //!
+//! ## Profiling layer
+//!
+//! Beyond summed spans, three profiling facilities (see DESIGN.md §12):
+//!
+//! - **Latency histograms** ([`hist()`], [`hist::Histogram`]): log-bucketed
+//!   (power-of-two) mergeable distributions attached to the current span
+//!   — per-source, per-level, per-bucket, per-round kernel timings
+//!   surface as p50/p90/p99/max in [`RunReport::render`] and JSON.
+//! - **Event rings** ([`enable_tracing`], [`task`], [`ring`]): when
+//!   tracing is on, spans and worker-side tasks append begin/end records
+//!   to lock-free per-thread rings; `take_report` drains them into
+//!   [`RunReport::trace`], exportable as Chrome trace-event JSON
+//!   ([`RunReport::to_chrome_trace`]) for Perfetto.
+//! - **Diffing** ([`diff`]): span-tree-aligned wall-time/counter deltas
+//!   between two reports plus flamegraph-style self-time aggregation,
+//!   driving `snap-cli obs diff` / `obs top`.
+//!
 //! ## Zero cost when disabled
 //!
 //! Every entry point first checks a process-global atomic (`Relaxed`
@@ -39,11 +56,16 @@
 //! assert_eq!(bfs.counter("edges_examined"), Some(42));
 //! ```
 
+pub mod diff;
+pub mod hist;
 pub mod json;
 pub mod report;
+pub mod ring;
 
+pub use hist::{HistHandle, HistSnapshot, Histogram};
 pub use json::{Json, JsonError};
 pub use report::{ReportNode, RunReport};
+pub use ring::{disable_tracing, enable_tracing, is_tracing, TraceEvent};
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -136,6 +158,7 @@ struct Node {
     counters: Mutex<Vec<(String, Arc<Counter>)>>,
     gauges: Mutex<Vec<(String, f64)>>,
     meta: Mutex<Vec<(String, String)>>,
+    hists: Mutex<Vec<(String, Arc<Histogram>)>>,
     children: Mutex<Vec<Arc<Node>>>,
 }
 
@@ -149,6 +172,7 @@ impl Node {
             counters: Mutex::new(Vec::new()),
             gauges: Mutex::new(Vec::new()),
             meta: Mutex::new(Vec::new()),
+            hists: Mutex::new(Vec::new()),
             children: Mutex::new(Vec::new()),
         })
     }
@@ -173,6 +197,16 @@ impl Node {
         let c = Arc::new(Counter::default());
         counters.push((name.to_string(), Arc::clone(&c)));
         c
+    }
+
+    fn hist(&self, name: &str) -> Arc<Histogram> {
+        let mut hists = self.hists.lock().unwrap();
+        if let Some((_, h)) = hists.iter().find(|(n, _)| n == name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::default());
+        hists.push((name.to_string(), Arc::clone(&h)));
+        h
     }
 
     fn set_gauge(&self, name: &str, value: f64) {
@@ -206,6 +240,14 @@ impl Node {
                 .collect(),
             gauges: self.gauges.lock().unwrap().clone(),
             meta: self.meta.lock().unwrap().clone(),
+            hists: self
+                .hists
+                .lock()
+                .unwrap()
+                .iter()
+                .filter(|(_, h)| h.count() > 0)
+                .map(|(n, h)| (n.clone(), h.snapshot()))
+                .collect(),
             children: self
                 .children
                 .lock()
@@ -220,7 +262,10 @@ impl Node {
 struct Ctx {
     epoch: Instant,
     root: Arc<Node>,
-    stack: Vec<Arc<Node>>,
+    /// Open spans, innermost last, each with the entry time of its
+    /// current activation (used by [`take_report`] to snapshot
+    /// in-progress spans consistently).
+    stack: Vec<(Arc<Node>, Instant)>,
 }
 
 impl Ctx {
@@ -264,6 +309,15 @@ pub fn is_enabled() -> bool {
 
 /// Snapshot the tree collected so far and start a fresh one (collection
 /// stays enabled). `None` when not collecting.
+///
+/// **Consistency contract:** spans that are still open when the report is
+/// taken (guards not yet dropped — e.g. calling this from inside an
+/// instrumented section) are included with their elapsed-so-far duration
+/// and counted as one activation, so the snapshot is internally
+/// consistent: every span on the open stack has `calls >= 1` and a
+/// duration covering the time up to the snapshot. The guards keep
+/// running and close against the *new* tree's bookkeeping (their late
+/// durations land in discarded nodes, never in the returned report).
 pub fn take_report() -> Option<RunReport> {
     if ACTIVE.load(Ordering::Relaxed) == 0 {
         return None;
@@ -271,11 +325,28 @@ pub fn take_report() -> Option<RunReport> {
     CONTEXT.with(|c| {
         let mut slot = c.borrow_mut();
         let ctx = slot.as_mut()?;
+        // Fold the in-progress activations into the tree before
+        // snapshotting; the old tree is discarded right after, so the
+        // eventual guard drops can't double-count into the report.
+        for (node, entered) in &ctx.stack {
+            node.duration_us
+                .fetch_add(entered.elapsed().as_micros() as u64, Ordering::Relaxed);
+            node.calls.fetch_add(1, Ordering::Relaxed);
+        }
         let mut root = ctx.root.snapshot();
         root.duration_us = ctx.epoch.elapsed().as_micros() as u64;
         root.calls = 1;
+        let (trace, dropped) = if ring::is_tracing() {
+            ring::drain()
+        } else {
+            (Vec::new(), 0)
+        };
+        if !trace.is_empty() || dropped > 0 {
+            root.counters
+                .push(("trace_events_dropped".to_string(), dropped));
+        }
         *ctx = Ctx::new();
-        Some(RunReport { root })
+        Some(RunReport { root, trace })
     })
 }
 
@@ -291,6 +362,8 @@ pub fn finish() -> Option<RunReport> {
 #[must_use = "a span closes when its guard drops; bind it with `let _span = ...`"]
 pub struct SpanGuard {
     node: Option<(Arc<Node>, Instant)>,
+    /// Ring + interned name for the matching end event when tracing.
+    trace: Option<(Arc<ring::Ring>, u32)>,
 }
 
 /// Open a span named `name` under the current span (or the root). No-op
@@ -299,7 +372,10 @@ pub struct SpanGuard {
 #[inline]
 pub fn span(name: &str) -> SpanGuard {
     if ACTIVE.load(Ordering::Relaxed) == 0 {
-        return SpanGuard { node: None };
+        return SpanGuard {
+            node: None,
+            trace: None,
+        };
     }
     span_slow(name)
 }
@@ -308,20 +384,35 @@ fn span_slow(name: &str) -> SpanGuard {
     CONTEXT.with(|c| {
         let mut slot = c.borrow_mut();
         let Some(ctx) = slot.as_mut() else {
-            return SpanGuard { node: None };
+            return SpanGuard {
+                node: None,
+                trace: None,
+            };
         };
         let start_us = ctx.epoch.elapsed().as_micros() as u64;
-        let parent = ctx.stack.last().unwrap_or(&ctx.root);
+        let parent = ctx.stack.last().map(|(n, _)| n).unwrap_or(&ctx.root);
         let node = parent.child(name, start_us);
-        ctx.stack.push(Arc::clone(&node));
+        ctx.stack.push((Arc::clone(&node), Instant::now()));
+        let trace = if ring::is_tracing() {
+            let ring = ring::thread_ring();
+            let id = ring::intern(name);
+            ring.push(id, true);
+            Some((ring, id))
+        } else {
+            None
+        };
         SpanGuard {
             node: Some((node, Instant::now())),
+            trace,
         }
     })
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
+        if let Some((ring, id)) = self.trace.take() {
+            ring.push(id, false);
+        }
         let Some((node, started)) = self.node.take() else {
             return;
         };
@@ -333,12 +424,41 @@ impl Drop for SpanGuard {
                 // Normal case: we are the top of the stack. Defensive
                 // case (guards dropped out of order, or the tree was
                 // taken mid-span): remove wherever we are, if present.
-                if let Some(pos) = ctx.stack.iter().rposition(|n| Arc::ptr_eq(n, &node)) {
+                if let Some(pos) = ctx.stack.iter().rposition(|(n, _)| Arc::ptr_eq(n, &node)) {
                     ctx.stack.remove(pos);
                 }
             }
         });
     }
+}
+
+/// RAII guard for a traced worker-side task (see [`task`]); the matching
+/// end event is written into the originating ring when the guard drops.
+#[must_use = "a task closes when its guard drops; bind it with `let _task = ...`"]
+pub struct TaskGuard(Option<(Arc<ring::Ring>, u32)>);
+
+impl Drop for TaskGuard {
+    fn drop(&mut self) {
+        if let Some((ring, id)) = self.0.take() {
+            ring.push(id, false);
+        }
+    }
+}
+
+/// Record a begin/end event pair for a unit of work on *this* thread's
+/// event ring — the worker-side counterpart of [`span`]. Unlike spans,
+/// tasks attach to no report tree, so they are meaningful on rayon
+/// workers; they surface only in the exported trace timeline. One relaxed
+/// load when tracing is off.
+#[inline]
+pub fn task(name: &str) -> TaskGuard {
+    if !ring::is_tracing() {
+        return TaskGuard(None);
+    }
+    let ring = ring::thread_ring();
+    let id = ring::intern(name);
+    ring.push(id, true);
+    TaskGuard(Some((ring, id)))
 }
 
 /// Handle to counter `name` on the current span (no-op when disabled).
@@ -352,10 +472,32 @@ pub fn counter(name: &str) -> CounterHandle {
         let slot = c.borrow();
         match slot.as_ref() {
             Some(ctx) => {
-                let node = ctx.stack.last().unwrap_or(&ctx.root);
+                let node = ctx.stack.last().map(|(n, _)| n).unwrap_or(&ctx.root);
                 CounterHandle(Some(node.counter(name)))
             }
             None => CounterHandle(None),
+        }
+    })
+}
+
+/// Handle to latency histogram `name` on the current span (no-op when
+/// disabled). Capture once on the coordinator, then
+/// [`record`](HistHandle::record) / [`start`](HistHandle::start) /
+/// [`stop_us`](HistHandle::stop_us) freely from parallel workers;
+/// per-thread observations merge by relaxed bucket addition.
+#[inline]
+pub fn hist(name: &str) -> HistHandle {
+    if ACTIVE.load(Ordering::Relaxed) == 0 {
+        return HistHandle(None);
+    }
+    CONTEXT.with(|c| {
+        let slot = c.borrow();
+        match slot.as_ref() {
+            Some(ctx) => {
+                let node = ctx.stack.last().map(|(n, _)| n).unwrap_or(&ctx.root);
+                HistHandle(Some(node.hist(name)))
+            }
+            None => HistHandle(None),
         }
     })
 }
@@ -387,7 +529,11 @@ pub fn gauge(name: &str, value: f64) {
     }
     CONTEXT.with(|c| {
         if let Some(ctx) = c.borrow().as_ref() {
-            ctx.stack.last().unwrap_or(&ctx.root).set_gauge(name, value);
+            ctx.stack
+                .last()
+                .map(|(n, _)| n)
+                .unwrap_or(&ctx.root)
+                .set_gauge(name, value);
         }
     });
 }
@@ -403,10 +549,20 @@ pub fn meta(name: &str, value: impl std::fmt::Display) {
         if let Some(ctx) = c.borrow().as_ref() {
             ctx.stack
                 .last()
+                .map(|(n, _)| n)
                 .unwrap_or(&ctx.root)
                 .set_meta(name, value.to_string());
         }
     });
+}
+
+/// Serializes tests that touch the global tracing state (rings, the
+/// interner, the registry); span-tree tests are per-thread and don't
+/// need it.
+#[cfg(test)]
+pub(crate) fn trace_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 #[cfg(test)]
@@ -423,7 +579,84 @@ mod tests {
         let h = counter("c");
         h.incr();
         assert!(!h.is_active());
+        let hh = hist("h");
+        hh.record(1);
+        assert!(!hh.is_active());
+        assert!(hh.start().is_none());
         assert!(take_report().is_none());
+    }
+
+    #[test]
+    fn histograms_attach_to_spans_and_round_trip() {
+        enable();
+        {
+            let _s = span("kernel");
+            let h = hist("source_us");
+            for v in [10u64, 20, 30, 40, 5000] {
+                h.record(v);
+            }
+        }
+        let report = finish().unwrap();
+        let node = report.find("kernel").unwrap();
+        let snap = node.hist("source_us").expect("histogram recorded");
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.max, 5000);
+        assert!(snap.p50() >= 20 && snap.p50() <= 40, "{snap:?}");
+        let back = RunReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+        let rendered = report.render();
+        assert!(rendered.contains("p50="), "{rendered}");
+        assert!(rendered.contains("p99="), "{rendered}");
+    }
+
+    #[test]
+    fn take_report_snapshots_live_spans_consistently() {
+        enable();
+        let guard = span("outer");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let report = take_report().unwrap();
+        // The still-open span appears with one activation and its
+        // elapsed-so-far duration, not as a zero-duration stub.
+        let outer = report.find("outer").expect("open span in snapshot");
+        assert_eq!(outer.calls, 1);
+        assert!(outer.duration_us >= 1_000, "{}", report.render());
+        assert!(report.root.well_formed(), "{}", report.render());
+        drop(guard);
+        // The guard closed against the old (discarded) tree: the fresh
+        // tree only records spans opened after the snapshot.
+        let second = finish().unwrap();
+        assert!(second.find("outer").is_none());
+    }
+
+    #[test]
+    fn tracing_pairs_span_and_task_events() {
+        let _l = trace_test_lock();
+        enable();
+        enable_tracing();
+        {
+            let _s = span("traced.kernel");
+            let _t = task("traced.unit");
+        }
+        let report = finish().unwrap();
+        disable_tracing();
+        let kinds: Vec<_> = report
+            .trace
+            .iter()
+            .filter(|e| e.name.starts_with("traced."))
+            .map(|e| (e.name.as_str(), e.begin))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ("traced.kernel", true),
+                ("traced.unit", true),
+                ("traced.unit", false),
+                ("traced.kernel", false),
+            ]
+        );
+        assert_eq!(report.root.counter("trace_events_dropped"), Some(0));
+        let back = RunReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back, report);
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Immutable snapshot of a collected span tree: JSON in/out, a human
 //! renderer, and structural queries used by tests and the CLI.
 
+use crate::hist::HistSnapshot;
 use crate::json::{Json, JsonError};
+use crate::ring::TraceEvent;
 
 /// One span in a finished report.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -16,6 +18,9 @@ pub struct ReportNode {
     pub counters: Vec<(String, u64)>,
     pub gauges: Vec<(String, f64)>,
     pub meta: Vec<(String, String)>,
+    /// Latency histograms attached to this span (empty for reports from
+    /// before the profiling layer; the JSON field is optional).
+    pub hists: Vec<(String, HistSnapshot)>,
     pub children: Vec<ReportNode>,
 }
 
@@ -31,6 +36,11 @@ impl ReportNode {
     /// Gauge `name` on this node.
     pub fn gauge(&self, name: &str) -> Option<f64> {
         self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Histogram `name` on this node.
+    pub fn hist(&self, name: &str) -> Option<&HistSnapshot> {
+        self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
     }
 
     /// Metadata `name` on this node.
@@ -70,7 +80,7 @@ impl ReportNode {
     }
 
     fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut members = vec![
             ("name".to_string(), Json::Str(self.name.clone())),
             ("start_us".to_string(), Json::Num(self.start_us as f64)),
             (
@@ -109,7 +119,21 @@ impl ReportNode {
                 "children".to_string(),
                 Json::Arr(self.children.iter().map(|c| c.to_json()).collect()),
             ),
-        ])
+        ];
+        // Optional field, emitted only when present so pre-profiling
+        // consumers (and committed baseline reports) stay valid.
+        if !self.hists.is_empty() {
+            members.push((
+                "hists".to_string(),
+                Json::Obj(
+                    self.hists
+                        .iter()
+                        .map(|(n, h)| (n.clone(), h.to_json()))
+                        .collect(),
+                ),
+            ));
+        }
+        Json::Obj(members)
     }
 
     fn from_json(value: &Json) -> Result<ReportNode, JsonError> {
@@ -168,6 +192,15 @@ impl ReportNode {
                         .ok_or_else(|| missing("meta value"))
                 })
                 .collect::<Result<_, _>>()?,
+            hists: match value.get("hists") {
+                None => Vec::new(),
+                Some(h) => h
+                    .as_obj()
+                    .ok_or_else(|| missing("hists"))?
+                    .iter()
+                    .map(|(n, v)| HistSnapshot::from_json(v).map(|h| (n.clone(), h)))
+                    .collect::<Result<_, _>>()?,
+            },
             children: value
                 .get("children")
                 .and_then(Json::as_arr)
@@ -199,6 +232,17 @@ impl ReportNode {
         for (name, value) in &self.gauges {
             out.push_str(&format!("{indent}  · {name} = {value:.6}\n"));
         }
+        for (name, h) in &self.hists {
+            out.push_str(&format!(
+                "{indent}  · {name}: n={} p50={} p90={} p99={} max={} mean={:.1}\n",
+                h.count,
+                h.p50(),
+                h.p90(),
+                h.p99(),
+                h.max,
+                h.mean(),
+            ));
+        }
         for child in &self.children {
             child.render_into(out, depth + 1);
         }
@@ -220,20 +264,77 @@ fn fmt_us(us: u64) -> String {
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct RunReport {
     pub root: ReportNode,
+    /// Begin/end timeline events drained from the per-thread rings
+    /// (empty unless tracing was enabled; see [`crate::enable_tracing`]).
+    pub trace: Vec<TraceEvent>,
 }
 
 impl RunReport {
-    /// Serialize the whole tree as compact JSON.
+    /// Serialize the whole tree as compact JSON. Trace events, when
+    /// present, ride along as a top-level `trace_events` array.
     pub fn to_json(&self) -> String {
-        self.root.to_json().to_string_compact()
+        let mut value = self.root.to_json();
+        if !self.trace.is_empty() {
+            if let Json::Obj(members) = &mut value {
+                members.push((
+                    "trace_events".to_string(),
+                    Json::Arr(self.trace.iter().map(trace_event_to_json).collect()),
+                ));
+            }
+        }
+        value.to_string_compact()
     }
 
     /// Parse a report previously produced by [`RunReport::to_json`].
     pub fn from_json(text: &str) -> Result<RunReport, JsonError> {
         let value = Json::parse(text)?;
+        let trace = match value.get("trace_events") {
+            None => Vec::new(),
+            Some(t) => t
+                .as_arr()
+                .ok_or_else(|| JsonError {
+                    offset: 0,
+                    message: "trace_events is not an array".to_string(),
+                })?
+                .iter()
+                .map(trace_event_from_json)
+                .collect::<Result<_, _>>()?,
+        };
         Ok(RunReport {
             root: ReportNode::from_json(&value)?,
+            trace,
         })
+    }
+
+    /// Serialize the trace timeline in Chrome trace-event format (an
+    /// object with a `traceEvents` array of `B`/`E` records), loadable
+    /// in Perfetto / `chrome://tracing`.
+    pub fn to_chrome_trace(&self) -> String {
+        Json::Obj(vec![
+            (
+                "traceEvents".to_string(),
+                Json::Arr(
+                    self.trace
+                        .iter()
+                        .map(|e| {
+                            Json::Obj(vec![
+                                ("name".to_string(), Json::Str(e.name.clone())),
+                                ("cat".to_string(), Json::Str("snap".to_string())),
+                                (
+                                    "ph".to_string(),
+                                    Json::Str(if e.begin { "B" } else { "E" }.to_string()),
+                                ),
+                                ("ts".to_string(), Json::Num(e.ts_us as f64)),
+                                ("pid".to_string(), Json::Num(1.0)),
+                                ("tid".to_string(), Json::Num(e.tid as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("displayTimeUnit".to_string(), Json::Str("ms".to_string())),
+        ])
+        .to_string_compact()
     }
 
     /// Render an indented human-readable tree (the `--trace` view).
@@ -262,6 +363,45 @@ impl RunReport {
     }
 }
 
+fn trace_event_to_json(e: &TraceEvent) -> Json {
+    Json::Obj(vec![
+        ("name".to_string(), Json::Str(e.name.clone())),
+        ("tid".to_string(), Json::Num(e.tid as f64)),
+        (
+            "ph".to_string(),
+            Json::Str(if e.begin { "B" } else { "E" }.to_string()),
+        ),
+        ("ts".to_string(), Json::Num(e.ts_us as f64)),
+    ])
+}
+
+fn trace_event_from_json(value: &Json) -> Result<TraceEvent, JsonError> {
+    let missing = |what: &str| JsonError {
+        offset: 0,
+        message: format!("trace event missing or malformed field: {what}"),
+    };
+    Ok(TraceEvent {
+        name: value
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| missing("name"))?
+            .to_string(),
+        tid: value
+            .get("tid")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| missing("tid"))? as u32,
+        begin: match value.get("ph").and_then(Json::as_str) {
+            Some("B") => true,
+            Some("E") => false,
+            _ => return Err(missing("ph")),
+        },
+        ts_us: value
+            .get("ts")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| missing("ts"))?,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -276,6 +416,7 @@ mod tests {
                 counters: vec![("n".to_string(), 256)],
                 gauges: vec![("modularity".to_string(), 0.41)],
                 meta: vec![("seed".to_string(), "7".to_string())],
+                hists: vec![],
                 children: vec![ReportNode {
                     name: "bfs".to_string(),
                     start_us: 10,
@@ -284,9 +425,32 @@ mod tests {
                     counters: vec![("edges_examined".to_string(), 4096)],
                     gauges: vec![],
                     meta: vec![],
+                    hists: vec![(
+                        "level_us".to_string(),
+                        HistSnapshot {
+                            buckets: vec![(5, 3), (7, 1)],
+                            count: 4,
+                            sum: 250,
+                            max: 90,
+                        },
+                    )],
                     children: vec![],
                 }],
             },
+            trace: vec![
+                TraceEvent {
+                    name: "bfs".to_string(),
+                    tid: 1,
+                    begin: true,
+                    ts_us: 10,
+                },
+                TraceEvent {
+                    name: "bfs".to_string(),
+                    tid: 1,
+                    begin: false,
+                    ts_us: 910,
+                },
+            ],
         }
     }
 
@@ -328,6 +492,34 @@ mod tests {
         assert!(text.contains("edges_examined = 4096"));
         assert!(text.contains("(2 calls)"));
         assert!(text.contains("seed=7"));
+        // Histogram percentiles surface in the human rendering.
+        assert!(text.contains("level_us: n=4 p50="), "{text}");
+        assert!(text.contains("max=90"), "{text}");
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_paired_events() {
+        let trace = sample().to_chrome_trace();
+        let value = Json::parse(&trace).unwrap();
+        let events = value
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].get("ph").and_then(Json::as_str), Some("B"));
+        assert_eq!(events[1].get("ph").and_then(Json::as_str), Some("E"));
+        assert_eq!(events[0].get("tid").and_then(Json::as_u64), Some(1));
+        assert_eq!(events[0].get("ts").and_then(Json::as_u64), Some(10));
+    }
+
+    #[test]
+    fn reports_without_optional_fields_still_parse() {
+        // A pre-profiling report: no hists, no trace_events.
+        let legacy = r#"{"name":"run","start_us":0,"duration_us":5,"calls":1,
+            "counters":{},"gauges":{},"meta":{},"children":[]}"#;
+        let report = RunReport::from_json(legacy).unwrap();
+        assert!(report.root.hists.is_empty());
+        assert!(report.trace.is_empty());
     }
 
     #[test]

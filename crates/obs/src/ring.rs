@@ -1,0 +1,367 @@
+//! Lock-free per-thread event rings for trace-event timelines.
+//!
+//! When tracing is enabled (see [`crate::enable_tracing`]), every span on
+//! the coordinating thread and every [`crate::task`] on a rayon worker
+//! appends fixed-size begin/end records to a per-thread ring buffer. Rings
+//! register themselves lazily in a global registry the first time a thread
+//! records an event, and are drained into the [`crate::RunReport`] by
+//! `take_report`.
+//!
+//! ## Memory model
+//!
+//! Each ring has exactly **one writer at a time**: the owning thread while
+//! it lives, or — for a [`crate::TaskGuard`] that outlives its worker (the
+//! rayon shim joins every scoped worker before control returns to the
+//! caller) — the thread that drops the guard afterwards. A write loads
+//! `head` with `Acquire`, fills the slot with `Relaxed` stores, and
+//! publishes with a `Release` store of `head + 1`; the handoff between
+//! successive writers and between writer and drainer goes through that
+//! acquire/release pair, so a drainer that observes `head == h` also
+//! observes every slot write up to `h`. Event names are interned once into
+//! a global table (a `Mutex` taken only on first use of a name), so a slot
+//! is just two `u64` words: the timestamp and `(name_id << 1) | is_begin`.
+//!
+//! On overflow the ring wraps and overwrites the **oldest** events; the
+//! drainer reports how many were lost (`trace_events_dropped`) by
+//! comparing its high-water mark against the live window.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Events per thread ring. At 16 bytes per slot this is 128 KiB per
+/// worker thread; a drain resets the window, so only events between two
+/// `take_report` calls compete for capacity.
+pub(crate) const RING_CAPACITY: usize = 8192;
+
+/// Process-global tracing switch, independent of span collection so the
+/// span fast path stays a single `ACTIVE` load.
+static TRACING: AtomicBool = AtomicBool::new(false);
+
+/// Monotonic thread-id source for trace events (0 is never handed out, so
+/// tid 0 can't collide with a real ring).
+static NEXT_TID: AtomicU32 = AtomicU32::new(1);
+
+/// Common timebase for every ring: timestamps are microseconds since this
+/// process-wide epoch, fixed the first time tracing is enabled.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds since the trace epoch.
+#[inline]
+fn now_us() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+/// Turn event recording on. Spans and [`crate::task`]s start appending to
+/// per-thread rings; the events ride back on the next `take_report`.
+pub fn enable_tracing() {
+    epoch();
+    TRACING.store(true, Ordering::SeqCst);
+}
+
+/// Turn event recording off (rings keep their undrained contents).
+pub fn disable_tracing() {
+    TRACING.store(false, Ordering::SeqCst);
+}
+
+/// Whether event recording is on (one relaxed load).
+#[inline]
+pub fn is_tracing() -> bool {
+    TRACING.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------
+// Name interning
+// ---------------------------------------------------------------------
+
+struct Interner {
+    ids: HashMap<&'static str, u32>,
+    names: Vec<&'static str>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            ids: HashMap::new(),
+            names: Vec::new(),
+        })
+    })
+}
+
+/// Intern `name`, returning its stable id. Span and task names are a
+/// small fixed set of string literals, so the table stays tiny and the
+/// leak of one allocation per distinct dynamic name is bounded.
+pub(crate) fn intern(name: &str) -> u32 {
+    let mut it = interner().lock().unwrap();
+    if let Some(&id) = it.ids.get(name) {
+        return id;
+    }
+    let id = it.names.len() as u32;
+    let owned: &'static str = Box::leak(name.to_string().into_boxed_str());
+    it.names.push(owned);
+    it.ids.insert(owned, id);
+    id
+}
+
+fn resolve_names() -> Vec<&'static str> {
+    interner().lock().unwrap().names.clone()
+}
+
+// ---------------------------------------------------------------------
+// Rings
+// ---------------------------------------------------------------------
+
+struct Slot {
+    ts_us: AtomicU64,
+    /// `(name_id << 1) | is_begin`.
+    word: AtomicU64,
+}
+
+pub(crate) struct Ring {
+    tid: u32,
+    slots: Box<[Slot]>,
+    /// Total events ever written (published with `Release`).
+    head: AtomicU64,
+    /// Events consumed by the drainer (written only under the registry
+    /// lock).
+    drained: AtomicU64,
+}
+
+impl Ring {
+    fn new() -> Ring {
+        Ring {
+            tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+            slots: (0..RING_CAPACITY)
+                .map(|_| Slot {
+                    ts_us: AtomicU64::new(0),
+                    word: AtomicU64::new(0),
+                })
+                .collect(),
+            head: AtomicU64::new(0),
+            drained: AtomicU64::new(0),
+        }
+    }
+
+    /// Append one event. Caller must be the ring's current single writer
+    /// (see the module docs for the handoff argument).
+    pub(crate) fn push(&self, name_id: u32, is_begin: bool) {
+        let h = self.head.load(Ordering::Acquire);
+        let slot = &self.slots[(h % RING_CAPACITY as u64) as usize];
+        slot.ts_us.store(now_us(), Ordering::Relaxed);
+        slot.word
+            .store(((name_id as u64) << 1) | is_begin as u64, Ordering::Relaxed);
+        self.head.store(h + 1, Ordering::Release);
+    }
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<Ring>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<Ring>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static THREAD_RING: RefCell<Option<Arc<Ring>>> = const { RefCell::new(None) };
+}
+
+/// The calling thread's ring, creating and registering it on first use.
+pub(crate) fn thread_ring() -> Arc<Ring> {
+    THREAD_RING.with(|r| {
+        let mut slot = r.borrow_mut();
+        if let Some(ring) = slot.as_ref() {
+            return Arc::clone(ring);
+        }
+        let ring = Arc::new(Ring::new());
+        registry().lock().unwrap().push(Arc::clone(&ring));
+        *slot = Some(Arc::clone(&ring));
+        ring
+    })
+}
+
+// ---------------------------------------------------------------------
+// Draining
+// ---------------------------------------------------------------------
+
+/// One begin/end record from a ring, resolved to its name.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    pub name: String,
+    /// Trace-local thread id (dense, not the OS tid).
+    pub tid: u32,
+    /// `true` for a begin (`"B"`) record, `false` for an end (`"E"`).
+    pub begin: bool,
+    /// Microseconds since the trace epoch.
+    pub ts_us: u64,
+}
+
+/// Drain every registered ring: returns the sanitized events (every `B`
+/// paired with an `E`, per-ring order preserved) plus the number of
+/// records lost to wraparound or broken pairs. Rings whose owning threads
+/// are gone stay registered but empty after a drain, so repeated drains
+/// are cheap; the shim's scoped workers are joined before their results
+/// (and guards) reach the caller, so a drain on the coordinator never
+/// races a live writer beyond the published `head`.
+pub(crate) fn drain() -> (Vec<TraceEvent>, u64) {
+    let names = resolve_names();
+    let mut events = Vec::new();
+    let mut dropped = 0u64;
+    let rings: Vec<Arc<Ring>> = registry().lock().unwrap().clone();
+    for ring in rings {
+        let head = ring.head.load(Ordering::Acquire);
+        let live_start = head.saturating_sub(RING_CAPACITY as u64);
+        let drained_to = ring.drained.load(Ordering::Relaxed);
+        if drained_to >= head {
+            continue;
+        }
+        // Events overwritten before we got to them.
+        dropped += live_start.saturating_sub(drained_to);
+        let start = live_start.max(drained_to);
+        // Per-ring B/E matching: a B whose E was never written (or an E
+        // whose B was overwritten) is dropped so the exported trace is
+        // always well-formed.
+        let mut open: Vec<usize> = Vec::new(); // indices into `pending`
+        let mut pending: Vec<(TraceEvent, bool)> = Vec::new(); // (event, keep)
+        for i in start..head {
+            let slot = &ring.slots[(i % RING_CAPACITY as u64) as usize];
+            let word = slot.word.load(Ordering::Relaxed);
+            let ts_us = slot.ts_us.load(Ordering::Relaxed);
+            let is_begin = word & 1 == 1;
+            let name_id = (word >> 1) as usize;
+            let name = names
+                .get(name_id)
+                .copied()
+                .unwrap_or("<unknown>")
+                .to_string();
+            let idx = pending.len();
+            pending.push((
+                TraceEvent {
+                    name,
+                    tid: ring.tid,
+                    begin: is_begin,
+                    ts_us,
+                },
+                false,
+            ));
+            if is_begin {
+                open.push(idx);
+            } else {
+                // Match the innermost open B with the same name; an E
+                // with no matching B stays unkept.
+                if let Some(pos) = open
+                    .iter()
+                    .rposition(|&b| pending[b].0.name == pending[idx].0.name)
+                {
+                    let b = open.remove(pos);
+                    pending[b].1 = true;
+                    pending[idx].1 = true;
+                }
+            }
+        }
+        ring.drained.store(head, Ordering::Relaxed);
+        for (ev, keep) in pending {
+            if keep {
+                events.push(ev);
+            } else {
+                dropped += 1;
+            }
+        }
+    }
+    (events, dropped)
+}
+
+#[cfg(test)]
+pub(crate) fn reset_for_tests() {
+    let _ = drain();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::trace_test_lock as lock;
+
+    #[test]
+    fn events_drain_in_order_with_pairs_matched() {
+        let _l = lock();
+        reset_for_tests();
+        let ring = thread_ring();
+        let a = intern("alpha");
+        let b = intern("beta");
+        ring.push(a, true);
+        ring.push(b, true);
+        ring.push(b, false);
+        ring.push(a, false);
+        let (events, dropped) = drain();
+        let mine: Vec<_> = events.iter().filter(|e| e.tid == ring.tid).collect();
+        assert_eq!(dropped, 0);
+        assert_eq!(
+            mine.iter()
+                .map(|e| (e.name.as_str(), e.begin))
+                .collect::<Vec<_>>(),
+            vec![
+                ("alpha", true),
+                ("beta", true),
+                ("beta", false),
+                ("alpha", false)
+            ]
+        );
+        // Timestamps are monotone within the ring.
+        assert!(mine.windows(2).all(|w| w[0].ts_us <= w[1].ts_us));
+    }
+
+    #[test]
+    fn wraparound_drops_oldest_and_counts_them() {
+        let _l = lock();
+        reset_for_tests();
+        let ring = thread_ring();
+        let name = intern("spin");
+        let total = RING_CAPACITY as u64 + 100;
+        for _ in 0..total / 2 {
+            ring.push(name, true);
+            ring.push(name, false);
+        }
+        let (events, dropped) = drain();
+        let mine: Vec<_> = events.into_iter().filter(|e| e.tid == ring.tid).collect();
+        // The newest full window survives; everything older was overwritten.
+        assert_eq!(mine.len() as u64 + dropped, total);
+        assert_eq!(dropped, total - RING_CAPACITY as u64);
+        // The survivors are the *newest* events: their pair structure is
+        // intact (the window starts on a B because events were written in
+        // B,E,B,E order and the capacity is even).
+        assert!(mine[0].begin);
+        assert_eq!(mine.len(), RING_CAPACITY);
+    }
+
+    #[test]
+    fn unmatched_begin_is_dropped_not_exported() {
+        let _l = lock();
+        reset_for_tests();
+        let ring = thread_ring();
+        let name = intern("dangling");
+        ring.push(name, true); // no matching E
+        let (events, dropped) = drain();
+        assert!(events.iter().all(|e| e.tid != ring.tid));
+        assert_eq!(dropped, 1);
+    }
+
+    #[test]
+    fn drain_resets_the_window() {
+        let _l = lock();
+        reset_for_tests();
+        let ring = thread_ring();
+        let name = intern("once");
+        ring.push(name, true);
+        ring.push(name, false);
+        let (first, _) = drain();
+        assert_eq!(first.iter().filter(|e| e.tid == ring.tid).count(), 2);
+        let (second, dropped) = drain();
+        assert_eq!(second.iter().filter(|e| e.tid == ring.tid).count(), 0);
+        assert_eq!(dropped, 0);
+    }
+}

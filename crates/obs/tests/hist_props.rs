@@ -1,0 +1,82 @@
+//! Property-based tests for the latency histogram: merging is
+//! associative/commutative (it is bucket-vector addition), and reported
+//! percentiles are bounded by the power-of-two bucket geometry.
+
+use proptest::prelude::*;
+use snap_obs::Histogram;
+
+fn hist_of(values: &[u32]) -> Histogram {
+    let h = Histogram::default();
+    for &v in values {
+        h.record(v as u64);
+    }
+    h
+}
+
+proptest! {
+    /// (A ⊕ B) ⊕ C and A ⊕ (B ⊕ C) produce identical snapshots, and both
+    /// equal recording everything into one histogram.
+    #[test]
+    fn merge_is_associative(
+        a in prop::collection::vec(0u32..2_000_000, 0..64),
+        b in prop::collection::vec(0u32..2_000_000, 0..64),
+        c in prop::collection::vec(0u32..2_000_000, 0..64),
+    ) {
+        let left = hist_of(&a);
+        left.merge_from(&hist_of(&b));
+        let right = hist_of(&b);
+        right.merge_from(&hist_of(&c));
+
+        let lr = hist_of(&[]);
+        lr.merge_from(&left);
+        lr.merge_from(&hist_of(&c));
+        let rl = hist_of(&a);
+        rl.merge_from(&right);
+        prop_assert_eq!(lr.snapshot(), rl.snapshot());
+
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(hist_of(&all).snapshot(), lr.snapshot());
+    }
+
+    /// The reported quantile never under-reports the true quantile and
+    /// never exceeds min(2t - 1, observed max): the price of log bucketing
+    /// is at most one doubling.
+    #[test]
+    fn percentiles_are_bounded(
+        mut values in prop::collection::vec(0u32..10_000_000, 1..128),
+        q_permille in 1u32..1001,
+    ) {
+        let snap = hist_of(&values).snapshot();
+        values.sort_unstable();
+        let q = q_permille as f64 / 1000.0;
+        let n = values.len() as u64;
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let truth = values[(rank - 1) as usize] as u64;
+        let reported = snap.percentile(q);
+        let max = *values.last().unwrap() as u64;
+        prop_assert!(reported >= truth, "reported {reported} < true {truth}");
+        prop_assert!(reported <= max, "reported {reported} > max {max}");
+        if truth == 0 {
+            prop_assert_eq!(reported, 0);
+        } else {
+            prop_assert!(reported < 2 * truth, "reported {reported} >= 2*{truth}");
+        }
+    }
+
+    /// Count, sum, and max survive arbitrary splits of the same data.
+    #[test]
+    fn merge_preserves_totals(
+        values in prop::collection::vec(0u32..1_000_000, 1..96),
+        split in 0usize..96,
+    ) {
+        let cut = split.min(values.len());
+        let merged = hist_of(&values[..cut]);
+        merged.merge_from(&hist_of(&values[cut..]));
+        let s = merged.snapshot();
+        prop_assert_eq!(s.count, values.len() as u64);
+        prop_assert_eq!(s.sum, values.iter().map(|&v| v as u64).sum::<u64>());
+        prop_assert_eq!(s.max, *values.iter().max().unwrap() as u64);
+    }
+}

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event file emitted by `snap-cli --trace-out`.
+
+Usage: check_trace.py TRACE.json [--expect-tids N] [--min-events N]
+
+Fails (exit 1) when:
+  * the file is not a JSON object with a `traceEvents` array;
+  * any event is missing name/ph/ts/pid/tid or has a ph other than B/E;
+  * any thread's events are not sorted by timestamp;
+  * any thread's B/E events do not nest (an E must close the most recent
+    open B of the same name, and nothing may stay open at the end) --
+    Perfetto renders unbalanced streams misleadingly, so the exporter
+    guarantees well-formedness and this script holds it to that;
+  * fewer distinct tids than --expect-tids appear (the parallel kernels
+    really produced worker-thread events);
+  * fewer events than --min-events appear (default 2: at least one B/E
+    pair, catching silently empty traces).
+"""
+
+import json
+import sys
+
+
+def main():
+    args = sys.argv[1:]
+    expect_tids = 1
+    min_events = 2
+    path = None
+    i = 0
+    while i < len(args):
+        if args[i] == "--expect-tids":
+            expect_tids = int(args[i + 1])
+            i += 2
+        elif args[i] == "--min-events":
+            min_events = int(args[i + 1])
+            i += 2
+        elif path is None:
+            path = args[i]
+            i += 1
+        else:
+            sys.exit(__doc__)
+    if path is None:
+        sys.exit(__doc__)
+
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        sys.exit(f"{path}: expected an object with a traceEvents array")
+    events = doc["traceEvents"]
+
+    by_tid = {}
+    for i, ev in enumerate(events):
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in ev:
+                sys.exit(f"{path}: event {i} missing {key}: {ev}")
+        if ev["ph"] not in ("B", "E"):
+            sys.exit(f"{path}: event {i} has ph {ev['ph']!r}, want B or E")
+        by_tid.setdefault(ev["tid"], []).append(ev)
+
+    for tid, evs in sorted(by_tid.items()):
+        last_ts = -1
+        stack = []
+        for ev in evs:
+            if ev["ts"] < last_ts:
+                sys.exit(f"{path}: tid {tid}: timestamps not sorted at {ev}")
+            last_ts = ev["ts"]
+            if ev["ph"] == "B":
+                stack.append(ev["name"])
+            else:
+                if not stack:
+                    sys.exit(f"{path}: tid {tid}: E without open B: {ev}")
+                if stack[-1] != ev["name"]:
+                    sys.exit(
+                        f"{path}: tid {tid}: E {ev['name']!r} closes "
+                        f"open B {stack[-1]!r}"
+                    )
+                stack.pop()
+        if stack:
+            sys.exit(f"{path}: tid {tid}: {len(stack)} span(s) left open: {stack}")
+
+    if len(events) < min_events:
+        sys.exit(f"{path}: only {len(events)} events, want >= {min_events}")
+    if len(by_tid) < expect_tids:
+        sys.exit(
+            f"{path}: events from {len(by_tid)} thread(s) "
+            f"({sorted(by_tid)}), want >= {expect_tids}"
+        )
+    print(
+        f"{path}: {len(events)} events across {len(by_tid)} thread(s), "
+        "all nested and sorted"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -233,6 +233,215 @@ fn generous_timeout_changes_nothing() {
     std::fs::remove_file(&path).ok();
 }
 
+/// Minimal structural validation of a Chrome trace-event file: every
+/// per-tid stream must be timestamp-sorted with strictly nested B/E
+/// pairs, and the events must span at least `min_tids` threads.
+fn check_chrome_trace(text: &str, min_tids: usize) {
+    // Hand-rolled scan (no JSON dep in the test): split on "},{" after
+    // locating the traceEvents array.
+    assert!(text.contains("\"traceEvents\""), "{text}");
+    let mut by_tid: std::collections::BTreeMap<u64, Vec<(u64, bool, String)>> = Default::default();
+    for ev in text.split("{\"name\":").skip(1) {
+        let name = ev.split('"').nth(1).unwrap_or("").to_string();
+        let ph_begin = ev.contains("\"ph\":\"B\"");
+        assert!(
+            ph_begin || ev.contains("\"ph\":\"E\""),
+            "event without B/E phase: {ev}"
+        );
+        let field = |key: &str| -> u64 {
+            ev.split(&format!("\"{key}\":"))
+                .nth(1)
+                .and_then(|s| {
+                    s.chars()
+                        .take_while(|c| c.is_ascii_digit())
+                        .collect::<String>()
+                        .parse()
+                        .ok()
+                })
+                .unwrap_or_else(|| panic!("event missing {key}: {ev}"))
+        };
+        by_tid
+            .entry(field("tid"))
+            .or_default()
+            .push((field("ts"), ph_begin, name));
+    }
+    assert!(
+        by_tid.len() >= min_tids,
+        "events from {} thread(s), want >= {min_tids}",
+        by_tid.len()
+    );
+    for (tid, evs) in by_tid {
+        let mut last = 0u64;
+        let mut stack = Vec::new();
+        for (ts, begin, name) in evs {
+            assert!(ts >= last, "tid {tid}: timestamps out of order");
+            last = ts;
+            if begin {
+                stack.push(name);
+            } else {
+                assert_eq!(stack.pop().as_deref(), Some(name.as_str()), "tid {tid}");
+            }
+        }
+        assert!(stack.is_empty(), "tid {tid}: unclosed spans {stack:?}");
+    }
+}
+
+#[test]
+fn trace_out_writes_loadable_chrome_trace() {
+    let graph = scratch("tr.txt");
+    let trace = scratch("tr-trace.json");
+    cli()
+        .args([
+            "generate",
+            "rmat",
+            "--scale",
+            "10",
+            "--edges",
+            "8192",
+            "--out",
+            graph.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let out = cli()
+        .args([
+            "run",
+            graph.to_str().unwrap(),
+            "--threads",
+            "4",
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    // Worker threads must show up: the parallel kernels emit per-task
+    // events from their own rings, not just the coordinating thread.
+    check_chrome_trace(&text, 2);
+    assert!(
+        text.contains("brandes.source"),
+        "worker task events missing"
+    );
+    std::fs::remove_file(&graph).ok();
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn obs_diff_exit_codes_follow_threshold() {
+    let base = scratch("diff-base.json");
+    let cur = scratch("diff-cur.json");
+    // Two hand-written reports: the `slow` span quadruples, the other
+    // improves. Thresholds decide the exit code.
+    let report = |slow_us: u64| {
+        format!(
+            "{{\"name\":\"run\",\"start_us\":0,\"duration_us\":{},\"calls\":1,\"counters\":{{}},\"gauges\":{{}},\"meta\":{{}},\"children\":[{{\"name\":\"slow\",\"start_us\":0,\"duration_us\":{slow_us},\"calls\":1,\"counters\":{{}},\"gauges\":{{}},\"meta\":{{}},\"children\":[]}},{{\"name\":\"fine\",\"start_us\":0,\"duration_us\":10000,\"calls\":1,\"counters\":{{}},\"gauges\":{{}},\"meta\":{{}},\"children\":[]}}]}}",
+            slow_us + 10000
+        )
+    };
+    std::fs::write(&base, report(50_000)).unwrap();
+    std::fs::write(&cur, report(200_000)).unwrap();
+
+    // Without a threshold: informational, exit 0.
+    let out = cli()
+        .args(["obs", "diff", base.to_str().unwrap(), cur.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("run/slow"), "{text}");
+
+    // 100% threshold: the 4x span regresses, exit 1.
+    let out = cli()
+        .args([
+            "obs",
+            "diff",
+            base.to_str().unwrap(),
+            cur.to_str().unwrap(),
+            "--fail-over-pct",
+            "100",
+            "--min-ms",
+            "5",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("regressed"));
+
+    // 500% threshold: 4x growth passes.
+    let out = cli()
+        .args([
+            "obs",
+            "diff",
+            base.to_str().unwrap(),
+            cur.to_str().unwrap(),
+            "--fail-over-pct",
+            "500",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // A report diffed against itself never regresses.
+    let out = cli()
+        .args([
+            "obs",
+            "diff",
+            base.to_str().unwrap(),
+            base.to_str().unwrap(),
+            "--fail-over-pct",
+            "0",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    std::fs::remove_file(&base).ok();
+    std::fs::remove_file(&cur).ok();
+}
+
+#[test]
+fn obs_top_ranks_self_time() {
+    let path = scratch("top.json");
+    std::fs::write(
+        &path,
+        "{\"name\":\"run\",\"start_us\":0,\"duration_us\":100000,\"calls\":1,\"counters\":{},\"gauges\":{},\"meta\":{},\"children\":[{\"name\":\"inner\",\"start_us\":0,\"duration_us\":80000,\"calls\":2,\"counters\":{},\"gauges\":{},\"meta\":{},\"children\":[]}]}",
+    )
+    .unwrap();
+    let out = cli()
+        .args(["obs", "top", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    // `inner` (80ms self) outranks `run` (20ms self after subtracting it).
+    let inner = text.find("inner").expect("inner listed");
+    let run = text.find("run").expect("run listed");
+    assert!(inner < run, "{text}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn obs_diff_rejects_malformed_input() {
+    let path = scratch("bad.json");
+    std::fs::write(&path, "not json").unwrap();
+    let out = cli()
+        .args([
+            "obs",
+            "diff",
+            path.to_str().unwrap(),
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot parse"));
+    std::fs::remove_file(&path).ok();
+}
+
 #[test]
 fn missing_file_fails_cleanly() {
     let out = cli()

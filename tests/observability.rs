@@ -106,3 +106,57 @@ fn counters_agree_across_thread_counts() {
         assert_eq!((a, b, c, d), (a2, b2, c2, d2), "{results:?}");
     }
 }
+
+#[test]
+fn kernels_attach_latency_histograms() {
+    let net = small_world();
+    let obs = net.observed();
+    let _ = obs.bfs_stats(0);
+    let _ = obs.betweenness();
+    let _ = obs.communities(CommunityAlgorithm::Agglomerative);
+    let report = obs.finish();
+
+    // Per-level BFS, per-source Brandes, per-merge pMA: each surfaces a
+    // log-bucketed latency distribution on its span, and the percentile
+    // accessors are ordered.
+    for (span, hist) in [
+        ("bfs.hybrid", "level_us"),
+        ("centrality.betweenness", "source_us"),
+        ("community.pma", "merge_us"),
+    ] {
+        let node = report.find(span).unwrap_or_else(|| panic!("span {span}"));
+        let h = node
+            .hist(hist)
+            .unwrap_or_else(|| panic!("{span} missing {hist} histogram"));
+        assert!(h.count > 0, "{span}/{hist} recorded nothing");
+        assert!(h.p50() <= h.p90() && h.p90() <= h.p99() && h.p99() <= h.max);
+    }
+    // The JSON round trip preserves every histogram.
+    let back = snap::obs::RunReport::from_json(&report.to_json()).expect("parse");
+    assert_eq!(back, report);
+}
+
+#[test]
+fn mid_pipeline_report_keeps_open_spans() {
+    // Snapshotting from *inside* a running pipeline must not truncate the
+    // spans still on the stack: `Observed::report` folds their elapsed
+    // time in, and the remainder accrues to the next snapshot.
+    let net = small_world();
+    let obs = net.observed();
+    let _ = obs.bfs_stats(0);
+    let mid = obs.report();
+    let bfs = mid.find("bfs.hybrid").expect("bfs span in mid report");
+    assert!(bfs.calls >= 1);
+    assert!(mid.root.well_formed(), "{}", mid.render());
+
+    // After the snapshot the tree restarts: new work lands in a fresh
+    // report that does not re-count the old spans.
+    let _ = obs.communities(CommunityAlgorithm::Agglomerative);
+    let fin = obs.finish();
+    assert!(fin.find("community.pma").is_some());
+    assert!(
+        fin.find("bfs.hybrid").is_none(),
+        "drained spans must not reappear: {}",
+        fin.render()
+    );
+}

@@ -444,6 +444,40 @@ pub mod iter {
         }
     }
 
+    /// `par_chunks()` on borrowed slices (mirrors rayon's
+    /// `ParallelSlice`): one parallel work unit per contiguous sub-slice
+    /// of `chunk_size` elements. Unlike `par_iter`, the caller chose the
+    /// granularity, so every chunk becomes its own work unit even when
+    /// the slice is far below the auto-parallelization threshold — this
+    /// is the idiom for coarse-grained loops (e.g. a few dozen expensive
+    /// per-source traversals) where per-item *cost*, not item count,
+    /// justifies the threads. Callers should size chunks near
+    /// `len.div_ceil(current_num_threads())`: every chunk gets its own
+    /// scoped thread, so tiny chunk sizes over-spawn.
+    pub trait ParallelSlice<T: Sync> {
+        fn par_chunks(&self, chunk_size: usize) -> ParIter<'_, &[T]>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> ParIter<'_, &[T]> {
+            assert!(chunk_size > 0, "chunk size must be positive");
+            let mut chunks: Vec<Chunk<'_, &[T]>> = Vec::new();
+            for (ci, part) in self.chunks(chunk_size).enumerate() {
+                chunks.push(Chunk {
+                    start: ci,
+                    make: Box::new(move || Box::new(std::iter::once(part))),
+                });
+            }
+            if chunks.is_empty() {
+                chunks.push(Chunk {
+                    start: 0,
+                    make: Box::new(|| Box::new(std::iter::empty())),
+                });
+            }
+            ParIter { chunks }
+        }
+    }
+
     /// `par_iter_mut()` on mutable slices (and `Vec` via deref).
     pub trait IntoParallelRefMutIterator<'data> {
         type Item: Send;
@@ -477,7 +511,7 @@ pub mod iter {
 pub mod prelude {
     pub use crate::iter::{
         FromParIter, IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
-        ParIter,
+        ParIter, ParallelSlice,
     };
 }
 
@@ -525,6 +559,41 @@ mod tests {
         let (a, b) = join(|| 1 + 1, || "x".to_string() + "y");
         assert_eq!(a, 2);
         assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn par_chunks_parallelizes_short_slices() {
+        // 64 items is far below the par_iter auto threshold, but
+        // par_chunks still yields one work unit per chunk.
+        let data: Vec<u64> = (0..64).collect();
+        let per = data.len().div_ceil(4);
+        let sums: Vec<(usize, u64)> = data
+            .par_chunks(per)
+            .map(|chunk| chunk.iter().sum::<u64>())
+            .enumerate()
+            .map(|(i, s)| (i, s))
+            .collect();
+        assert_eq!(sums.len(), 4);
+        assert!(sums.iter().enumerate().all(|(i, &(ci, _))| ci == i));
+        assert_eq!(sums.iter().map(|&(_, s)| s).sum::<u64>(), 63 * 64 / 2);
+
+        // Worker threads really run: with >1 thread available, distinct
+        // thread ids show up across chunks.
+        if current_num_threads() > 1 {
+            let ids: Vec<std::thread::ThreadId> = data
+                .par_chunks(per)
+                .map(|_| std::thread::current().id())
+                .collect();
+            let distinct: std::collections::HashSet<_> = ids.into_iter().collect();
+            assert!(distinct.len() > 1, "par_chunks should fan out");
+        }
+    }
+
+    #[test]
+    fn par_chunks_empty_slice() {
+        let data: Vec<u64> = Vec::new();
+        let parts: Vec<&[u64]> = data.par_chunks(8).collect();
+        assert!(parts.is_empty());
     }
 
     #[test]
