@@ -28,7 +28,7 @@
 
 use snap::centrality::{betweenness_from_sources, closeness, sample_sources};
 use snap::gen::{erdos_renyi, rmat, RmatConfig};
-use snap::graph::{CsrGraph, Graph};
+use snap::graph::{CsrGraph, DynGraph, EdgeOp, Graph, StreamingGraph};
 use snap::kernels::{par_bfs_hybrid_stats, HybridConfig};
 use snap::metrics::path_stats_sampled;
 use snap_bench::time;
@@ -157,6 +157,79 @@ fn main() {
         entries.push(entry("hybrid_bfs_64", &g, wall, work));
     }
 
+    // --- Streaming: delta-merge vs full rebuild on small-batch churn. ---
+    //
+    // The same deterministic op stream drives both paths, and both
+    // publish a CSR after every batch — the only difference is *how*:
+    // the streaming engine's linear delta-merge against the previous
+    // snapshot, or `DynGraph::to_csr`'s from-scratch rebuild (global
+    // sort). `work_units` is the summed edge count of every published
+    // snapshot, identical for both by construction.
+    {
+        let s = scale.saturating_sub(2);
+        let n = 1usize << s;
+        let base = rmat(&RmatConfig::small_world(s, n * 4), seed);
+        let (epochs, batch) = (32usize, 64usize);
+        let ops = churn_ops(&base, epochs * batch, seed ^ 0xC0FFEE);
+
+        let delta_pass = || {
+            let (mut sg, _) = StreamingGraph::from_csr(&base);
+            let mut published = 0u64;
+            for chunk in ops.chunks(batch) {
+                sg.apply_batch(chunk);
+                published += sg.merge().graph.num_edges() as u64;
+            }
+            published
+        };
+        let rebuild_pass = || {
+            let mut live = DynGraph::from_csr(&base);
+            let mut published = 0u64;
+            for chunk in ops.chunks(batch) {
+                for &op in chunk {
+                    match op {
+                        EdgeOp::Insert(u, v) => {
+                            live.ensure_vertex(u.max(v));
+                            live.insert_edge(u, v);
+                        }
+                        EdgeOp::Delete(u, v) => {
+                            live.delete_edge(u, v);
+                        }
+                    }
+                }
+                published += live.to_csr().num_edges() as u64;
+            }
+            published
+        };
+
+        let mut work = 0u64;
+        let wall = min_wall(reps, || {
+            let (w, d) = time(delta_pass);
+            work = w;
+            d
+        });
+        let (node, _) = observed_spans("stream_delta_merge", || {
+            let _ = delta_pass();
+        });
+        bench_spans.push(node);
+        entries.push(entry("stream_delta_merge", &base, wall, work));
+
+        let mut rebuild_work = 0u64;
+        let wall = min_wall(reps, || {
+            let (w, d) = time(rebuild_pass);
+            rebuild_work = w;
+            d
+        });
+        assert_eq!(
+            work, rebuild_work,
+            "both paths must publish the same snapshots"
+        );
+        let (node, _) = observed_spans("stream_full_rebuild", || {
+            let _ = rebuild_pass();
+        });
+        bench_spans.push(node);
+        entries.push(entry("stream_full_rebuild", &base, wall, rebuild_work));
+    }
+
     let json = render(&entries);
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
     println!("{json}");
@@ -179,6 +252,37 @@ fn main() {
     std::fs::write(&spans_out, &spans_json)
         .unwrap_or_else(|e| panic!("cannot write {spans_out}: {e}"));
     eprintln!("wrote {out} and {spans_out} (scale {scale}, reps {reps}, seed {seed:#x})");
+}
+
+/// Deterministic insert/delete churn over `base`'s vertex set: ~3/4
+/// inserts of random pairs, ~1/4 deletes of a previously inserted pair
+/// (xorshift64 — reproducible across trees, like the generator seeds).
+fn churn_ops(base: &CsrGraph, count: usize, mut state: u64) -> Vec<EdgeOp> {
+    let n = base.num_vertices() as u64;
+    state |= 1;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut inserted: Vec<(u32, u32)> = Vec::new();
+    let mut ops = Vec::with_capacity(count);
+    for _ in 0..count {
+        if !inserted.is_empty() && rng() % 4 == 0 {
+            let (u, v) = inserted.swap_remove((rng() % inserted.len() as u64) as usize);
+            ops.push(EdgeOp::Delete(u, v));
+        } else {
+            let u = (rng() % n) as u32;
+            let mut v = (rng() % n) as u32;
+            if u == v {
+                v = (v + 1) % n as u32;
+            }
+            inserted.push((u, v));
+            ops.push(EdgeOp::Insert(u, v));
+        }
+    }
+    ops
 }
 
 fn entry(bench: &'static str, g: &CsrGraph, wall_ms: f64, work_units: u64) -> Entry {

@@ -7,10 +7,19 @@
 //! snap-cli partition    <graph> --parts K [--method kway|recur|rqi|lanczos] [--seed S]
 //! snap-cli centrality   <graph> [--approx FRAC] [--top K] [--seed S]
 //! snap-cli run          <graph> [--source V] [--algorithm A] [--parts K] [--approx FRAC] [--seed S]
+//! snap-cli stream       <opfile> [--base GRAPH] [--merge-every N] [--source V] [--check]
 //! snap-cli generate     rmat|er|ws|grid|planted --out FILE [--scale S] [--edges M] [--seed S]
 //! snap-cli obs diff     BASE.json CURRENT.json [--fail-over-pct P] [--min-ms M]
 //! snap-cli obs top      REPORT.json [--limit N]
 //! ```
+//!
+//! `stream` replays an edge-op file (`+ u v` inserts, `- u v` deletes,
+//! bare `u v` inserts, `#` comments) through the streaming engine:
+//! every `--merge-every` ops (default 1024) the delta layer is merged
+//! into a new epoch-versioned immutable CSR snapshot, and the
+//! incremental connected-components and BFS kernels are repaired. With
+//! `--check`, every epoch's incremental results are verified against a
+//! full recompute on the published snapshot (exit 1 on divergence).
 //!
 //! Graph files may be whitespace edge lists (`u v [w]`, `#` comments,
 //! 0-based ids), DIMACS shortest-path files (`.gr`), or METIS files
@@ -52,6 +61,7 @@ commands:
   partition    <graph> --parts K [--method kway|recur|rqi|lanczos] [--seed S]
   centrality   <graph> [--approx FRAC] [--top K] [--seed S]
   run          <graph> [--source V] [--algorithm A] [--parts K] [--approx FRAC] [--seed S]
+  stream       <opfile> [--base GRAPH] [--merge-every N] [--source V] [--check]
   generate     rmat|er|ws|grid|planted --out FILE [--scale S] [--edges M] [--seed S]
   obs diff     BASE.json CURRENT.json [--fail-over-pct P] [--min-ms M]
   obs top      REPORT.json [--limit N]
@@ -305,6 +315,7 @@ fn main() {
         "partition" => cmd_partition(&args),
         "centrality" => cmd_centrality(&args),
         "run" => cmd_run(&args),
+        "stream" => cmd_stream(&args),
         "generate" => cmd_generate(&args),
         "obs" => cmd_obs(&args),
         _ => usage(),
@@ -675,6 +686,184 @@ fn cmd_run(args: &Args) {
 
     note_budget(&obs, &budget);
     obs.emit();
+}
+
+/// Parse one edge-op line: `+ u v`, `- u v`, or bare `u v` (insert).
+fn parse_op(line: &str, lineno: usize, path: &str) -> Option<EdgeOp> {
+    let line = line.split('#').next().unwrap_or("").trim();
+    if line.is_empty() {
+        return None;
+    }
+    let bad = || -> ! { fail(&format!("{path}:{lineno}: bad op line: {line:?}")) };
+    let mut fields = line.split_whitespace();
+    let (sign, first) = match fields.next().unwrap() {
+        "+" => (true, None),
+        "-" => (false, None),
+        v => (true, Some(v)),
+    };
+    let mut next_id = |field: Option<&str>| -> u32 {
+        field
+            .or_else(|| fields.next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| bad())
+    };
+    let u = next_id(first);
+    let v = next_id(None);
+    if fields.next().is_some() {
+        bad();
+    }
+    Some(if sign {
+        EdgeOp::Insert(u, v)
+    } else {
+        EdgeOp::Delete(u, v)
+    })
+}
+
+fn cmd_stream(args: &Args) {
+    let path = input_path(args);
+    let merge_every: usize = args.flag_parse("merge-every", 1024usize);
+    if merge_every == 0 {
+        fail("--merge-every must be at least 1");
+    }
+    let source: u32 = args.flag_parse("source", 0u32);
+    let check = args.flag("check").is_some();
+
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot open {path}: {e}")));
+    let ops: Vec<EdgeOp> = text
+        .lines()
+        .enumerate()
+        .filter_map(|(i, line)| parse_op(line, i + 1, path))
+        .collect();
+
+    let obs = Obs::parse(args);
+    obs.begin("stream", path);
+    let outer = snap::obs::span("stream");
+
+    let mut sg = match args.flag("base") {
+        Some(base) => {
+            let (sg, dropped) = StreamingGraph::from_csr(&load(args, base, false));
+            if dropped > 0 {
+                say!(
+                    obs,
+                    "base {base}: dropped {dropped} self-loop/parallel edge(s)"
+                );
+            }
+            sg
+        }
+        None => StreamingGraph::new(0),
+    };
+    let mut cc = DynamicComponents::new(sg.num_vertices());
+    let mut bfs = IncrementalBfs::new(sg.live(), source);
+
+    let mut total = BatchStats::default();
+    for chunk in ops.chunks(merge_every) {
+        let _epoch_span = snap::obs::span("epoch");
+        let mut stats = BatchStats::default();
+        for &op in chunk {
+            let changed = sg.apply(op);
+            cc.apply(op, changed);
+            bfs.apply(sg.live(), op, changed);
+            stats.note(op, changed);
+        }
+        snap::obs::add("stream_ops", chunk.len() as u64);
+        let snapshot = sg.merge();
+        cc.end_batch(sg.live());
+        bfs.end_batch(sg.live());
+        let g = &*snapshot.graph;
+        say!(
+            obs,
+            "epoch {}: +{} -{} ({} rejected) | n = {}, m = {}, components {}",
+            snapshot.epoch,
+            stats.inserted,
+            stats.deleted,
+            stats.rejected,
+            g.num_vertices(),
+            g.num_edges(),
+            cc.count()
+        );
+        if check {
+            verify_epoch(&obs, g, &mut cc, &bfs, source, snapshot.epoch);
+        }
+        total.ops += stats.ops;
+        total.inserted += stats.inserted;
+        total.deleted += stats.deleted;
+        total.rejected += stats.rejected;
+    }
+
+    drop(outer);
+    say!(
+        obs,
+        "replayed {} op(s) over {} epoch(s): n = {}, m = {}, components {}, \
+         bfs reached {} from {source} | cc rebuilds {}, bfs recomputes {}",
+        total.ops,
+        sg.epoch(),
+        sg.num_vertices(),
+        sg.num_edges(),
+        cc.count(),
+        bfs.reached(),
+        cc.rebuilds(),
+        bfs.recomputes()
+    );
+    obs.emit();
+}
+
+/// `--check`: the incremental kernels must agree with a full recompute
+/// on the published snapshot after every merge.
+fn verify_epoch(
+    obs: &Obs,
+    g: &CsrGraph,
+    cc: &mut DynamicComponents,
+    bfs: &IncrementalBfs,
+    source: u32,
+    epoch: u64,
+) {
+    let full = snap::kernels::connected_components(g);
+    if full.count != cc.count() {
+        say!(
+            obs,
+            "check failed at epoch {epoch}: incremental components {} != full {}",
+            cc.count(),
+            full.count
+        );
+        exit(1);
+    }
+    // Equal counts + every vertex connected to its full-recompute
+    // representative ⇒ the partitions are identical.
+    let mut rep = vec![u32::MAX; full.count];
+    for v in 0..g.num_vertices() as u32 {
+        let label = full.comp[v as usize] as usize;
+        if rep[label] == u32::MAX {
+            rep[label] = v;
+        } else if !cc.connected(rep[label], v) {
+            say!(
+                obs,
+                "check failed at epoch {epoch}: vertices {} and {v} split incrementally, \
+                 joined on full recompute",
+                rep[label]
+            );
+            exit(1);
+        }
+    }
+    let full_bfs = if (source as usize) < g.num_vertices() {
+        Some(snap::kernels::bfs(g, source))
+    } else {
+        None
+    };
+    for v in 0..g.num_vertices() {
+        let want = full_bfs
+            .as_ref()
+            .map_or(snap::kernels::UNREACHABLE, |r| r.dist[v]);
+        if bfs.dist[v] != want {
+            say!(
+                obs,
+                "check failed at epoch {epoch}: bfs dist[{v}] = {} != full {want}",
+                bfs.dist[v]
+            );
+            exit(1);
+        }
+    }
+    say!(obs, "epoch {epoch}: check ok");
 }
 
 fn cmd_generate(args: &Args) {

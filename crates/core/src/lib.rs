@@ -48,8 +48,12 @@ pub mod prelude {
     pub use crate::session::{Communities, CommunityAlgorithm, Network, Observed};
     pub use snap_budget::{Budget, Exhausted};
     pub use snap_community::{Clustering, GnConfig, PbdConfig, PlaConfig, PmaConfig};
-    pub use snap_graph::{CsrGraph, Frontier, Graph, GraphBuilder, VertexId, WeightedGraph};
+    pub use snap_graph::{
+        BatchStats, CsrGraph, EdgeOp, Frontier, Graph, GraphBuilder, Snapshot, SnapshotReader,
+        StreamingGraph, VertexId, WeightedGraph,
+    };
     pub use snap_kernels::{BfsResult, Direction, HybridConfig, LevelStats, TraversalStats};
+    pub use snap_kernels::{DynamicComponents, IncrementalBfs, IncrementalComponents};
     pub use snap_obs::{ReportNode, RunReport};
     pub use snap_partition::Method as PartitionMethod;
 }

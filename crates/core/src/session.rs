@@ -54,7 +54,10 @@ pub struct Communities {
 /// ```
 #[derive(Clone, Debug)]
 pub struct Network {
-    graph: CsrGraph,
+    // Arc-shared so sessions over streaming snapshots
+    // (`snap_graph::stream::Snapshot`) analyze the published epoch
+    // without copying the CSR; `&self.graph` derefs transparently.
+    graph: Arc<CsrGraph>,
     budget: Budget,
     // Traversal scratch shared by every multi-source analysis call on
     // this session (clones share it too — it is a cache, not state): the
@@ -66,6 +69,24 @@ pub struct Network {
 impl Network {
     /// Wrap an existing graph.
     pub fn new(graph: CsrGraph) -> Self {
+        Self::from_shared(Arc::new(graph))
+    }
+
+    /// Wrap an `Arc`-shared graph without copying it — the entry point
+    /// for analyzing an epoch snapshot published by a
+    /// [`snap_graph::StreamingGraph`] while the writer keeps ingesting.
+    ///
+    /// ```
+    /// use snap::graph::{stream::EdgeOp, StreamingGraph};
+    /// use snap::Network;
+    ///
+    /// let mut sg = StreamingGraph::new(3);
+    /// sg.apply_batch(&[EdgeOp::Insert(0, 1), EdgeOp::Insert(1, 2)]);
+    /// let snap = sg.merge();
+    /// let net = Network::from_shared(snap.graph);
+    /// assert_eq!(net.summary().components, 1);
+    /// ```
+    pub fn from_shared(graph: Arc<CsrGraph>) -> Self {
         Network {
             graph,
             budget: Budget::unlimited(),
@@ -129,7 +150,7 @@ impl Network {
     /// path-length estimates (recorded in the observability report for
     /// reproducibility).
     pub fn summary_with_seed(&self, seed: u64) -> GraphSummary {
-        snap_metrics::summarize_with_budget(&self.graph, seed, &self.budget)
+        snap_metrics::summarize_with_budget(self.graph(), seed, &self.budget)
     }
 
     /// Start an observed analysis session: enables `snap-obs` collection
@@ -143,7 +164,7 @@ impl Network {
 
     /// Parallel direction-optimizing BFS from `source`.
     pub fn bfs(&self, source: VertexId) -> BfsResult {
-        snap_kernels::par_bfs(&self.graph, source)
+        snap_kernels::par_bfs(self.graph(), source)
     }
 
     /// Parallel direction-optimizing BFS from `source` with per-level
@@ -159,7 +180,7 @@ impl Network {
         source: VertexId,
         cfg: &HybridConfig,
     ) -> (BfsResult, TraversalStats) {
-        snap_kernels::par_bfs_hybrid_stats(&self.graph, source, cfg)
+        snap_kernels::par_bfs_hybrid_stats(self.graph(), source, cfg)
     }
 
     /// Budget-aware [`Self::bfs_stats`]: a partial traversal has no
@@ -178,7 +199,7 @@ impl Network {
         source: VertexId,
         cfg: &HybridConfig,
     ) -> Result<(BfsResult, TraversalStats), Exhausted> {
-        snap_kernels::try_par_bfs_hybrid_stats(&self.graph, source, cfg, &self.budget)
+        snap_kernels::try_par_bfs_hybrid_stats(self.graph(), source, cfg, &self.budget)
     }
 
     /// Exact betweenness centrality (vertices and edges), parallel over
@@ -191,21 +212,21 @@ impl Network {
             let n = self.graph.num_vertices();
             let sources = snap_centrality::sample_sources(n, n, 0);
             return snap_centrality::try_betweenness_from_sources_with_workspace(
-                &self.graph,
+                self.graph(),
                 &sources,
                 &self.budget,
                 &self.pool,
             )
             .scores;
         }
-        snap_centrality::par_brandes_with_workspace(&self.graph, &self.pool)
+        snap_centrality::par_brandes_with_workspace(self.graph(), &self.pool)
     }
 
     /// Sampled approximate betweenness (fraction of sources).
     pub fn approx_betweenness(&self, frac: f64, seed: u64) -> BetweennessScores {
         if self.budget.is_limited() {
             return snap_centrality::approx_betweenness_with_budget_and_workspace(
-                &self.graph,
+                self.graph(),
                 frac,
                 seed,
                 &self.budget,
@@ -213,18 +234,18 @@ impl Network {
             )
             .scores;
         }
-        snap_centrality::approx_betweenness_with_workspace(&self.graph, frac, seed, &self.pool)
+        snap_centrality::approx_betweenness_with_workspace(self.graph(), frac, seed, &self.pool)
     }
 
     /// Closeness centrality for every vertex.
     pub fn closeness(&self) -> Vec<f64> {
-        snap_centrality::closeness_with_workspace(&self.graph, &self.pool)
+        snap_centrality::closeness_with_workspace(self.graph(), &self.pool)
     }
 
     /// Weighted betweenness centrality (shortest paths by edge weight;
     /// equals [`Self::betweenness`] on unweighted graphs).
     pub fn weighted_betweenness(&self) -> BetweennessScores {
-        snap_centrality::weighted_betweenness(&self.graph)
+        snap_centrality::weighted_betweenness(self.graph())
     }
 
     /// Detect communities with the chosen algorithm (default
@@ -240,28 +261,32 @@ impl Network {
                 // leftovers) is still a valid clustering.
                 snap_obs::meta("degraded", "divisive->pla (budget exhausted)");
                 snap_obs::add("budget_degradations", 1);
-                let r = snap_community::pla_with_budget(&self.graph, &PlaConfig::default(), budget);
+                let r =
+                    snap_community::pla_with_budget(self.graph(), &PlaConfig::default(), budget);
                 (r.clustering, r.q)
             }
             CommunityAlgorithm::GirvanNewman => {
-                let r = snap_community::girvan_newman(&self.graph, &GnConfig::default());
+                let r = snap_community::girvan_newman(self.graph(), &GnConfig::default());
                 (r.clustering, r.q)
             }
             CommunityAlgorithm::Divisive => {
-                let r = snap_community::pbd_with_budget(&self.graph, &PbdConfig::default(), budget);
+                let r =
+                    snap_community::pbd_with_budget(self.graph(), &PbdConfig::default(), budget);
                 (r.clustering, r.q)
             }
             CommunityAlgorithm::Agglomerative => {
-                let r = snap_community::pma_with_budget(&self.graph, &PmaConfig::default(), budget);
+                let r =
+                    snap_community::pma_with_budget(self.graph(), &PmaConfig::default(), budget);
                 (r.clustering, r.q)
             }
             CommunityAlgorithm::LocalAggregation => {
-                let r = snap_community::pla_with_budget(&self.graph, &PlaConfig::default(), budget);
+                let r =
+                    snap_community::pla_with_budget(self.graph(), &PlaConfig::default(), budget);
                 (r.clustering, r.q)
             }
             CommunityAlgorithm::Spectral => {
                 let r = snap_community::spectral_communities(
-                    &self.graph,
+                    self.graph(),
                     &SpectralCommunityConfig::default(),
                 );
                 (r.clustering, r.q)
@@ -275,7 +300,7 @@ impl Network {
 
     /// Modularity of an arbitrary clustering against this network.
     pub fn modularity(&self, clustering: &Clustering) -> f64 {
-        snap_community::modularity(&self.graph, clustering)
+        snap_community::modularity(self.graph(), clustering)
     }
 
     /// Partition into `parts` balanced parts.
@@ -285,7 +310,7 @@ impl Network {
         parts: usize,
         seed: u64,
     ) -> Result<Partition, SpectralError> {
-        snap_partition::partition_with_budget(&self.graph, method, parts, seed, &self.budget)
+        snap_partition::partition_with_budget(self.graph(), method, parts, seed, &self.budget)
     }
 }
 

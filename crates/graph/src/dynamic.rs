@@ -71,18 +71,45 @@ impl DynGraph {
     }
 
     /// Import a static graph into the dynamic representation.
+    ///
+    /// `DynGraph` models a *simple* graph: self-loops and parallel edges of
+    /// the source CSR are stripped. This convenience wrapper discards the
+    /// drop count; use [`Self::from_csr_counted`] when the caller must
+    /// know whether `num_edges()` can disagree with the source.
     pub fn from_csr(g: &CsrGraph) -> Self {
+        Self::from_csr_counted(g).0
+    }
+
+    /// Import a static graph, reporting how many source edges were
+    /// deliberately stripped (self-loops, and duplicates of an edge already
+    /// inserted) because the dynamic representation is a simple graph.
+    /// `from_csr(g).num_edges() == g.num_edges() - dropped` always holds.
+    pub fn from_csr_counted(g: &CsrGraph) -> (Self, usize) {
         assert!(!g.is_directed(), "DynGraph is undirected");
         let mut d = DynGraph::new(g.num_vertices());
+        let mut dropped = 0usize;
         for (_, u, v) in g.edges() {
-            d.insert_edge(u, v);
+            if !d.insert_edge(u, v) {
+                dropped += 1;
+            }
         }
-        d
+        (d, dropped)
     }
 
     /// Number of vertices.
     pub fn num_vertices(&self) -> usize {
         self.adj.len()
+    }
+
+    /// Grow the vertex set so that `v` is a valid vertex id. New vertices
+    /// start isolated. No-op when `v` is already in range — safe to call
+    /// on every op of a stream whose vertex universe is discovered as it
+    /// arrives.
+    pub fn ensure_vertex(&mut self, v: VertexId) {
+        if v as usize >= self.adj.len() {
+            self.adj
+                .resize_with(v as usize + 1, || Adjacency::Array(Vec::new()));
+        }
     }
 
     /// Number of undirected edges.
@@ -147,7 +174,8 @@ impl DynGraph {
     }
 
     fn remove_arc(&mut self, u: VertexId, v: VertexId) {
-        match &mut self.adj[u as usize] {
+        let slot = &mut self.adj[u as usize];
+        match slot {
             Adjacency::Array(vec) => {
                 if let Some(pos) = vec.iter().position(|&x| x == v) {
                     vec.swap_remove(pos);
@@ -155,6 +183,14 @@ impl DynGraph {
             }
             Adjacency::Tree(t) => {
                 t.remove(&v);
+                // Demote back to an array once the degree collapses well
+                // below the promotion point (hysteresis at threshold / 2,
+                // so an adjacency oscillating around the crossover does
+                // not thrash between representations). `threshold == 0`
+                // pins every adjacency to a treap, so it never demotes.
+                if t.len() < self.threshold / 2 {
+                    *slot = Adjacency::Array(t.iter().copied().collect());
+                }
             }
         }
     }
@@ -263,5 +299,96 @@ mod tests {
         let mut g = DynGraph::with_threshold(4, 0);
         g.insert_edge(0, 1);
         assert!(g.is_treap_backed(0));
+        // With threshold 0 there is no array representation to demote to.
+        g.delete_edge(0, 1);
+        assert!(g.is_treap_backed(0));
+    }
+
+    #[test]
+    fn demotes_below_half_threshold() {
+        let mut g = DynGraph::with_threshold(100, 8);
+        for v in 1..=9 {
+            g.insert_edge(0, v);
+        }
+        assert!(g.is_treap_backed(0));
+        // Deleting down into the hysteresis band [threshold/2, threshold]
+        // keeps the treap; crossing below threshold/2 demotes.
+        for v in 1..=5 {
+            g.delete_edge(0, v);
+        }
+        assert!(g.is_treap_backed(0), "degree 4 is still in the band");
+        g.delete_edge(0, 6);
+        assert!(!g.is_treap_backed(0), "degree 3 < 8/2 must demote");
+        // The demoted adjacency still answers queries and can re-promote.
+        assert!(g.has_edge(0, 7) && g.has_edge(0, 8) && g.has_edge(0, 9));
+        assert_eq!(g.degree(0), 3);
+        for v in 10..=17 {
+            g.insert_edge(0, v);
+        }
+        assert!(g.is_treap_backed(0), "re-promotes past the threshold");
+        assert_eq!(g.degree(0), 11);
+    }
+
+    #[test]
+    fn insert_delete_churn_across_crossover() {
+        // Drive one hub repeatedly across the promotion/demotion boundary
+        // and check membership against a model set the whole way.
+        let mut g = DynGraph::with_threshold(64, 8);
+        let mut model = std::collections::HashSet::new();
+        for round in 0..6 {
+            for v in 1..=12u32 {
+                assert_eq!(g.insert_edge(0, v), model.insert(v), "round {round}");
+            }
+            assert!(g.is_treap_backed(0));
+            for v in 1..=10u32 {
+                assert_eq!(g.delete_edge(0, v), model.remove(&v), "round {round}");
+            }
+            assert!(!g.is_treap_backed(0));
+            for v in 1..=12u32 {
+                assert_eq!(g.has_edge(0, v), model.contains(&v));
+            }
+            for v in 11..=12u32 {
+                g.delete_edge(0, v);
+                model.remove(&v);
+            }
+        }
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn from_csr_counted_reports_dropped_self_loops() {
+        // A multigraph fixture: self-loops survive the builder when asked
+        // for; the dynamic representation strips them *deliberately* and
+        // says so.
+        let g0 = crate::GraphBuilder::undirected(4)
+            .with_self_loops()
+            .add_edges([(0, 0), (0, 1), (1, 2), (2, 2), (2, 3)])
+            .build();
+        assert_eq!(g0.num_edges(), 5);
+        let (d, dropped) = DynGraph::from_csr_counted(&g0);
+        assert_eq!(dropped, 2, "both self-loops stripped");
+        assert_eq!(d.num_edges(), g0.num_edges() - dropped);
+        // Round trip: the simple part of the graph survives exactly.
+        let g1 = d.to_csr();
+        assert_eq!(g1.num_edges(), 3);
+        for v in 0..4u32 {
+            let mut a: Vec<_> = g0.neighbors(v).filter(|&w| w != v).collect();
+            let mut b: Vec<_> = g1.neighbors(v).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn ensure_vertex_grows() {
+        let mut g = DynGraph::new(0);
+        assert_eq!(g.num_vertices(), 0);
+        g.ensure_vertex(5);
+        assert_eq!(g.num_vertices(), 6);
+        assert!(g.insert_edge(5, 3));
+        g.ensure_vertex(2); // already in range: no-op
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.degree(5), 1);
     }
 }

@@ -17,7 +17,11 @@
 //!   community-detection algorithms, which repeatedly cut edges;
 //! * **induced subgraphs** ([`subgraph::InducedSubgraph`]) used when the
 //!   coarse-grained phase of the divisive algorithms processes connected
-//!   components independently.
+//!   components independently;
+//! * a **streaming engine** ([`StreamingGraph`]) that ingests batched
+//!   edge insert/delete ops into the dynamic delta layer and delta-merges
+//!   them into epoch-versioned immutable `Arc<CsrGraph>` snapshots, so
+//!   readers analyze complete frozen epochs while writers keep ingesting.
 //!
 //! All representations implement the [`Graph`] trait so the kernels in
 //! `snap-kernels` and above remain representation-agnostic.
@@ -29,6 +33,7 @@ pub mod dynamic;
 pub mod frontier;
 pub mod perm;
 pub mod scratch;
+pub mod stream;
 pub mod subgraph;
 pub mod traits;
 pub mod treap;
@@ -41,6 +46,7 @@ pub use dynamic::DynGraph;
 pub use frontier::{Frontier, FrontierRepr};
 pub use perm::{apply_permutation, bfs_order, degree_order};
 pub use scratch::{PooledWorkspace, TraversalWorkspace, WorkspacePool, WorkspaceStats};
+pub use stream::{BatchStats, EdgeOp, Snapshot, SnapshotReader, StreamingGraph};
 pub use subgraph::InducedSubgraph;
 pub use traits::{Graph, WeightedGraph};
 pub use treap::Treap;

@@ -1,8 +1,10 @@
 //! Property-based tests for the representation layer.
 
 use proptest::prelude::*;
-use snap_graph::{DynGraph, FilteredGraph, Graph, GraphBuilder, Treap, VertexId};
-use std::collections::BTreeSet;
+use snap_graph::{
+    DynGraph, EdgeOp, FilteredGraph, Graph, GraphBuilder, StreamingGraph, Treap, VertexId,
+};
+use std::collections::{BTreeSet, HashSet};
 
 /// Strategy: a random undirected edge list over `n <= 24` vertices.
 fn edge_list() -> impl Strategy<Value = (usize, Vec<(VertexId, VertexId)>)> {
@@ -131,6 +133,69 @@ proptest! {
         for u in 0..12u32 {
             for v in 0..12u32 {
                 prop_assert_eq!(g.has_edge(u, v), model.contains(&(u.min(v), u.max(v))));
+            }
+        }
+    }
+    /// DynGraph agrees with a `HashSet<(u, v)>` model on *every* observable
+    /// (`has_edge`, `degree`, `num_edges`) at the degenerate thresholds:
+    /// 0 (all treaps, immediate promotion), 4 (both representations and
+    /// the demotion hysteresis in play), and `usize::MAX` (all arrays,
+    /// never promotes).
+    #[test]
+    fn dyngraph_observables_match_hashset_model(
+        ops in prop::collection::vec((0u8..2, 0u32..10, 0u32..10), 1..160),
+        threshold_pick in 0usize..3,
+    ) {
+        let n = 10u32;
+        let threshold = [0, 4, usize::MAX][threshold_pick];
+        let mut g = DynGraph::with_threshold(n as usize, threshold);
+        let mut model: HashSet<(u32, u32)> = HashSet::new();
+        for &(op, u, v) in &ops {
+            let key = (u.min(v), u.max(v));
+            if op == 0 {
+                prop_assert_eq!(g.insert_edge(u, v), u != v && model.insert(key));
+            } else {
+                prop_assert_eq!(g.delete_edge(u, v), model.remove(&key));
+            }
+            prop_assert_eq!(g.num_edges(), model.len());
+        }
+        for u in 0..n {
+            let degree = model.iter().filter(|&&(a, b)| a == u || b == u).count();
+            prop_assert_eq!(g.degree(u), degree, "degree of {}", u);
+            for v in 0..n {
+                prop_assert_eq!(g.has_edge(u, v), model.contains(&(u.min(v), u.max(v))));
+            }
+        }
+    }
+
+    /// Every snapshot the streaming engine publishes via delta-merge is
+    /// identical to a from-scratch rebuild of the live graph, and epochs
+    /// only move forward.
+    #[test]
+    fn stream_snapshots_match_full_rebuild(
+        ops in prop::collection::vec((0u8..2, 0u32..10, 0u32..10), 1..120),
+        batch in 1usize..24,
+    ) {
+        let mut sg = StreamingGraph::new(0);
+        let mut last_epoch = 0;
+        for chunk in ops.chunks(batch) {
+            let edge_ops: Vec<EdgeOp> = chunk
+                .iter()
+                .map(|&(op, u, v)| if op == 0 { EdgeOp::Insert(u, v) } else { EdgeOp::Delete(u, v) })
+                .collect();
+            sg.apply_batch(&edge_ops);
+            let snap = sg.merge();
+            snap.graph.validate().unwrap();
+            prop_assert!(snap.epoch >= last_epoch, "epochs are monotone");
+            last_epoch = snap.epoch;
+            let rebuilt = sg.live().to_csr();
+            prop_assert_eq!(snap.graph.num_vertices(), rebuilt.num_vertices());
+            prop_assert_eq!(snap.graph.num_edges(), rebuilt.num_edges());
+            for v in rebuilt.vertices() {
+                let a: Vec<_> = snap.graph.neighbor_slice(v).to_vec();
+                let mut b: Vec<_> = rebuilt.neighbors(v).collect();
+                b.sort_unstable();
+                prop_assert_eq!(a, b, "adjacency of {} at epoch {}", v, snap.epoch);
             }
         }
     }

@@ -24,6 +24,7 @@ pub mod bfs;
 pub mod bicc;
 pub mod boruvka;
 pub mod components;
+pub mod dynbfs;
 pub mod dyncc;
 pub mod spanning;
 pub mod sssp;
@@ -39,7 +40,8 @@ pub use boruvka::{boruvka_msf, Msf};
 pub use components::{
     connected_components, par_components_hybrid, par_components_lp, par_components_sv, Components,
 };
-pub use dyncc::IncrementalComponents;
+pub use dynbfs::IncrementalBfs;
+pub use dyncc::{DynamicComponents, IncrementalComponents};
 pub use spanning::{par_spanning_forest, spanning_forest, SpanningForest};
 pub use sssp::{delta_stepping, dijkstra, try_delta_stepping, SsspResult, INF};
 pub use stcon::{st_connectivity, st_connectivity_with_workspace, StResult};

@@ -1,15 +1,15 @@
-//! Dynamic-network analysis (the paper's future-work direction): process
-//! a stream of edge insertions and deletions, maintain connectivity
-//! incrementally, and watch community structure sharpen as interactions
-//! accumulate.
+//! Dynamic-network analysis (the paper's future-work direction): drive
+//! a stream of edge insertions and deletions through the streaming
+//! engine, maintain connectivity and BFS distances incrementally, and
+//! analyze epoch-versioned snapshots while ingestion continues.
 //!
 //! ```text
 //! cargo run --release --example dynamic_stream [n] [events]
 //! ```
 
 use rand::{Rng, SeedableRng};
-use snap::graph::{DynGraph, Graph};
-use snap::kernels::IncrementalComponents;
+use snap::graph::{EdgeOp, Graph, StreamingGraph};
+use snap::kernels::{DynamicComponents, IncrementalBfs};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -27,70 +27,77 @@ fn main() {
     // of events are deletions (relationship churn).
     let k = 10;
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-    let mut graph = DynGraph::new(n);
-    let mut inc = IncrementalComponents::new(n);
+    let mut stream = StreamingGraph::new(n);
+    let mut components = DynamicComponents::new(n);
+    let mut distances = IncrementalBfs::new(stream.live(), 0);
 
     println!("streaming {events} interaction events over {n} entities ({k} latent groups)");
     println!();
     println!(
-        "{:>9} {:>9} {:>12} {:>12} {:>12}",
-        "events", "edges", "components", "giant", "modularity"
+        "{:>7} {:>9} {:>9} {:>12} {:>10} {:>12}",
+        "epoch", "events", "edges", "components", "reached", "modularity"
     );
 
+    let batch = events.div_ceil(5);
     let mut processed = 0usize;
-    let checkpoints: Vec<usize> = (1..=5).map(|i| events * i / 5).collect();
     while processed < events {
-        processed += 1;
-        let u = rng.gen_range(0..n) as u32;
-        let v = if rng.gen::<f64>() < 8.0 / 9.0 {
-            // Intra-community partner.
-            let group = u as usize % k;
-            (rng.gen_range(0..n / k) * k + group) as u32
-        } else {
-            rng.gen_range(0..n) as u32
-        };
-        if u == v {
-            continue;
+        let mut ops = Vec::with_capacity(batch);
+        while ops.len() < batch && processed < events {
+            processed += 1;
+            let u = rng.gen_range(0..n) as u32;
+            let v = if rng.gen::<f64>() < 8.0 / 9.0 {
+                // Intra-community partner.
+                let group = u as usize % k;
+                (rng.gen_range(0..n / k) * k + group) as u32
+            } else {
+                rng.gen_range(0..n) as u32
+            };
+            ops.push(if rng.gen::<f64>() < 0.05 {
+                EdgeOp::Delete(u, v)
+            } else {
+                EdgeOp::Insert(u, v)
+            });
         }
-        if rng.gen::<f64>() < 0.05 {
-            graph.delete_edge(u, v);
-            // Union-find cannot un-merge; deletions leave `inc` as an
-            // over-approximation until the next rebuild below.
-        } else if graph.insert_edge(u, v) {
-            inc.insert_edge(u, v);
+        // Ingest the batch op by op, repairing the incremental kernels
+        // as the edges land; then publish the epoch's snapshot.
+        for &op in &ops {
+            let changed = stream.apply(op);
+            components.apply(op, changed);
+            distances.apply(stream.live(), op, changed);
         }
+        let snapshot = stream.merge();
+        components.end_batch(stream.live());
+        distances.end_batch(stream.live());
 
-        if checkpoints.contains(&processed) {
-            // Freeze a snapshot for the heavyweight analyses; the
-            // incremental structure keeps serving connectivity queries.
-            let snapshot = graph.to_csr();
-            let comps = snap::kernels::connected_components(&snapshot);
-            let communities =
-                snap::community::pma(&snapshot, &snap::community::PmaConfig::default());
-            println!(
-                "{:>9} {:>9} {:>12} {:>12} {:>12.4}",
-                processed,
-                snapshot.num_edges(),
-                comps.count,
-                comps.giant_size(),
-                communities.q
-            );
-            // Rebuild the incremental tracker to absorb deletions.
-            inc = IncrementalComponents::new(n);
-            for (_, a, b) in snapshot.edges() {
-                inc.insert_edge(a, b);
-            }
-        }
+        // Heavyweight analysis runs on the immutable snapshot — readers
+        // like this never block ingestion of the next batch.
+        let communities =
+            snap::community::pma(&snapshot.graph, &snap::community::PmaConfig::default());
+        println!(
+            "{:>7} {:>9} {:>9} {:>12} {:>10} {:>12.4}",
+            snapshot.epoch,
+            processed,
+            snapshot.graph.num_edges(),
+            components.count(),
+            distances.reached(),
+            communities.q
+        );
     }
 
     println!();
-    let final_graph = graph.to_csr();
-    let treap_backed = (0..n as u32).filter(|&v| graph.is_treap_backed(v)).count();
+    let last = stream.snapshot();
+    let treap_backed = (0..n as u32)
+        .filter(|&v| stream.live().is_treap_backed(v))
+        .count();
     println!(
-        "final graph: {} edges; {} hub adjacencies promoted to treaps",
-        final_graph.num_edges(),
-        treap_backed
+        "final epoch {}: {} edges; {} hub adjacencies promoted to treaps; \
+         {} cc rebuilds, {} bfs recomputes",
+        last.epoch,
+        last.graph.num_edges(),
+        treap_backed,
+        components.rebuilds(),
+        distances.recomputes()
     );
-    let answer = inc.connected(0, (n - 1) as u32);
+    let answer = components.connected(0, (n - 1) as u32);
     println!("incremental connectivity query 0 <-> {}: {answer}", n - 1);
 }

@@ -481,3 +481,92 @@ fn bad_algorithm_rejected() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown algorithm"));
     std::fs::remove_file(&path).ok();
 }
+
+fn fixture(name: &str) -> String {
+    format!("{}/../../tests/data/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn stream_replays_fixture_and_checks_every_epoch() {
+    let out = cli()
+        .args([
+            "stream",
+            &fixture("stream_ops.txt"),
+            "--merge-every",
+            "8",
+            "--check",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert_eq!(text.matches("check ok").count(), 3, "{text}");
+    assert!(text.contains("replayed 19 op(s) over 3 epoch(s)"), "{text}");
+    assert!(text.contains("components 1"), "{text}");
+}
+
+#[test]
+fn stream_report_carries_per_epoch_observability() {
+    let out = cli()
+        .args([
+            "stream",
+            &fixture("stream_ops.txt"),
+            "--merge-every",
+            "8",
+            "--report",
+            "json",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report = snap::obs::RunReport::from_json(&String::from_utf8_lossy(&out.stdout))
+        .expect("stdout is a well-formed run report");
+    let stream = report
+        .root
+        .children
+        .iter()
+        .find(|c| c.name == "stream")
+        .expect("stream span present");
+    let epoch = stream
+        .children
+        .iter()
+        .find(|c| c.name == "epoch")
+        .expect("epoch span present");
+    assert_eq!(epoch.calls, 3, "three merges, coalesced");
+    assert_eq!(epoch.counter("stream_ops"), Some(19));
+    assert!(epoch.counter("delta_edges").unwrap_or(0) > 0);
+    let (_, merge_us) = epoch
+        .hists
+        .iter()
+        .find(|(n, _)| n == "merge_us")
+        .expect("merge_us histogram present");
+    assert_eq!(merge_us.count, 3);
+    let snapshot_epoch = epoch
+        .gauges
+        .iter()
+        .find(|(n, _)| n == "snapshot_epoch")
+        .map(|&(_, v)| v);
+    assert_eq!(snapshot_epoch, Some(3.0));
+}
+
+#[test]
+fn stream_rejects_malformed_op_lines() {
+    let path = scratch("bad-ops.txt");
+    std::fs::write(&path, "+ 0 1\n+ nope 2\n").unwrap();
+    let out = cli()
+        .args(["stream", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(err.contains(":2:"), "line number in: {err}");
+    std::fs::remove_file(&path).ok();
+}
