@@ -5,13 +5,17 @@
 //! instances and emits a machine-readable `BENCH_kernels.json`:
 //!
 //! ```text
-//! [{"bench": "...", "n": 32768, "m": 219382, "wall_ms": 1234.5, "work_units": 987654}, ...]
+//! [{"bench": "...", "n": 32768, "m": 219382, "wall_ms": 1234.5,
+//!   "work_units": 987654, "peak_bytes": 16777216}, ...]
 //! ```
 //!
 //! `wall_ms` is the minimum over `--reps` runs (the low-noise statistic on
 //! a shared host); `work_units` is an implementation-independent work
 //! measure per bench (traversal vertices or arcs examined), so a result
-//! file from one tree is comparable against another.
+//! file from one tree is comparable against another. `peak_bytes` is the
+//! tracking allocator's live-bytes high-water mark during the observed
+//! run (graph plus kernel scratch), the scale-10 memory baseline CI
+//! tracks under `results/`.
 //!
 //! Alongside the flat table, one extra *observed* run per bench (after
 //! the timed reps, so instrumentation never touches the timings) is
@@ -34,6 +38,15 @@ use snap::metrics::path_stats_sampled;
 use snap_bench::time;
 use std::time::Duration;
 
+/// Tracking allocator for per-bench `peak_bytes`. Tracking is switched
+/// on only around the observed runs — the timed reps see the disabled
+/// hook, a single relaxed load. `--no-default-features` drops the
+/// allocator entirely (peak_bytes reads 0).
+#[cfg(feature = "mem-track")]
+#[global_allocator]
+static ALLOC: snap_obs::TrackingAlloc<std::alloc::System> =
+    snap_obs::TrackingAlloc::new(std::alloc::System);
+
 /// One emitted benchmark record.
 struct Entry {
     bench: &'static str,
@@ -41,6 +54,9 @@ struct Entry {
     m: usize,
     wall_ms: f64,
     work_units: u64,
+    /// High-water mark of live bytes during the observed run (0 when
+    /// built without `mem-track`).
+    peak_bytes: u64,
 }
 
 fn min_wall(reps: usize, mut f: impl FnMut() -> Duration) -> f64 {
@@ -51,20 +67,26 @@ fn min_wall(reps: usize, mut f: impl FnMut() -> Duration) -> f64 {
     best.as_secs_f64() * 1e3
 }
 
-/// Run `f` once with collection live, wrapped in a span named `bench`,
-/// and return that bench's span subtree (plus the run's report for
-/// counter extraction). Instrumented runs happen *after* the timed reps,
-/// so `wall_ms` never includes collection overhead.
-fn observed_spans(bench: &'static str, f: impl FnOnce()) -> (snap_obs::ReportNode, u64) {
+/// Run `f` once with collection (and memory tracking) live, wrapped in
+/// a span named `bench`, and return that bench's span subtree, the
+/// traversal work counter, and the run's peak live bytes. Instrumented
+/// runs happen *after* the timed reps, so `wall_ms` never includes
+/// collection overhead; the peak window is reset per bench so each
+/// reports its own high-water mark (graph + kernel scratch).
+fn observed_spans(bench: &'static str, f: impl FnOnce()) -> (snap_obs::ReportNode, u64, u64) {
     snap_obs::enable();
+    snap_obs::enable_mem_tracking();
+    snap_obs::reset_peak_live();
     {
         let _span = snap_obs::span(bench);
         f();
     }
+    let peak_bytes = snap_obs::mem_snapshot().peak_live;
+    snap_obs::disable_mem_tracking();
     let report = snap_obs::finish().unwrap_or_default();
     let work = report.total_counter("frontier_vertices");
     let node = report.root.children.into_iter().next().unwrap_or_default();
-    (node, work)
+    (node, work, peak_bytes)
 }
 
 fn main() {
@@ -99,11 +121,11 @@ fn main() {
         let wall = min_wall(reps, || time(|| betweenness_from_sources(&g, &sources)).1);
         // Work units: total traversal vertices over all sources, read from
         // the kernel's own counters in the observed run.
-        let (node, work) = observed_spans("sampled_betweenness_k64", || {
+        let (node, work, peak) = observed_spans("sampled_betweenness_k64", || {
             let _ = betweenness_from_sources(&g, &sources);
         });
         bench_spans.push(node);
-        entries.push(entry("sampled_betweenness_k64", &g, wall, work));
+        entries.push(entry("sampled_betweenness_k64", &g, wall, work, peak));
     }
 
     // --- Exact closeness (all-sources BFS sweep) on an ER instance. ---
@@ -111,11 +133,17 @@ fn main() {
         let n = 1usize << scale.saturating_sub(3);
         let g = erdos_renyi(n, n * 8, seed);
         let wall = min_wall(reps, || time(|| closeness(&g)).1);
-        let (node, _) = observed_spans("closeness_exact", || {
+        let (node, _, peak) = observed_spans("closeness_exact", || {
             let _ = closeness(&g);
         });
         bench_spans.push(node);
-        entries.push(entry("closeness_exact", &g, wall, g.num_vertices() as u64));
+        entries.push(entry(
+            "closeness_exact",
+            &g,
+            wall,
+            g.num_vertices() as u64,
+            peak,
+        ));
     }
 
     // --- Sampled path statistics, k = 256 sources. ---
@@ -124,11 +152,11 @@ fn main() {
         let n = 1usize << s;
         let g = rmat(&RmatConfig::small_world(s, n * 8), seed);
         let wall = min_wall(reps, || time(|| path_stats_sampled(&g, 256, seed)).1);
-        let (node, _) = observed_spans("path_stats_sampled_k256", || {
+        let (node, _, peak) = observed_spans("path_stats_sampled_k256", || {
             let _ = path_stats_sampled(&g, 256, seed);
         });
         bench_spans.push(node);
-        entries.push(entry("path_stats_sampled_k256", &g, wall, 256));
+        entries.push(entry("path_stats_sampled_k256", &g, wall, 256, peak));
     }
 
     // --- Direction-optimizing hybrid BFS from 64 sampled sources. ---
@@ -148,13 +176,13 @@ fn main() {
             work = edges;
             d
         });
-        let (node, _) = observed_spans("hybrid_bfs_64", || {
+        let (node, _, peak) = observed_spans("hybrid_bfs_64", || {
             for &s in &sources {
                 let _ = par_bfs_hybrid_stats(&g, s, &cfg);
             }
         });
         bench_spans.push(node);
-        entries.push(entry("hybrid_bfs_64", &g, wall, work));
+        entries.push(entry("hybrid_bfs_64", &g, wall, work, peak));
     }
 
     // --- Streaming: delta-merge vs full rebuild on small-batch churn. ---
@@ -207,11 +235,11 @@ fn main() {
             work = w;
             d
         });
-        let (node, _) = observed_spans("stream_delta_merge", || {
+        let (node, _, peak) = observed_spans("stream_delta_merge", || {
             let _ = delta_pass();
         });
         bench_spans.push(node);
-        entries.push(entry("stream_delta_merge", &base, wall, work));
+        entries.push(entry("stream_delta_merge", &base, wall, work, peak));
 
         let mut rebuild_work = 0u64;
         let wall = min_wall(reps, || {
@@ -223,11 +251,17 @@ fn main() {
             work, rebuild_work,
             "both paths must publish the same snapshots"
         );
-        let (node, _) = observed_spans("stream_full_rebuild", || {
+        let (node, _, peak) = observed_spans("stream_full_rebuild", || {
             let _ = rebuild_pass();
         });
         bench_spans.push(node);
-        entries.push(entry("stream_full_rebuild", &base, wall, rebuild_work));
+        entries.push(entry(
+            "stream_full_rebuild",
+            &base,
+            wall,
+            rebuild_work,
+            peak,
+        ));
     }
 
     let json = render(&entries);
@@ -246,6 +280,7 @@ fn main() {
             ..Default::default()
         },
         trace: Vec::new(),
+        mem_samples: Vec::new(),
     };
     let mut spans_json = spans_report.to_json();
     spans_json.push('\n');
@@ -285,13 +320,20 @@ fn churn_ops(base: &CsrGraph, count: usize, mut state: u64) -> Vec<EdgeOp> {
     ops
 }
 
-fn entry(bench: &'static str, g: &CsrGraph, wall_ms: f64, work_units: u64) -> Entry {
+fn entry(
+    bench: &'static str,
+    g: &CsrGraph,
+    wall_ms: f64,
+    work_units: u64,
+    peak_bytes: u64,
+) -> Entry {
     Entry {
         bench,
         n: g.num_vertices(),
         m: g.num_edges(),
         wall_ms,
         work_units,
+        peak_bytes,
     }
 }
 
@@ -299,12 +341,13 @@ fn render(entries: &[Entry]) -> String {
     let mut s = String::from("[\n");
     for (i, e) in entries.iter().enumerate() {
         s.push_str(&format!(
-            "  {{\"bench\": \"{}\", \"n\": {}, \"m\": {}, \"wall_ms\": {:.3}, \"work_units\": {}}}{}\n",
+            "  {{\"bench\": \"{}\", \"n\": {}, \"m\": {}, \"wall_ms\": {:.3}, \"work_units\": {}, \"peak_bytes\": {}}}{}\n",
             e.bench,
             e.n,
             e.m,
             e.wall_ms,
             e.work_units,
+            e.peak_bytes,
             if i + 1 < entries.len() { "," } else { "" }
         ));
     }

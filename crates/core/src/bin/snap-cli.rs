@@ -10,7 +10,8 @@
 //! snap-cli stream       <opfile> [--base GRAPH] [--merge-every N] [--source V] [--check]
 //! snap-cli generate     rmat|er|ws|grid|planted --out FILE [--scale S] [--edges M] [--seed S]
 //! snap-cli obs diff     BASE.json CURRENT.json [--fail-over-pct P] [--min-ms M]
-//! snap-cli obs top      REPORT.json [--limit N]
+//!                       [--fail-mem-over-pct P] [--min-bytes B]
+//! snap-cli obs top      REPORT.json [--limit N] [--by-mem]
 //! ```
 //!
 //! `stream` replays an edge-op file (`+ u v` inserts, `- u v` deletes,
@@ -34,10 +35,22 @@
 //! When the JSON report goes to stdout, the normal human output moves to
 //! stderr so stdout stays machine-readable.
 //!
+//! With the default `mem-track` feature the binary runs under the
+//! snap-obs tracking allocator: reports attribute heap traffic to spans,
+//! traces carry a `mem.bytes_live` counter track, and
+//! `--metrics-out FILE` starts a sampler thread that snapshots live
+//! bytes plus the exported counters every `--stats-every MS`
+//! (default 100) into `FILE` (NDJSON, append-only) and `FILE.om`
+//! (OpenMetrics text, atomically rewritten — scrape it while the
+//! command, e.g. a long `stream` replay, is still running).
+//!
 //! `obs diff` aligns two saved reports by span path and prints wall-time
 //! and counter deltas; with `--fail-over-pct` it exits non-zero when any
-//! span regressed past the threshold (the CI hook). `obs top` ranks spans
-//! by self time (total minus children — the flamegraph view).
+//! span regressed past the threshold (the CI hook), and
+//! `--fail-mem-over-pct` does the same for allocated/peak memory
+//! (`--min-bytes`, default 4096, suppresses noise-level deltas).
+//! `obs top` ranks spans by self time (total minus children — the
+//! flamegraph view); `--by-mem` ranks by self-allocated bytes instead.
 //!
 //! `--timeout SECS` attaches a wall-clock deadline: kernels check it
 //! cooperatively and degrade (sampling, coarser clusterings) or cancel
@@ -49,6 +62,15 @@ use snap::graph::{CsrGraph, Graph};
 use snap::prelude::*;
 use std::io::{BufReader, BufWriter};
 use std::process::exit;
+
+/// Route every heap allocation through the snap-obs tracking wrapper so
+/// spans can attribute memory and `--metrics-out` can export live bytes.
+/// Tracking still has to be switched on (see `main`); without the
+/// switch the wrapper is a single relaxed atomic load per call.
+#[cfg(feature = "mem-track")]
+#[global_allocator]
+static ALLOC: snap::obs::TrackingAlloc<std::alloc::System> =
+    snap::obs::TrackingAlloc::new(std::alloc::System);
 
 fn usage() -> ! {
     eprintln!(
@@ -64,7 +86,8 @@ commands:
   stream       <opfile> [--base GRAPH] [--merge-every N] [--source V] [--check]
   generate     rmat|er|ws|grid|planted --out FILE [--scale S] [--edges M] [--seed S]
   obs diff     BASE.json CURRENT.json [--fail-over-pct P] [--min-ms M]
-  obs top      REPORT.json [--limit N]
+               [--fail-mem-over-pct P] [--min-bytes B]
+  obs top      REPORT.json [--limit N] [--by-mem]
 
 common options:
   --format edgelist|dimacs|metis   input format (default: by extension)
@@ -72,6 +95,9 @@ common options:
   --trace                          render the span tree on stderr
   --trace-out PATH                 write a Chrome trace-event timeline
                                    (load in Perfetto / chrome://tracing)
+  --metrics-out PATH               sample live telemetry into PATH
+                                   (NDJSON) and PATH.om (OpenMetrics)
+  --stats-every MS                 telemetry sampling period (default 100)
   --threads N                      worker threads (default: host cores)
   --timeout SECS                   wall-clock budget: analysis degrades
                                    gracefully or cancels cleanly (never hangs)"
@@ -143,6 +169,10 @@ struct Obs {
     report: Option<ReportSink>,
     trace: bool,
     trace_out: Option<String>,
+    metrics: Option<snap::obs::telemetry::SamplerConfig>,
+    /// Running sampler between `begin` and `emit` (RefCell so the
+    /// commands keep borrowing `Obs` immutably).
+    sampler: std::cell::RefCell<Option<snap::obs::telemetry::Sampler>>,
 }
 
 impl Obs {
@@ -164,10 +194,29 @@ impl Obs {
         if args.flag("trace-out") == Some("true") {
             fail("--trace-out needs a file path");
         }
+        let metrics = match args.flag("metrics-out") {
+            None => None,
+            Some("true") => fail("--metrics-out needs a file path"),
+            Some(path) => {
+                let every_ms: u64 = args.flag_parse("stats-every", 100u64);
+                if every_ms == 0 {
+                    fail("--stats-every must be at least 1 (milliseconds)");
+                }
+                Some(snap::obs::telemetry::SamplerConfig::new(
+                    path,
+                    std::time::Duration::from_millis(every_ms),
+                ))
+            }
+        };
+        if metrics.is_none() && args.flag("stats-every").is_some() {
+            fail("--stats-every needs --metrics-out FILE");
+        }
         Obs {
             report,
             trace: args.flag("trace").is_some(),
             trace_out,
+            metrics,
+            sampler: std::cell::RefCell::new(None),
         }
     }
 
@@ -175,8 +224,8 @@ impl Obs {
         self.report.is_some() || self.trace || self.trace_out.is_some()
     }
 
-    /// Start collection (no-op when neither --report, --trace, nor
-    /// --trace-out given).
+    /// Start collection (no-op when neither --report, --trace,
+    /// --trace-out, nor --metrics-out given).
     fn begin(&self, command: &str, graph_path: &str) {
         if self.active() {
             snap::obs::enable();
@@ -185,6 +234,11 @@ impl Obs {
         }
         if self.trace_out.is_some() {
             snap::obs::enable_tracing();
+        }
+        if let Some(config) = &self.metrics {
+            let sampler = snap::obs::telemetry::Sampler::start(config.clone())
+                .unwrap_or_else(|e| fail(&format!("cannot start --metrics-out sampler: {e}")));
+            *self.sampler.borrow_mut() = Some(sampler);
         }
     }
 
@@ -206,6 +260,13 @@ impl Obs {
 
     /// Stop collection and emit whatever was requested.
     fn emit(&self) {
+        // Stop the telemetry sampler first (it writes one final sample)
+        // so the files are complete even when no report was requested.
+        if let Some(sampler) = self.sampler.borrow_mut().take() {
+            sampler
+                .stop()
+                .unwrap_or_else(|e| fail(&format!("telemetry sampler failed: {e}")));
+        }
         if !self.active() {
             return;
         }
@@ -301,6 +362,11 @@ fn load(args: &Args, path: &str, directed: bool) -> CsrGraph {
 }
 
 fn main() {
+    // Switch the tracking allocator on for the whole process: span
+    // attribution and --metrics-out both read it, and keeping it on
+    // unconditionally means a run's peak_bytes covers graph loading too.
+    #[cfg(feature = "mem-track")]
+    snap::obs::enable_mem_tracking();
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.is_empty() {
         usage();
@@ -378,6 +444,28 @@ fn cmd_obs(args: &Args) {
                     exit(1);
                 }
             }
+            if let Some(pct) = args.flag("fail-mem-over-pct") {
+                let pct: f64 = pct
+                    .parse()
+                    .ok()
+                    .filter(|p: &f64| p.is_finite() && *p >= 0.0)
+                    .unwrap_or_else(|| fail("bad value for --fail-mem-over-pct"));
+                let min_bytes: u64 = args.flag_parse("min-bytes", 4096u64);
+                let grew = snap::obs::diff::mem_regressions(&entries, pct, min_bytes);
+                if !grew.is_empty() {
+                    eprintln!(
+                        "obs diff: {} span(s) grew memory more than {pct}% (and {min_bytes} bytes):",
+                        grew.len()
+                    );
+                    for r in &grew {
+                        eprintln!(
+                            "  {}  {}: {} -> {} bytes",
+                            r.path, r.metric, r.base_bytes, r.cur_bytes
+                        );
+                    }
+                    exit(1);
+                }
+            }
         }
         Some("top") => {
             let path = args
@@ -386,9 +474,14 @@ fn cmd_obs(args: &Args) {
                 .map(|s| s.as_str())
                 .unwrap_or_else(|| fail("obs top needs REPORT.json"));
             let report = load_report(path);
-            let rows = snap::obs::diff::top(&report);
             let limit: usize = args.flag_parse("limit", 20);
-            print!("{}", snap::obs::diff::render_top(&rows, limit));
+            if args.flag("by-mem").is_some() {
+                let rows = snap::obs::diff::top_by_mem(&report);
+                print!("{}", snap::obs::diff::render_top_mem(&rows, limit));
+            } else {
+                let rows = snap::obs::diff::top(&report);
+                print!("{}", snap::obs::diff::render_top(&rows, limit));
+            }
         }
         _ => fail("obs needs a subcommand: diff or top"),
     }

@@ -348,7 +348,10 @@ fn emit(p: WorkspaceStats, bytes: f64) {
         snap_obs::add("full_clears", p.full_clears);
     }
     if bytes > 0.0 {
-        snap_obs::gauge("workspace_bytes", bytes);
+        // Peak semantics: several workspaces (or several flushes of the
+        // same coalesced span) may report concurrently, and the gauge
+        // should keep the largest footprint seen, not the last one.
+        snap_obs::gauge_max("workspace_bytes", bytes);
     }
 }
 
@@ -478,7 +481,10 @@ impl WorkspacePool {
             return;
         }
         if peak > 0 {
-            snap_obs::gauge("workspace_pool_peak", peak as f64);
+            // fetch_max semantics: concurrent flushes (or repeated
+            // flushes under a coalesced span) must never regress the
+            // recorded concurrency high-water mark.
+            snap_obs::gauge_max("workspace_pool_peak", peak as f64);
         }
         let begins = match self.checkout_begins.lock() {
             Ok(mut b) => std::mem::take(&mut *b),

@@ -348,6 +348,14 @@ impl StreamingGraph {
         snap_obs::add("merge_edges_out", graph.num_edges() as u64);
         let epoch = prev_epoch + 1;
         snap_obs::gauge("snapshot_epoch", epoch as f64);
+        // Live telemetry: the same facts, but on the process-global
+        // export registry so a running sampler (`--metrics-out`) can
+        // stream them mid-ingest, span context or not.
+        snap_obs::telemetry::export_gauge("snapshot_epoch").set(epoch as f64);
+        snap_obs::telemetry::export_gauge("live_edges").set(graph.num_edges() as f64);
+        snap_obs::telemetry::export_counter("merges").incr();
+        snap_obs::telemetry::export_counter("delta_edges")
+            .add((added.len() + removed.len()) as u64);
         let snap = Snapshot {
             epoch,
             graph: Arc::clone(&graph),

@@ -9,7 +9,7 @@
 //! baseline to regress against, and judging a removed span would flag
 //! every refactor.
 
-use crate::report::{ReportNode, RunReport};
+use crate::report::{fmt_bytes, MemStats, ReportNode, RunReport};
 
 /// One aligned span pair (or an unmatched span from either side).
 #[derive(Clone, Debug, PartialEq)]
@@ -25,6 +25,22 @@ pub struct DiffEntry {
     /// Counter values on both sides (union of names), in baseline order
     /// then new-in-current order.
     pub counters: Vec<(String, Option<u64>, Option<u64>)>,
+    /// Baseline memory attribution (when the baseline was collected
+    /// with memory tracking).
+    pub base_mem: Option<MemStats>,
+    /// Current memory attribution.
+    pub cur_mem: Option<MemStats>,
+}
+
+/// A memory regression on one aligned span: which metric grew, from
+/// what baseline to what current value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MemRegression {
+    pub path: String,
+    /// `"allocated"` or `"peak_delta"`.
+    pub metric: &'static str,
+    pub base_bytes: u64,
+    pub cur_bytes: u64,
 }
 
 impl DiffEntry {
@@ -49,6 +65,34 @@ impl DiffEntry {
             }
             _ => false,
         }
+    }
+
+    /// Memory regressions on this entry: `allocated` and `peak_delta`
+    /// each judged with the same pct-plus-absolute-floor rule as wall
+    /// time (`min_bytes` keeps tiny spans from tripping percentage
+    /// thresholds on allocator jitter). Spans present on only one side
+    /// — or without memory data on either side — never regress.
+    pub fn mem_regressions(&self, fail_over_pct: f64, min_bytes: u64) -> Vec<MemRegression> {
+        let (Some(base), Some(cur)) = (self.base_mem, self.cur_mem) else {
+            return Vec::new();
+        };
+        let judge = |metric: &'static str, b: u64, c: u64| -> Option<MemRegression> {
+            let grew = c.saturating_sub(b) >= min_bytes
+                && (c as f64) > (b as f64) * (1.0 + fail_over_pct / 100.0);
+            grew.then_some(MemRegression {
+                path: self.path.clone(),
+                metric,
+                base_bytes: b,
+                cur_bytes: c,
+            })
+        };
+        [
+            judge("allocated", base.allocated, cur.allocated),
+            judge("peak_delta", base.peak_delta, cur.peak_delta),
+        ]
+        .into_iter()
+        .flatten()
+        .collect()
     }
 }
 
@@ -90,6 +134,8 @@ fn diff_nodes(
         base_us: base.map(|n| n.duration_us),
         cur_us: cur.map(|n| n.duration_us),
         counters,
+        base_mem: base.and_then(|n| n.mem),
+        cur_mem: cur.and_then(|n| n.mem),
     });
 
     // Matched children first (baseline order), then current-only ones.
@@ -115,6 +161,19 @@ pub fn regressions(entries: &[DiffEntry], fail_over_pct: f64, min_us: u64) -> Ve
     entries
         .iter()
         .filter(|e| e.is_regression(fail_over_pct, min_us))
+        .collect()
+}
+
+/// Memory regressions across all entries (see
+/// [`DiffEntry::mem_regressions`]) — the `--fail-mem-over-pct` gate.
+pub fn mem_regressions(
+    entries: &[DiffEntry],
+    fail_over_pct: f64,
+    min_bytes: u64,
+) -> Vec<MemRegression> {
+    entries
+        .iter()
+        .flat_map(|e| e.mem_regressions(fail_over_pct, min_bytes))
         .collect()
 }
 
@@ -162,6 +221,22 @@ pub fn render(entries: &[DiffEntry]) -> String {
                 ));
             }
         }
+        if (e.base_mem.is_some() || e.cur_mem.is_some()) && e.base_mem != e.cur_mem {
+            let side = |m: Option<MemStats>| {
+                m.map_or("-".to_string(), |m| {
+                    format!(
+                        "alloc={} peak+={}",
+                        fmt_bytes(m.allocated),
+                        fmt_bytes(m.peak_delta)
+                    )
+                })
+            };
+            out.push_str(&format!(
+                "  · mem  {} -> {}\n",
+                side(e.base_mem),
+                side(e.cur_mem)
+            ));
+        }
     }
     out
 }
@@ -177,26 +252,40 @@ pub struct TopEntry {
     /// Total (inclusive) time, summed over appearances.
     pub total_us: u64,
     pub calls: u64,
+    /// Bytes allocated inside this span minus inside its children
+    /// (same clamped-self convention as `self_us`; 0 for reports
+    /// without memory tracking).
+    pub self_alloc: u64,
+    /// Total (inclusive) bytes allocated, summed over appearances.
+    pub total_alloc: u64,
 }
 
 /// Flamegraph-style self-time aggregation: for every span name, total
-/// self time across the tree, sorted descending.
+/// self time (and self allocated bytes) across the tree, sorted by
+/// self time descending.
 pub fn top(report: &RunReport) -> Vec<TopEntry> {
     let mut rows: Vec<TopEntry> = Vec::new();
     fn walk(node: &ReportNode, rows: &mut Vec<TopEntry>) {
         let child_us: u64 = node.children.iter().map(|c| c.duration_us).sum();
         let self_us = node.duration_us.saturating_sub(child_us);
+        let alloc = |n: &ReportNode| n.mem.map_or(0, |m| m.allocated);
+        let child_alloc: u64 = node.children.iter().map(alloc).sum();
+        let self_alloc = alloc(node).saturating_sub(child_alloc);
         match rows.iter_mut().find(|r| r.name == node.name) {
             Some(r) => {
                 r.self_us += self_us;
                 r.total_us += node.duration_us;
                 r.calls += node.calls;
+                r.self_alloc += self_alloc;
+                r.total_alloc += alloc(node);
             }
             None => rows.push(TopEntry {
                 name: node.name.clone(),
                 self_us,
                 total_us: node.duration_us,
                 calls: node.calls,
+                self_alloc,
+                total_alloc: alloc(node),
             }),
         }
         for c in &node.children {
@@ -208,6 +297,14 @@ pub fn top(report: &RunReport) -> Vec<TopEntry> {
     rows
 }
 
+/// [`top`] re-sorted by self allocated bytes descending — the
+/// `obs top --by-mem` view.
+pub fn top_by_mem(report: &RunReport) -> Vec<TopEntry> {
+    let mut rows = top(report);
+    rows.sort_by(|a, b| b.self_alloc.cmp(&a.self_alloc).then(a.name.cmp(&b.name)));
+    rows
+}
+
 /// Table rendering for [`top`], truncated to `limit` rows.
 pub fn render_top(rows: &[TopEntry], limit: usize) -> String {
     let mut out = String::from("SELF       TOTAL      CALLS  SPAN\n");
@@ -216,6 +313,22 @@ pub fn render_top(rows: &[TopEntry], limit: usize) -> String {
             "{:<10} {:<10} {:<6} {}\n",
             fmt_us(r.self_us),
             fmt_us(r.total_us),
+            r.calls,
+            r.name
+        ));
+    }
+    out
+}
+
+/// Table rendering for [`top_by_mem`], truncated to `limit` rows.
+pub fn render_top_mem(rows: &[TopEntry], limit: usize) -> String {
+    let mut out = String::from("SELF-ALLOC   TOTAL-ALLOC  SELF-TIME  CALLS  SPAN\n");
+    for r in rows.iter().take(limit) {
+        out.push_str(&format!(
+            "{:<12} {:<12} {:<10} {:<6} {}\n",
+            fmt_bytes(r.self_alloc),
+            fmt_bytes(r.total_alloc),
+            fmt_us(r.self_us),
             r.calls,
             r.name
         ));
@@ -251,7 +364,17 @@ mod tests {
         RunReport {
             root,
             trace: vec![],
+            mem_samples: vec![],
         }
+    }
+
+    fn mem(allocated: u64, peak_delta: u64) -> Option<MemStats> {
+        Some(MemStats {
+            allocated,
+            freed: 0,
+            allocs: 1,
+            peak_delta,
+        })
     }
 
     #[test]
@@ -306,9 +429,67 @@ mod tests {
 
     #[test]
     fn identical_reports_have_no_regressions() {
-        let r = report(node("run", 1000, vec![node("bfs", 400, vec![])]));
+        let mut root = node("run", 1000, vec![node("bfs", 400, vec![])]);
+        root.mem = mem(1 << 20, 1 << 19);
+        let r = report(root);
         let entries = diff(&r, &r);
         assert!(regressions(&entries, 0.0, 0).is_empty());
+        // Self-diff is also memory-clean — the CI sanity gate.
+        assert!(mem_regressions(&entries, 0.0, 0).is_empty());
+    }
+
+    #[test]
+    fn mem_regressions_respect_pct_and_floor() {
+        let mut b = node("run", 10, vec![]);
+        b.mem = mem(1_000_000, 500_000);
+        let mut c = node("run", 10, vec![]);
+        c.mem = mem(1_300_000, 500_000); // allocated +30%, peak flat
+        let entries = diff(&report(b.clone()), &report(c.clone()));
+
+        // Over a 10% threshold the allocated growth trips (peak doesn't).
+        let regs = mem_regressions(&entries, 10.0, 4096);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].path, "run");
+        assert_eq!(regs[0].metric, "allocated");
+        assert_eq!(regs[0].base_bytes, 1_000_000);
+        assert_eq!(regs[0].cur_bytes, 1_300_000);
+        // A 50% threshold clears it; so does a high absolute floor.
+        assert!(mem_regressions(&entries, 50.0, 4096).is_empty());
+        assert!(mem_regressions(&entries, 10.0, 1 << 30).is_empty());
+
+        // Sides without memory data never regress (old baselines).
+        let no_mem = node("run", 10, vec![]);
+        let entries = diff(&report(no_mem), &report(c));
+        assert!(mem_regressions(&entries, 0.0, 0).is_empty());
+
+        // The mem delta surfaces in the human rendering.
+        let mut c2 = node("run", 10, vec![]);
+        c2.mem = mem(2_000_000, 900_000);
+        let text = render(&diff(&report(b), &report(c2)));
+        assert!(text.contains("mem  alloc="), "{text}");
+    }
+
+    #[test]
+    fn top_by_mem_sorts_by_self_allocated() {
+        let mut big = node("alloc_heavy", 10, vec![]);
+        big.mem = mem(8 << 20, 4 << 20);
+        let mut small = node("cpu_heavy", 900, vec![]);
+        small.mem = mem(1 << 10, 1 << 10);
+        let mut root = node("run", 1000, vec![big, small]);
+        root.mem = mem(9 << 20, 5 << 20);
+        let r = report(root);
+
+        let rows = top_by_mem(&r);
+        assert_eq!(rows[0].name, "alloc_heavy");
+        assert_eq!(rows[0].self_alloc, 8 << 20);
+        // Parent self-alloc is inclusive minus children.
+        let run = rows.iter().find(|r| r.name == "run").unwrap();
+        assert_eq!(run.self_alloc, (9 << 20) - (8 << 20) - (1 << 10));
+        // Time-sorted view puts cpu_heavy first instead.
+        assert_eq!(top(&r)[0].name, "cpu_heavy");
+        let text = render_top_mem(&rows, 10);
+        assert!(text.contains("SELF-ALLOC"), "{text}");
+        assert!(text.contains("alloc_heavy"), "{text}");
     }
 
     #[test]

@@ -37,6 +37,18 @@
 //!   between two reports plus flamegraph-style self-time aggregation,
 //!   driving `snap-cli obs diff` / `obs top`.
 //!
+//! ## Memory layer
+//!
+//! With a [`TrackingAlloc`] installed as the binary's global allocator
+//! and [`enable_mem_tracking`] on (see DESIGN.md §14), the span layer
+//! attributes per-thread allocation deltas to the active span: each
+//! span reports bytes allocated/freed, allocation count, and its
+//! peak-live delta in [`RunReport`] (render, JSON, `obs diff`/`obs top
+//! --by-mem`). When event tracing is also on, live-bytes samples are
+//! recorded at span boundaries and exported as Perfetto counter events.
+//! The [`telemetry`] module streams the same counters live (NDJSON +
+//! OpenMetrics) for long-running processes.
+//!
 //! ## Zero cost when disabled
 //!
 //! Every entry point first checks a process-global atomic (`Relaxed`
@@ -56,15 +68,21 @@
 //! assert_eq!(bfs.counter("edges_examined"), Some(42));
 //! ```
 
+pub mod alloc;
 pub mod diff;
 pub mod hist;
 pub mod json;
 pub mod report;
 pub mod ring;
+pub mod telemetry;
 
+pub use alloc::{
+    disable_mem_tracking, enable_mem_tracking, is_mem_tracking, mem_snapshot, reset_peak_live,
+    thread_mem, MemSnapshot, ThreadMem, TrackingAlloc,
+};
 pub use hist::{HistHandle, HistSnapshot, Histogram};
 pub use json::{Json, JsonError};
-pub use report::{ReportNode, RunReport};
+pub use report::{MemSample, MemStats, ReportNode, RunReport};
 pub use ring::{disable_tracing, enable_tracing, is_tracing, TraceEvent};
 
 use std::cell::RefCell;
@@ -113,6 +131,10 @@ impl Counter {
 pub struct CounterHandle(Option<Arc<Counter>>);
 
 impl CounterHandle {
+    pub(crate) fn from_cell(cell: Arc<Counter>) -> CounterHandle {
+        CounterHandle(Some(cell))
+    }
+
     /// Add `delta` (no-op without a live context).
     #[inline]
     pub fn add(&self, delta: u64) {
@@ -146,6 +168,85 @@ impl CounterHandle {
     }
 }
 
+/// An `f64` gauge stored as atomic bits. [`set`](Gauge::set) is
+/// last-write-wins; [`set_max`](Gauge::set_max) only ever raises the
+/// value (a CAS loop comparing as `f64`, because a bitwise `fetch_max`
+/// orders negative floats wrong), so concurrent reporters of
+/// peak-style gauges cannot regress the recorded peak.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Store `v` (last write wins).
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Raise the stored value to at least `v` (numeric max, correct for
+    /// negative values too; NaN is ignored).
+    pub fn set_max(&self, v: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        while v > f64::from_bits(cur) {
+            match self.bits.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Cheap cloneable handle to a [`Gauge`] on a report node (or in the
+/// [`telemetry`] export registry), or a no-op when collection is
+/// disabled. Like [`CounterHandle`], capture one before a parallel
+/// section and share it with the workers.
+#[derive(Clone, Debug, Default)]
+pub struct GaugeHandle(Option<Arc<Gauge>>);
+
+impl GaugeHandle {
+    pub(crate) fn new(g: Option<Arc<Gauge>>) -> GaugeHandle {
+        GaugeHandle(g)
+    }
+
+    /// Store `v` (last write wins; no-op without a live context).
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if let Some(g) = &self.0 {
+            g.set(v);
+        }
+    }
+
+    /// Raise the value to at least `v`.
+    #[inline]
+    pub fn set_max(&self, v: f64) {
+        if let Some(g) = &self.0 {
+            g.set_max(v);
+        }
+    }
+
+    /// Current value (0.0 for a disabled handle).
+    pub fn value(&self) -> f64 {
+        self.0.as_ref().map_or(0.0, |g| g.get())
+    }
+
+    /// Whether this handle is wired to a live report.
+    pub fn is_active(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
 /// One node of the live span tree.
 struct Node {
     name: String,
@@ -156,10 +257,17 @@ struct Node {
     /// Total time spent inside, microseconds (summed over activations).
     duration_us: AtomicU64,
     counters: Mutex<Vec<(String, Arc<Counter>)>>,
-    gauges: Mutex<Vec<(String, f64)>>,
+    gauges: Mutex<Vec<(String, Arc<Gauge>)>>,
     meta: Mutex<Vec<(String, String)>>,
     hists: Mutex<Vec<(String, Arc<Histogram>)>>,
     children: Mutex<Vec<Arc<Node>>>,
+    /// Memory attributed to this span by closed (or snapshot-folded)
+    /// activations. `peak_delta` keeps the max over activations so
+    /// coalesced spans report their worst case.
+    mem_allocated: AtomicU64,
+    mem_freed: AtomicU64,
+    mem_allocs: AtomicU64,
+    mem_peak_delta: AtomicU64,
 }
 
 impl Node {
@@ -174,6 +282,10 @@ impl Node {
             meta: Mutex::new(Vec::new()),
             hists: Mutex::new(Vec::new()),
             children: Mutex::new(Vec::new()),
+            mem_allocated: AtomicU64::new(0),
+            mem_freed: AtomicU64::new(0),
+            mem_allocs: AtomicU64::new(0),
+            mem_peak_delta: AtomicU64::new(0),
         })
     }
 
@@ -209,12 +321,26 @@ impl Node {
         h
     }
 
-    fn set_gauge(&self, name: &str, value: f64) {
+    fn gauge(&self, name: &str) -> Arc<Gauge> {
         let mut gauges = self.gauges.lock().unwrap();
-        match gauges.iter_mut().find(|(n, _)| n == name) {
-            Some((_, v)) => *v = value,
-            None => gauges.push((name.to_string(), value)),
+        if let Some((_, g)) = gauges.iter().find(|(n, _)| n == name) {
+            return Arc::clone(g);
         }
+        let g = Arc::new(Gauge::default());
+        gauges.push((name.to_string(), Arc::clone(&g)));
+        g
+    }
+
+    fn apply_mem(&self, delta: alloc::MemDelta) {
+        if delta.is_zero() {
+            return;
+        }
+        self.mem_allocated
+            .fetch_add(delta.allocated, Ordering::Relaxed);
+        self.mem_freed.fetch_add(delta.freed, Ordering::Relaxed);
+        self.mem_allocs.fetch_add(delta.allocs, Ordering::Relaxed);
+        self.mem_peak_delta
+            .fetch_max(delta.peak_delta, Ordering::Relaxed);
     }
 
     fn set_meta(&self, name: &str, value: String) {
@@ -238,8 +364,23 @@ impl Node {
                 .iter()
                 .map(|(n, c)| (n.clone(), c.get()))
                 .collect(),
-            gauges: self.gauges.lock().unwrap().clone(),
+            gauges: self
+                .gauges
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(n, g)| (n.clone(), g.get()))
+                .collect(),
             meta: self.meta.lock().unwrap().clone(),
+            mem: {
+                let stats = MemStats {
+                    allocated: self.mem_allocated.load(Ordering::Relaxed),
+                    freed: self.mem_freed.load(Ordering::Relaxed),
+                    allocs: self.mem_allocs.load(Ordering::Relaxed),
+                    peak_delta: self.mem_peak_delta.load(Ordering::Relaxed),
+                };
+                (!stats.is_empty()).then_some(stats)
+            },
             hists: self
                 .hists
                 .lock()
@@ -262,10 +403,14 @@ impl Node {
 struct Ctx {
     epoch: Instant,
     root: Arc<Node>,
-    /// Open spans, innermost last, each with the entry time of its
-    /// current activation (used by [`take_report`] to snapshot
-    /// in-progress spans consistently).
-    stack: Vec<(Arc<Node>, Instant)>,
+    /// Open spans, innermost last, each with the entry time and memory
+    /// scope of its current activation (used by [`take_report`] to
+    /// snapshot in-progress spans consistently).
+    stack: Vec<(Arc<Node>, Instant, Option<alloc::MemScope>)>,
+    /// Thread memory scope opened with the context, folded into the
+    /// root node at snapshot time. `None` when memory tracking was off
+    /// when the context was created.
+    mem: Option<alloc::MemScope>,
 }
 
 impl Ctx {
@@ -275,6 +420,7 @@ impl Ctx {
             epoch: Instant::now(),
             root: Node::new("run", 0),
             stack: Vec::new(),
+            mem: alloc::is_mem_tracking().then(alloc::begin_scope),
         }
     }
 }
@@ -328,10 +474,16 @@ pub fn take_report() -> Option<RunReport> {
         // Fold the in-progress activations into the tree before
         // snapshotting; the old tree is discarded right after, so the
         // eventual guard drops can't double-count into the report.
-        for (node, entered) in &ctx.stack {
+        for (node, entered, mem) in &ctx.stack {
             node.duration_us
                 .fetch_add(entered.elapsed().as_micros() as u64, Ordering::Relaxed);
             node.calls.fetch_add(1, Ordering::Relaxed);
+            if let Some(scope) = mem {
+                node.apply_mem(alloc::scope_delta(scope));
+            }
+        }
+        if let Some(scope) = &ctx.mem {
+            ctx.root.apply_mem(alloc::scope_delta(scope));
         }
         let mut root = ctx.root.snapshot();
         root.duration_us = ctx.epoch.elapsed().as_micros() as u64;
@@ -345,8 +497,13 @@ pub fn take_report() -> Option<RunReport> {
             root.counters
                 .push(("trace_events_dropped".to_string(), dropped));
         }
+        let mem_samples = drain_mem_samples();
         *ctx = Ctx::new();
-        Some(RunReport { root, trace })
+        Some(RunReport {
+            root,
+            trace,
+            mem_samples,
+        })
     })
 }
 
@@ -357,6 +514,32 @@ pub fn finish() -> Option<RunReport> {
     report
 }
 
+/// Cap on buffered live-bytes samples per report window — span-boundary
+/// sampling is bounded by trace volume anyway, but a runaway span loop
+/// shouldn't grow an unbounded buffer.
+const MEM_SAMPLE_CAPACITY: usize = 8192;
+
+/// Live-bytes samples recorded at span boundaries while both tracing
+/// and memory tracking are on; drained into [`RunReport::mem_samples`]
+/// by [`take_report`] and exported as Perfetto counter events.
+static MEM_SAMPLES: Mutex<Vec<MemSample>> = Mutex::new(Vec::new());
+
+fn push_mem_sample() {
+    let mut samples = MEM_SAMPLES.lock().unwrap();
+    if samples.len() < MEM_SAMPLE_CAPACITY {
+        samples.push(MemSample {
+            ts_us: ring::now_us(),
+            bytes_live: alloc::mem_snapshot().bytes_live,
+        });
+    }
+}
+
+fn drain_mem_samples() -> Vec<MemSample> {
+    let mut samples = std::mem::take(&mut *MEM_SAMPLES.lock().unwrap());
+    samples.sort_by_key(|s| s.ts_us);
+    samples
+}
+
 /// RAII guard for a scoped span; the span closes (and its duration is
 /// recorded) when the guard drops.
 #[must_use = "a span closes when its guard drops; bind it with `let _span = ...`"]
@@ -364,6 +547,8 @@ pub struct SpanGuard {
     node: Option<(Arc<Node>, Instant)>,
     /// Ring + interned name for the matching end event when tracing.
     trace: Option<(Arc<ring::Ring>, u32)>,
+    /// Thread memory scope opened with the span when tracking.
+    mem: Option<alloc::MemScope>,
 }
 
 /// Open a span named `name` under the current span (or the root). No-op
@@ -375,6 +560,7 @@ pub fn span(name: &str) -> SpanGuard {
         return SpanGuard {
             node: None,
             trace: None,
+            mem: None,
         };
     }
     span_slow(name)
@@ -387,16 +573,21 @@ fn span_slow(name: &str) -> SpanGuard {
             return SpanGuard {
                 node: None,
                 trace: None,
+                mem: None,
             };
         };
         let start_us = ctx.epoch.elapsed().as_micros() as u64;
-        let parent = ctx.stack.last().map(|(n, _)| n).unwrap_or(&ctx.root);
+        let parent = ctx.stack.last().map(|(n, _, _)| n).unwrap_or(&ctx.root);
         let node = parent.child(name, start_us);
-        ctx.stack.push((Arc::clone(&node), Instant::now()));
+        let mem = alloc::is_mem_tracking().then(alloc::begin_scope);
+        ctx.stack.push((Arc::clone(&node), Instant::now(), mem));
         let trace = if ring::is_tracing() {
             let ring = ring::thread_ring();
             let id = ring::intern(name);
             ring.push(id, true);
+            if mem.is_some() {
+                push_mem_sample();
+            }
             Some((ring, id))
         } else {
             None
@@ -404,6 +595,7 @@ fn span_slow(name: &str) -> SpanGuard {
         SpanGuard {
             node: Some((node, Instant::now())),
             trace,
+            mem,
         }
     })
 }
@@ -412,10 +604,16 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some((ring, id)) = self.trace.take() {
             ring.push(id, false);
+            if self.mem.is_some() {
+                push_mem_sample();
+            }
         }
         let Some((node, started)) = self.node.take() else {
             return;
         };
+        if let Some(scope) = self.mem.take() {
+            node.apply_mem(alloc::end_scope(scope));
+        }
         node.duration_us
             .fetch_add(started.elapsed().as_micros() as u64, Ordering::Relaxed);
         node.calls.fetch_add(1, Ordering::Relaxed);
@@ -424,7 +622,11 @@ impl Drop for SpanGuard {
                 // Normal case: we are the top of the stack. Defensive
                 // case (guards dropped out of order, or the tree was
                 // taken mid-span): remove wherever we are, if present.
-                if let Some(pos) = ctx.stack.iter().rposition(|(n, _)| Arc::ptr_eq(n, &node)) {
+                if let Some(pos) = ctx
+                    .stack
+                    .iter()
+                    .rposition(|(n, _, _)| Arc::ptr_eq(n, &node))
+                {
                     ctx.stack.remove(pos);
                 }
             }
@@ -472,7 +674,7 @@ pub fn counter(name: &str) -> CounterHandle {
         let slot = c.borrow();
         match slot.as_ref() {
             Some(ctx) => {
-                let node = ctx.stack.last().map(|(n, _)| n).unwrap_or(&ctx.root);
+                let node = ctx.stack.last().map(|(n, _, _)| n).unwrap_or(&ctx.root);
                 CounterHandle(Some(node.counter(name)))
             }
             None => CounterHandle(None),
@@ -494,7 +696,7 @@ pub fn hist(name: &str) -> HistHandle {
         let slot = c.borrow();
         match slot.as_ref() {
             Some(ctx) => {
-                let node = ctx.stack.last().map(|(n, _)| n).unwrap_or(&ctx.root);
+                let node = ctx.stack.last().map(|(n, _, _)| n).unwrap_or(&ctx.root);
                 HistHandle(Some(node.hist(name)))
             }
             None => HistHandle(None),
@@ -521,21 +723,46 @@ pub fn record_max(name: &str, v: u64) {
     counter(name).record_max(v);
 }
 
+/// Handle to gauge `name` on the current span (no-op when disabled).
+/// Capture once, then [`set`](GaugeHandle::set) /
+/// [`set_max`](GaugeHandle::set_max) freely from parallel workers.
+#[inline]
+pub fn gauge_handle(name: &str) -> GaugeHandle {
+    if ACTIVE.load(Ordering::Relaxed) == 0 {
+        return GaugeHandle(None);
+    }
+    CONTEXT.with(|c| {
+        let slot = c.borrow();
+        match slot.as_ref() {
+            Some(ctx) => {
+                let node = ctx.stack.last().map(|(n, _, _)| n).unwrap_or(&ctx.root);
+                GaugeHandle(Some(node.gauge(name)))
+            }
+            None => GaugeHandle(None),
+        }
+    })
+}
+
 /// Set gauge `name` on the current span (last write wins).
 #[inline]
 pub fn gauge(name: &str, value: f64) {
     if ACTIVE.load(Ordering::Relaxed) == 0 {
         return;
     }
-    CONTEXT.with(|c| {
-        if let Some(ctx) = c.borrow().as_ref() {
-            ctx.stack
-                .last()
-                .map(|(n, _)| n)
-                .unwrap_or(&ctx.root)
-                .set_gauge(name, value);
-        }
-    });
+    gauge_handle(name).set(value);
+}
+
+/// Raise gauge `name` on the current span to at least `value` —
+/// `fetch_max` semantics, so peak-style gauges reported concurrently
+/// from several threads (or several coalesced activations) keep their
+/// true high-water mark where [`gauge`]'s last-write-wins could regress
+/// it.
+#[inline]
+pub fn gauge_max(name: &str, value: f64) {
+    if ACTIVE.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    gauge_handle(name).set_max(value);
 }
 
 /// Attach string metadata `name = value` to the current span (last write
@@ -549,7 +776,7 @@ pub fn meta(name: &str, value: impl std::fmt::Display) {
         if let Some(ctx) = c.borrow().as_ref() {
             ctx.stack
                 .last()
-                .map(|(n, _)| n)
+                .map(|(n, _, _)| n)
                 .unwrap_or(&ctx.root)
                 .set_meta(name, value.to_string());
         }
@@ -737,6 +964,45 @@ mod tests {
         record_max("peak", 12);
         let report = finish().unwrap();
         assert_eq!(report.root.counter("peak"), Some(12));
+    }
+
+    #[test]
+    fn gauge_max_never_regresses_under_concurrent_reporters() {
+        enable();
+        let h = gauge_handle("pool_peak");
+        assert!(h.is_active());
+        // Eight threads race to report peaks in interleaved orders;
+        // last-write-wins semantics would let a small late report
+        // clobber the true maximum.
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.set_max((t * 1000 + i) as f64);
+                    }
+                    // Late small write after the big ones.
+                    h.set_max(1.0);
+                });
+            }
+        });
+        gauge_max("pool_peak", 42.0);
+        let report = finish().unwrap();
+        assert_eq!(report.root.gauge("pool_peak"), Some(7999.0));
+    }
+
+    #[test]
+    fn gauge_set_max_orders_negative_values_numerically() {
+        // A bitwise u64 fetch_max would order negative floats wrong;
+        // modularity-style gauges can be negative.
+        let g = Gauge::default();
+        g.set(-5.0);
+        g.set_max(-2.0);
+        assert_eq!(g.get(), -2.0);
+        g.set_max(-9.0);
+        assert_eq!(g.get(), -2.0);
+        g.set_max(3.5);
+        assert_eq!(g.get(), 3.5);
     }
 
     #[test]

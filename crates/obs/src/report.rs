@@ -5,6 +5,77 @@ use crate::hist::HistSnapshot;
 use crate::json::{Json, JsonError};
 use crate::ring::TraceEvent;
 
+/// Memory attributed to one span by the tracking allocator (see
+/// [`crate::alloc`]): thread-local deltas between span open and close,
+/// summed over activations. Absent (`None` on [`ReportNode`], no JSON
+/// field) for reports collected without memory tracking, so pre-memory
+/// reports and consumers stay compatible.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Bytes allocated on the coordinating thread inside the span.
+    pub allocated: u64,
+    /// Bytes freed on the coordinating thread inside the span.
+    pub freed: u64,
+    /// Allocation events inside the span.
+    pub allocs: u64,
+    /// Peak live bytes above the span's entry level (max over
+    /// activations for coalesced spans).
+    pub peak_delta: u64,
+}
+
+impl MemStats {
+    /// True when every field is zero (such stats are not emitted).
+    pub fn is_empty(&self) -> bool {
+        *self == MemStats::default()
+    }
+
+    fn to_json(self) -> Json {
+        Json::Obj(vec![
+            ("allocated".to_string(), Json::Num(self.allocated as f64)),
+            ("freed".to_string(), Json::Num(self.freed as f64)),
+            ("allocs".to_string(), Json::Num(self.allocs as f64)),
+            ("peak_delta".to_string(), Json::Num(self.peak_delta as f64)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> MemStats {
+        let field = |name: &str| value.get(name).and_then(Json::as_u64).unwrap_or(0);
+        MemStats {
+            allocated: field("allocated"),
+            freed: field("freed"),
+            allocs: field("allocs"),
+            peak_delta: field("peak_delta"),
+        }
+    }
+}
+
+/// One live-bytes sample on the trace timebase, recorded at span
+/// boundaries while both tracing and memory tracking are on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemSample {
+    /// Microseconds since the trace epoch (same clock as
+    /// [`TraceEvent::ts_us`]).
+    pub ts_us: u64,
+    /// Global live bytes at the sample instant.
+    pub bytes_live: u64,
+}
+
+/// `1234567` → `"1.2 MiB"`: human-readable byte volumes for renderings.
+pub fn fmt_bytes(bytes: u64) -> String {
+    const KIB: u64 = 1 << 10;
+    const MIB: u64 = 1 << 20;
+    const GIB: u64 = 1 << 30;
+    if bytes >= GIB {
+        format!("{:.2} GiB", bytes as f64 / GIB as f64)
+    } else if bytes >= MIB {
+        format!("{:.1} MiB", bytes as f64 / MIB as f64)
+    } else if bytes >= KIB {
+        format!("{:.1} KiB", bytes as f64 / KIB as f64)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
 /// One span in a finished report.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct ReportNode {
@@ -21,6 +92,9 @@ pub struct ReportNode {
     /// Latency histograms attached to this span (empty for reports from
     /// before the profiling layer; the JSON field is optional).
     pub hists: Vec<(String, HistSnapshot)>,
+    /// Memory attribution (None for reports collected without the
+    /// tracking allocator; the JSON field is optional).
+    pub mem: Option<MemStats>,
     pub children: Vec<ReportNode>,
 }
 
@@ -133,6 +207,9 @@ impl ReportNode {
                 ),
             ));
         }
+        if let Some(mem) = self.mem.filter(|m| !m.is_empty()) {
+            members.push(("mem".to_string(), mem.to_json()));
+        }
         Json::Obj(members)
     }
 
@@ -201,6 +278,7 @@ impl ReportNode {
                     .map(|(n, v)| HistSnapshot::from_json(v).map(|h| (n.clone(), h)))
                     .collect::<Result<_, _>>()?,
             },
+            mem: value.get("mem").map(MemStats::from_json),
             children: value
                 .get("children")
                 .and_then(Json::as_arr)
@@ -243,6 +321,15 @@ impl ReportNode {
                 h.mean(),
             ));
         }
+        if let Some(mem) = self.mem.filter(|m| !m.is_empty()) {
+            out.push_str(&format!(
+                "{indent}  · mem: alloc={} free={} peak+={} ({} allocs)\n",
+                fmt_bytes(mem.allocated),
+                fmt_bytes(mem.freed),
+                fmt_bytes(mem.peak_delta),
+                mem.allocs,
+            ));
+        }
         for child in &self.children {
             child.render_into(out, depth + 1);
         }
@@ -267,6 +354,10 @@ pub struct RunReport {
     /// Begin/end timeline events drained from the per-thread rings
     /// (empty unless tracing was enabled; see [`crate::enable_tracing`]).
     pub trace: Vec<TraceEvent>,
+    /// Live-bytes samples on the trace timebase (empty unless both
+    /// tracing and memory tracking were on); exported as Perfetto
+    /// counter events by [`RunReport::to_chrome_trace`].
+    pub mem_samples: Vec<MemSample>,
 }
 
 impl RunReport {
@@ -274,11 +365,28 @@ impl RunReport {
     /// present, ride along as a top-level `trace_events` array.
     pub fn to_json(&self) -> String {
         let mut value = self.root.to_json();
-        if !self.trace.is_empty() {
-            if let Json::Obj(members) = &mut value {
+        if let Json::Obj(members) = &mut value {
+            if !self.trace.is_empty() {
                 members.push((
                     "trace_events".to_string(),
                     Json::Arr(self.trace.iter().map(trace_event_to_json).collect()),
+                ));
+            }
+            // Compact pairs: [[ts_us, bytes_live], ...].
+            if !self.mem_samples.is_empty() {
+                members.push((
+                    "mem_samples".to_string(),
+                    Json::Arr(
+                        self.mem_samples
+                            .iter()
+                            .map(|s| {
+                                Json::Arr(vec![
+                                    Json::Num(s.ts_us as f64),
+                                    Json::Num(s.bytes_live as f64),
+                                ])
+                            })
+                            .collect(),
+                    ),
                 ));
             }
         }
@@ -300,38 +408,69 @@ impl RunReport {
                 .map(trace_event_from_json)
                 .collect::<Result<_, _>>()?,
         };
+        let mem_samples = match value.get("mem_samples") {
+            None => Vec::new(),
+            Some(s) => s
+                .as_arr()
+                .ok_or_else(|| JsonError {
+                    offset: 0,
+                    message: "mem_samples is not an array".to_string(),
+                })?
+                .iter()
+                .map(mem_sample_from_json)
+                .collect::<Result<_, _>>()?,
+        };
         Ok(RunReport {
             root: ReportNode::from_json(&value)?,
             trace,
+            mem_samples,
         })
     }
 
     /// Serialize the trace timeline in Chrome trace-event format (an
-    /// object with a `traceEvents` array of `B`/`E` records), loadable
-    /// in Perfetto / `chrome://tracing`.
+    /// object with a `traceEvents` array of `B`/`E` records, plus `C`
+    /// counter records carrying the live-bytes memory track when
+    /// memory samples are present), loadable in Perfetto /
+    /// `chrome://tracing`.
     pub fn to_chrome_trace(&self) -> String {
-        Json::Obj(vec![
-            (
-                "traceEvents".to_string(),
-                Json::Arr(
-                    self.trace
-                        .iter()
-                        .map(|e| {
-                            Json::Obj(vec![
-                                ("name".to_string(), Json::Str(e.name.clone())),
-                                ("cat".to_string(), Json::Str("snap".to_string())),
-                                (
-                                    "ph".to_string(),
-                                    Json::Str(if e.begin { "B" } else { "E" }.to_string()),
-                                ),
-                                ("ts".to_string(), Json::Num(e.ts_us as f64)),
-                                ("pid".to_string(), Json::Num(1.0)),
-                                ("tid".to_string(), Json::Num(e.tid as f64)),
-                            ])
-                        })
-                        .collect(),
+        let mut events: Vec<Json> = self
+            .trace
+            .iter()
+            .map(|e| {
+                Json::Obj(vec![
+                    ("name".to_string(), Json::Str(e.name.clone())),
+                    ("cat".to_string(), Json::Str("snap".to_string())),
+                    (
+                        "ph".to_string(),
+                        Json::Str(if e.begin { "B" } else { "E" }.to_string()),
+                    ),
+                    ("ts".to_string(), Json::Num(e.ts_us as f64)),
+                    ("pid".to_string(), Json::Num(1.0)),
+                    ("tid".to_string(), Json::Num(e.tid as f64)),
+                ])
+            })
+            .collect();
+        // Perfetto renders same-pid counter events as a track graph;
+        // tid 0 never collides with a real ring (rings start at 1).
+        events.extend(self.mem_samples.iter().map(|s| {
+            Json::Obj(vec![
+                ("name".to_string(), Json::Str("mem.bytes_live".to_string())),
+                ("cat".to_string(), Json::Str("snap".to_string())),
+                ("ph".to_string(), Json::Str("C".to_string())),
+                ("ts".to_string(), Json::Num(s.ts_us as f64)),
+                ("pid".to_string(), Json::Num(1.0)),
+                ("tid".to_string(), Json::Num(0.0)),
+                (
+                    "args".to_string(),
+                    Json::Obj(vec![(
+                        "bytes_live".to_string(),
+                        Json::Num(s.bytes_live as f64),
+                    )]),
                 ),
-            ),
+            ])
+        }));
+        Json::Obj(vec![
+            ("traceEvents".to_string(), Json::Arr(events)),
             ("displayTimeUnit".to_string(), Json::Str("ms".to_string())),
         ])
         .to_string_compact()
@@ -373,6 +512,21 @@ fn trace_event_to_json(e: &TraceEvent) -> Json {
         ),
         ("ts".to_string(), Json::Num(e.ts_us as f64)),
     ])
+}
+
+fn mem_sample_from_json(value: &Json) -> Result<MemSample, JsonError> {
+    let malformed = || JsonError {
+        offset: 0,
+        message: "mem sample is not a [ts_us, bytes_live] pair".to_string(),
+    };
+    let pair = value.as_arr().ok_or_else(malformed)?;
+    if pair.len() != 2 {
+        return Err(malformed());
+    }
+    Ok(MemSample {
+        ts_us: pair[0].as_u64().ok_or_else(malformed)?,
+        bytes_live: pair[1].as_u64().ok_or_else(malformed)?,
+    })
 }
 
 fn trace_event_from_json(value: &Json) -> Result<TraceEvent, JsonError> {
@@ -417,6 +571,7 @@ mod tests {
                 gauges: vec![("modularity".to_string(), 0.41)],
                 meta: vec![("seed".to_string(), "7".to_string())],
                 hists: vec![],
+                mem: None,
                 children: vec![ReportNode {
                     name: "bfs".to_string(),
                     start_us: 10,
@@ -434,6 +589,12 @@ mod tests {
                             max: 90,
                         },
                     )],
+                    mem: Some(MemStats {
+                        allocated: 2_621_440,
+                        freed: 1_048_576,
+                        allocs: 17,
+                        peak_delta: 1_572_864,
+                    }),
                     children: vec![],
                 }],
             },
@@ -449,6 +610,16 @@ mod tests {
                     tid: 1,
                     begin: false,
                     ts_us: 910,
+                },
+            ],
+            mem_samples: vec![
+                MemSample {
+                    ts_us: 10,
+                    bytes_live: 4096,
+                },
+                MemSample {
+                    ts_us: 910,
+                    bytes_live: 1_572_864,
                 },
             ],
         }
@@ -495,6 +666,9 @@ mod tests {
         // Histogram percentiles surface in the human rendering.
         assert!(text.contains("level_us: n=4 p50="), "{text}");
         assert!(text.contains("max=90"), "{text}");
+        // Memory attribution renders human-readable byte volumes.
+        assert!(text.contains("mem: alloc=2.5 MiB"), "{text}");
+        assert!(text.contains("peak+=1.5 MiB (17 allocs)"), "{text}");
     }
 
     #[test]
@@ -505,21 +679,46 @@ mod tests {
             .get("traceEvents")
             .and_then(Json::as_arr)
             .expect("traceEvents array");
-        assert_eq!(events.len(), 2);
+        assert_eq!(events.len(), 4);
         assert_eq!(events[0].get("ph").and_then(Json::as_str), Some("B"));
         assert_eq!(events[1].get("ph").and_then(Json::as_str), Some("E"));
         assert_eq!(events[0].get("tid").and_then(Json::as_u64), Some(1));
         assert_eq!(events[0].get("ts").and_then(Json::as_u64), Some(10));
+        // The memory track rides along as counter events on tid 0.
+        assert_eq!(events[2].get("ph").and_then(Json::as_str), Some("C"));
+        assert_eq!(
+            events[2].get("name").and_then(Json::as_str),
+            Some("mem.bytes_live")
+        );
+        assert_eq!(events[2].get("tid").and_then(Json::as_u64), Some(0));
+        assert_eq!(
+            events[3]
+                .get("args")
+                .and_then(|a| a.get("bytes_live"))
+                .and_then(Json::as_u64),
+            Some(1_572_864)
+        );
     }
 
     #[test]
     fn reports_without_optional_fields_still_parse() {
-        // A pre-profiling report: no hists, no trace_events.
+        // A pre-profiling report: no hists, no trace_events, no mem.
         let legacy = r#"{"name":"run","start_us":0,"duration_us":5,"calls":1,
             "counters":{},"gauges":{},"meta":{},"children":[]}"#;
         let report = RunReport::from_json(legacy).unwrap();
         assert!(report.root.hists.is_empty());
         assert!(report.trace.is_empty());
+        assert!(report.root.mem.is_none());
+        assert!(report.mem_samples.is_empty());
+    }
+
+    #[test]
+    fn fmt_bytes_picks_sensible_units() {
+        assert_eq!(fmt_bytes(0), "0 B");
+        assert_eq!(fmt_bytes(999), "999 B");
+        assert_eq!(fmt_bytes(1536), "1.5 KiB");
+        assert_eq!(fmt_bytes(3 << 20), "3.0 MiB");
+        assert_eq!(fmt_bytes(5 << 30), "5.00 GiB");
     }
 
     #[test]

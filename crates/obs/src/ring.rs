@@ -52,9 +52,11 @@ fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
-/// Microseconds since the trace epoch.
+/// Microseconds since the trace epoch. Shared with the memory-sample
+/// buffer in `lib.rs` so mem counter events land on the same timebase
+/// as span begin/end events in the exported trace.
 #[inline]
-fn now_us() -> u64 {
+pub(crate) fn now_us() -> u64 {
     epoch().elapsed().as_micros() as u64
 }
 

@@ -1,0 +1,186 @@
+//! Allocator correctness under interleaved alloc/free sequences, with
+//! the tracking allocator actually installed for this test binary.
+//!
+//! These are integration tests (not unit tests) because a
+//! `#[global_allocator]` can only be installed per binary — the unit
+//! test binary of snap-obs keeps the system allocator so the library
+//! itself stays allocator-agnostic.
+
+use proptest::prelude::*;
+use snap_obs::{enable_mem_tracking, mem_snapshot, thread_mem, TrackingAlloc};
+use std::sync::Mutex;
+
+#[global_allocator]
+static ALLOC: TrackingAlloc<std::alloc::System> = TrackingAlloc::new(std::alloc::System);
+
+/// Tests share process-global counters; serialize them so concurrent
+/// test threads don't allocate into each other's measurement windows.
+/// (Global counters still move under the harness's own allocations, so
+/// global assertions are `>=`; thread-local assertions can be exact.)
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Replay an interleaved alloc/free sequence and check the
+    /// invariants the span layer relies on: thread-local live tracks
+    /// the model exactly, global live/peak at least cover this
+    /// thread's share, and peak >= live at every step.
+    #[test]
+    fn interleaved_alloc_free_keeps_peak_above_live(
+        ops in prop::collection::vec((0usize..24, 16usize..4096), 1..48)
+    ) {
+        let _guard = lock();
+        enable_mem_tracking();
+        // Pre-size the holder *before* the measurement window so only
+        // the modeled buffers allocate inside it.
+        let mut slots: Vec<Option<Vec<u8>>> = {
+            let mut v = Vec::new();
+            v.resize_with(24, || None);
+            v
+        };
+        let t0 = thread_mem();
+        let mut model_live: i64 = 0;
+        let mut model_peak: i64 = 0;
+        let mut model_allocated: u64 = 0;
+
+        for &(slot, size) in &ops {
+            // Replace = free any previous occupant, then allocate.
+            if let Some(old) = slots[slot].take() {
+                model_live -= old.capacity() as i64;
+                drop(old);
+            }
+            let buf = Vec::with_capacity(size);
+            model_live += buf.capacity() as i64;
+            model_allocated += buf.capacity() as u64;
+            model_peak = model_peak.max(model_live);
+            slots[slot] = Some(buf);
+
+            let t = thread_mem();
+            prop_assert_eq!(t.live - t0.live, model_live);
+            let g = mem_snapshot();
+            prop_assert!(g.peak_live >= g.bytes_live,
+                "global peak {} < live {}", g.peak_live, g.bytes_live);
+        }
+
+        let t = thread_mem();
+        prop_assert_eq!(t.allocated - t0.allocated, model_allocated);
+        // Freeing everything returns the thread to its baseline and
+        // balances the books: freed == allocated over the window.
+        slots.clear();
+        let t = thread_mem();
+        prop_assert_eq!(t.live, t0.live);
+        prop_assert_eq!(t.freed - t0.freed, model_allocated);
+    }
+}
+
+/// Global totals equal the sum of per-thread attribution: each worker
+/// allocates a known volume, and the global delta matches the summed
+/// thread deltas (plus harness slack, since the test harness itself
+/// allocates while we measure).
+#[test]
+fn global_totals_cover_per_thread_attribution() {
+    let _guard = lock();
+    enable_mem_tracking();
+    let g0 = mem_snapshot();
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 512 * 1024;
+
+    let thread_deltas: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                s.spawn(|| {
+                    let before = thread_mem();
+                    // 8 buffers of 64 KiB, freed before the thread exits.
+                    for _ in 0..8 {
+                        let buf: Vec<u8> = Vec::with_capacity(PER_THREAD / 8);
+                        assert!(buf.capacity() >= PER_THREAD / 8);
+                        drop(buf);
+                    }
+                    let after = thread_mem();
+                    after.allocated - before.allocated
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for delta in &thread_deltas {
+        assert!(
+            *delta >= PER_THREAD as u64,
+            "thread attributed {delta} < {PER_THREAD}"
+        );
+    }
+    let summed: u64 = thread_deltas.iter().sum();
+    let g = mem_snapshot();
+    let global_delta = g.allocated - g0.allocated;
+    assert!(
+        global_delta >= summed,
+        "global delta {global_delta} < per-thread sum {summed}"
+    );
+    // The harness may allocate concurrently (thread spawning, test
+    // output), but not megabytes of it.
+    assert!(
+        global_delta <= summed + (1 << 20),
+        "global delta {global_delta} far exceeds per-thread sum {summed}"
+    );
+}
+
+/// The span layer sees allocations made inside a span and attributes
+/// them to that span (and, inclusively, to its ancestors).
+#[test]
+fn spans_attribute_allocations_with_peak_delta() {
+    let _guard = lock();
+    enable_mem_tracking();
+    snap_obs::enable();
+    const BYTES: usize = 2 << 20;
+    {
+        let _outer = snap_obs::span("outer");
+        let _held = vec![0u8; 1 << 20];
+        {
+            let _inner = snap_obs::span("inner");
+            // Allocated and freed inside: peak_delta sees it, live
+            // returns to the span-entry level.
+            let transient = vec![0u8; BYTES];
+            assert_eq!(transient.len(), BYTES);
+        }
+    }
+    let report = snap_obs::finish().unwrap();
+    let inner = report.find("inner").unwrap().mem.expect("inner mem");
+    assert!(
+        inner.allocated >= BYTES as u64,
+        "inner allocated {inner:?} < {BYTES}"
+    );
+    assert!(inner.freed >= BYTES as u64);
+    assert!(inner.peak_delta >= BYTES as u64);
+    assert!(inner.allocs >= 1);
+    let outer = report.find("outer").unwrap().mem.expect("outer mem");
+    // Inclusive attribution: the outer span covers the inner one plus
+    // its own held buffer.
+    assert!(outer.allocated >= inner.allocated + (1 << 20));
+    assert!(outer.peak_delta >= inner.peak_delta);
+    // The root folds the whole context window.
+    let root = report.root.mem.expect("root mem");
+    assert!(root.allocated >= outer.allocated);
+}
+
+/// Toggling tracking off stops attribution (the disabled path is a
+/// single relaxed load, so spans record no memory).
+#[test]
+fn disabled_tracking_attributes_nothing() {
+    let _guard = lock();
+    snap_obs::disable_mem_tracking();
+    snap_obs::enable();
+    {
+        let _s = snap_obs::span("quiet");
+        let buf = vec![0u8; 1 << 20];
+        assert_eq!(buf.len(), 1 << 20);
+    }
+    let report = snap_obs::finish().unwrap();
+    assert!(report.find("quiet").unwrap().mem.is_none());
+    assert!(report.root.mem.is_none());
+    enable_mem_tracking();
+}

@@ -5,20 +5,25 @@ Usage: check_bench.py BASELINE.json CURRENT.json [TOLERANCE]
 
 Fails (exit 1) when:
   * either file is not a JSON array of rows with exactly the keys
-    {bench, n, m, wall_ms, work_units} (schema drift);
+    {bench, n, m, wall_ms, work_units, peak_bytes} (schema drift);
   * the two files do not cover the same set of benches;
   * any bench's wall_ms exceeds TOLERANCE x the baseline (default 3.0 --
     loose on purpose: shared CI runners are noisy, and this job exists to
     catch order-of-magnitude regressions and schema drift, not percents);
   * work_units changed for a bench with matching n/m (the kernel did a
     different amount of work on the same input -- a silent semantic
-    change, not noise).
+    change, not noise);
+  * peak_bytes exceeds 2x the baseline when both sides recorded it
+    (nonzero -- a build without the mem-track feature records 0, which
+    disables the gate for that bench). Memory footprint is much less
+    runner-sensitive than wall time, so the tolerance is tighter, but 2x
+    still leaves room for thread-count differences.
 """
 
 import json
 import sys
 
-SCHEMA = {"bench", "n", "m", "wall_ms", "work_units"}
+SCHEMA = {"bench", "n", "m", "wall_ms", "work_units", "peak_bytes"}
 
 
 def load(path):
@@ -59,6 +64,12 @@ def main():
             status = (
                 f"FAIL (work_units {b['work_units']} -> {c['work_units']} "
                 "on identical input)"
+            )
+            failures.append(name)
+        if b["peak_bytes"] and c["peak_bytes"] and c["peak_bytes"] > 2.0 * b["peak_bytes"]:
+            status = (
+                f"FAIL (peak_bytes {b['peak_bytes']} -> {c['peak_bytes']}, "
+                "> 2x baseline)"
             )
             failures.append(name)
         print(

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Validate telemetry files written by `snap-cli --metrics-out`.
+
+Usage: check_metrics.py METRICS.ndjson [METRICS.om] [--min-samples N]
+
+The OpenMetrics path defaults to the NDJSON path + ".om" (mirroring the
+sampler's own default). Fails (exit 1) when:
+
+NDJSON:
+  * any line is not a JSON object;
+  * `seq` is not 0,1,2,... (a skipped or duplicated sample);
+  * `ts_ms` is not monotonically non-decreasing;
+  * any sample is missing bytes_live / peak_bytes / allocs / allocated /
+    freed, or allocated/freed/allocs regress (they are cumulative);
+  * fewer than --min-samples lines (default 1; the sampler writes its
+    first sample immediately, so even a short run leaves one).
+
+OpenMetrics:
+  * the exposition does not end with `# EOF`;
+  * a sample line's metric name strays outside [a-zA-Z0-9_:] or its
+    value does not parse as a float;
+  * a metric appears without a preceding `# TYPE` line;
+  * `snap_mem_peak_bytes` is absent (the one metric every build --
+    mem-track or not -- must expose).
+"""
+
+import json
+import sys
+
+NAME_CHARS = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:"
+)
+REQUIRED_KEYS = ("bytes_live", "peak_bytes", "allocs", "allocated", "freed")
+CUMULATIVE = ("allocs", "allocated", "freed")
+
+
+def check_ndjson(path, min_samples):
+    with open(path) as f:
+        lines = [ln for ln in f.read().splitlines() if ln]
+    if len(lines) < min_samples:
+        sys.exit(f"{path}: only {len(lines)} sample(s), want >= {min_samples}")
+    prev_ts = -1
+    prev_cum = {k: -1 for k in CUMULATIVE}
+    for i, line in enumerate(lines):
+        try:
+            sample = json.loads(line)
+        except json.JSONDecodeError as e:
+            sys.exit(f"{path}:{i + 1}: not JSON ({e}): {line[:120]}")
+        if not isinstance(sample, dict):
+            sys.exit(f"{path}:{i + 1}: not an object")
+        if sample.get("seq") != i:
+            sys.exit(f"{path}:{i + 1}: seq {sample.get('seq')!r}, want {i}")
+        ts = sample.get("ts_ms")
+        if not isinstance(ts, (int, float)) or ts < prev_ts:
+            sys.exit(f"{path}:{i + 1}: ts_ms {ts!r} not monotonic (prev {prev_ts})")
+        prev_ts = ts
+        for key in REQUIRED_KEYS:
+            if not isinstance(sample.get(key), (int, float)):
+                sys.exit(f"{path}:{i + 1}: missing numeric {key}")
+        for key in CUMULATIVE:
+            if sample[key] < prev_cum[key]:
+                sys.exit(
+                    f"{path}:{i + 1}: cumulative {key} regressed "
+                    f"{prev_cum[key]} -> {sample[key]}"
+                )
+            prev_cum[key] = sample[key]
+    return len(lines)
+
+
+def check_openmetrics(path):
+    with open(path) as f:
+        text = f.read()
+    if not text.endswith("# EOF\n"):
+        sys.exit(f"{path}: exposition must end with '# EOF'")
+    typed = set()
+    names = set()
+    for i, line in enumerate(text.splitlines()):
+        if line.startswith("# TYPE "):
+            typed.add(line.split()[2])
+            continue
+        if line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            sys.exit(f"{path}:{i + 1}: want 'name value', got: {line!r}")
+        name, value = parts
+        if not set(name) <= NAME_CHARS:
+            sys.exit(f"{path}:{i + 1}: bad metric name {name!r}")
+        try:
+            float(value)
+        except ValueError:
+            sys.exit(f"{path}:{i + 1}: non-numeric value {value!r}")
+        # Counters expose `name_total` under a `# TYPE name counter` line.
+        base = name[: -len("_total")] if name.endswith("_total") else name
+        if base not in typed and name not in typed:
+            sys.exit(f"{path}:{i + 1}: {name} has no preceding # TYPE line")
+        names.add(name)
+    if "snap_mem_peak_bytes" not in names:
+        sys.exit(f"{path}: snap_mem_peak_bytes missing from exposition")
+    return len(names)
+
+
+def main():
+    args = sys.argv[1:]
+    min_samples = 1
+    paths = []
+    i = 0
+    while i < len(args):
+        if args[i] == "--min-samples":
+            min_samples = int(args[i + 1])
+            i += 2
+        else:
+            paths.append(args[i])
+            i += 1
+    if len(paths) not in (1, 2):
+        sys.exit(__doc__)
+    ndjson = paths[0]
+    om = paths[1] if len(paths) == 2 else ndjson + ".om"
+
+    samples = check_ndjson(ndjson, min_samples)
+    metrics = check_openmetrics(om)
+    print(f"{ndjson}: {samples} well-formed sample(s); {om}: {metrics} metric(s)")
+
+
+if __name__ == "__main__":
+    main()

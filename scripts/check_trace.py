@@ -5,7 +5,9 @@ Usage: check_trace.py TRACE.json [--expect-tids N] [--min-events N]
 
 Fails (exit 1) when:
   * the file is not a JSON object with a `traceEvents` array;
-  * any event is missing name/ph/ts/pid/tid or has a ph other than B/E;
+  * any event is missing name/ph/ts/pid/tid or has a ph other than B/E/C
+    (C counter events -- the memory track -- must carry a numeric args
+    value and are excluded from the nesting checks);
   * any thread's events are not sorted by timestamp;
   * any thread's B/E events do not nest (an E must close the most recent
     open B of the same name, and nothing may stay open at the end) --
@@ -53,8 +55,17 @@ def main():
         for key in ("name", "ph", "ts", "pid", "tid"):
             if key not in ev:
                 sys.exit(f"{path}: event {i} missing {key}: {ev}")
+        if ev["ph"] == "C":
+            # Counter samples (the live-bytes memory track) carry a value
+            # instead of nesting; validate the payload and move on.
+            args_obj = ev.get("args")
+            if not isinstance(args_obj, dict) or not all(
+                isinstance(v, (int, float)) for v in args_obj.values()
+            ):
+                sys.exit(f"{path}: event {i}: C event needs numeric args: {ev}")
+            continue
         if ev["ph"] not in ("B", "E"):
-            sys.exit(f"{path}: event {i} has ph {ev['ph']!r}, want B or E")
+            sys.exit(f"{path}: event {i} has ph {ev['ph']!r}, want B, E, or C")
         by_tid.setdefault(ev["tid"], []).append(ev)
 
     for tid, evs in sorted(by_tid.items()):

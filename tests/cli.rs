@@ -243,10 +243,16 @@ fn check_chrome_trace(text: &str, min_tids: usize) {
     let mut by_tid: std::collections::BTreeMap<u64, Vec<(u64, bool, String)>> = Default::default();
     for ev in text.split("{\"name\":").skip(1) {
         let name = ev.split('"').nth(1).unwrap_or("").to_string();
+        if ev.contains("\"ph\":\"C\"") {
+            // Counter samples (the memory track) carry a value instead
+            // of nesting; they don't participate in the B/E stack.
+            assert!(ev.contains("\"args\""), "counter event without args: {ev}");
+            continue;
+        }
         let ph_begin = ev.contains("\"ph\":\"B\"");
         assert!(
             ph_begin || ev.contains("\"ph\":\"E\""),
-            "event without B/E phase: {ev}"
+            "event without B/E/C phase: {ev}"
         );
         let field = |key: &str| -> u64 {
             ev.split(&format!("\"{key}\":"))
@@ -327,6 +333,14 @@ fn trace_out_writes_loadable_chrome_trace() {
         text.contains("brandes.source"),
         "worker task events missing"
     );
+    // With the tracking allocator installed the trace also carries the
+    // Perfetto memory counter track.
+    if cfg!(feature = "mem-track") {
+        assert!(
+            text.contains("mem.bytes_live") && text.contains("\"ph\":\"C\""),
+            "memory counter track missing"
+        );
+    }
     std::fs::remove_file(&graph).ok();
     std::fs::remove_file(&trace).ok();
 }
@@ -401,6 +415,141 @@ fn obs_diff_exit_codes_follow_threshold() {
     assert!(out.status.success());
     std::fs::remove_file(&base).ok();
     std::fs::remove_file(&cur).ok();
+}
+
+#[test]
+fn obs_diff_memory_gate_follows_threshold() {
+    let base = scratch("mem-base.json");
+    let cur = scratch("mem-cur.json");
+    // Identical timings; only the `slow` span's allocated bytes grow 3x.
+    let report = |alloc_bytes: u64| {
+        format!(
+            "{{\"name\":\"run\",\"start_us\":0,\"duration_us\":60000,\"calls\":1,\"counters\":{{}},\"gauges\":{{}},\"meta\":{{}},\"children\":[{{\"name\":\"slow\",\"start_us\":0,\"duration_us\":50000,\"calls\":1,\"counters\":{{}},\"gauges\":{{}},\"meta\":{{}},\"mem\":{{\"allocated\":{alloc_bytes},\"freed\":{alloc_bytes},\"allocs\":10,\"peak_delta\":500000}},\"children\":[]}}]}}"
+        )
+    };
+    std::fs::write(&base, report(1_000_000)).unwrap();
+    std::fs::write(&cur, report(3_000_000)).unwrap();
+
+    // 50% threshold: 3x allocation growth regresses, exit 1.
+    let out = cli()
+        .args([
+            "obs",
+            "diff",
+            base.to_str().unwrap(),
+            cur.to_str().unwrap(),
+            "--fail-mem-over-pct",
+            "50",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(err.contains("grew memory"), "{err}");
+    assert!(err.contains("run/slow"), "{err}");
+
+    // 400% threshold: 3x growth passes.
+    let out = cli()
+        .args([
+            "obs",
+            "diff",
+            base.to_str().unwrap(),
+            cur.to_str().unwrap(),
+            "--fail-mem-over-pct",
+            "400",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // A report diffed against itself is memory-clean at 0%.
+    let out = cli()
+        .args([
+            "obs",
+            "diff",
+            cur.to_str().unwrap(),
+            cur.to_str().unwrap(),
+            "--fail-mem-over-pct",
+            "0",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    std::fs::remove_file(&base).ok();
+    std::fs::remove_file(&cur).ok();
+}
+
+#[test]
+fn obs_top_by_mem_ranks_self_allocated() {
+    let path = scratch("top-mem.json");
+    // `run` allocates 4 MiB total but its child owns 3 MiB of it, so
+    // by self-allocation the child leads.
+    std::fs::write(
+        &path,
+        "{\"name\":\"run\",\"start_us\":0,\"duration_us\":100000,\"calls\":1,\"counters\":{},\"gauges\":{},\"meta\":{},\"mem\":{\"allocated\":4194304,\"freed\":4194304,\"allocs\":64,\"peak_delta\":4194304},\"children\":[{\"name\":\"hungry\",\"start_us\":0,\"duration_us\":10000,\"calls\":1,\"counters\":{},\"gauges\":{},\"meta\":{},\"mem\":{\"allocated\":3145728,\"freed\":3145728,\"allocs\":32,\"peak_delta\":3145728},\"children\":[]}]}",
+    )
+    .unwrap();
+    let out = cli()
+        .args(["obs", "top", path.to_str().unwrap(), "--by-mem"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("SELF-ALLOC"), "{text}");
+    let hungry = text.find("hungry").expect("hungry listed");
+    let run = text.find("run").expect("run listed");
+    assert!(hungry < run, "{text}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn metrics_out_writes_ndjson_and_openmetrics() {
+    let metrics = scratch("metrics.ndjson");
+    let out = cli()
+        .args([
+            "stream",
+            &fixture("stream_ops.txt"),
+            "--merge-every",
+            "4",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--stats-every",
+            "5",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let ndjson = std::fs::read_to_string(&metrics).expect("NDJSON written");
+    assert!(!ndjson.is_empty());
+    for line in ndjson.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains("\"bytes_live\":"), "{line}");
+        assert!(line.contains("\"peak_bytes\":"), "{line}");
+    }
+    // The stream command exports merge/edge counters into the registry;
+    // the final sample (written at sampler stop) must carry them.
+    let last = ndjson.lines().last().unwrap();
+    assert!(last.contains("\"merges\":"), "{last}");
+    let om_path = format!("{}.om", metrics.to_str().unwrap());
+    let om = std::fs::read_to_string(&om_path).expect("OpenMetrics written");
+    assert!(om.ends_with("# EOF\n"), "{om}");
+    assert!(om.contains("snap_mem_peak_bytes"), "{om}");
+    assert!(om.contains("snap_merges_total"), "{om}");
+    std::fs::remove_file(&metrics).ok();
+    std::fs::remove_file(&om_path).ok();
+}
+
+#[test]
+fn stats_every_without_metrics_out_is_rejected() {
+    let out = cli()
+        .args(["stream", &fixture("stream_ops.txt"), "--stats-every", "10"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--metrics-out"));
 }
 
 #[test]
