@@ -264,6 +264,107 @@ fn main() {
         ));
     }
 
+    // --- Resident serving: closed-loop clients vs epoch churn. ---
+    //
+    // Four sequential-issue clients hammer a `snap::serve` engine with a
+    // bfs workload drawn mostly from a shared hot set (cache hits after
+    // first touch) plus per-client unique sources (guaranteed cold
+    // misses), while a churn thread publishes fresh epochs underneath —
+    // the serving steady state, not a kernel microbench. `work_units` is
+    // the fixed request count; the observed run additionally records
+    // hit/miss latency histograms and asserts the headline cache
+    // contract (hit p50 at least 10x faster than cold p50).
+    {
+        use snap::serve::{Engine, Outcome, Query, Request, ServeConfig};
+        let s = scale.saturating_sub(2);
+        let n = 1usize << s;
+        let g = rmat(&RmatConfig::small_world(s, n * 8), seed);
+        const CLIENTS: u32 = 4;
+        const PER_CLIENT: u32 = 64;
+        const HOT: u32 = 8;
+        const MERGES: usize = 16;
+        let ops = churn_ops(&g, MERGES * 32, seed ^ 0xBEEF);
+
+        // One full pass: fresh engine, closed-loop clients, churn thread.
+        // Returns wall_us per request, split by cache outcome.
+        let serve_pass = || -> (Vec<u64>, Vec<u64>) {
+            let (mut sg, _) = StreamingGraph::from_csr(&g);
+            let engine = Engine::new(sg.reader(), ServeConfig::default());
+            let hits = std::sync::Mutex::new(Vec::new());
+            let misses = std::sync::Mutex::new(Vec::new());
+            std::thread::scope(|scope| {
+                for t in 0..CLIENTS {
+                    let engine = &engine;
+                    let (hits, misses) = (&hits, &misses);
+                    scope.spawn(move || {
+                        let (mut h, mut m) = (Vec::new(), Vec::new());
+                        for j in 0..PER_CLIENT {
+                            let source = if j % 4 != 3 {
+                                (t * 7 + j) % HOT
+                            } else {
+                                HOT + t * PER_CLIENT + j
+                            };
+                            let req = Request::new(Query::Bfs {
+                                source: source % n as u32,
+                            });
+                            let resp = engine.handle(&req);
+                            match resp.outcome {
+                                Outcome::Hit => h.push(resp.wall_us),
+                                _ => m.push(resp.wall_us),
+                            }
+                        }
+                        hits.lock().unwrap().extend(h);
+                        misses.lock().unwrap().extend(m);
+                    });
+                }
+                for chunk in ops.chunks(ops.len() / MERGES) {
+                    sg.apply_batch(chunk);
+                    sg.merge();
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            });
+            (hits.into_inner().unwrap(), misses.into_inner().unwrap())
+        };
+
+        let wall = min_wall(reps, || time(serve_pass).1);
+        let work = u64::from(CLIENTS * PER_CLIENT);
+        let (node, _, peak) = observed_spans("serve_loop", || {
+            let hit_h = snap_obs::hist("hit_us");
+            let miss_h = snap_obs::hist("miss_us");
+            let (mut hits, mut misses) = serve_pass();
+            for &v in &hits {
+                hit_h.record(v);
+            }
+            for &v in &misses {
+                miss_h.record(v);
+            }
+            snap_obs::add("requests", work);
+            snap_obs::add("cache_hits", hits.len() as u64);
+            snap_obs::add("cache_misses", misses.len() as u64);
+            let pct = |xs: &mut Vec<u64>, q: f64| -> u64 {
+                xs.sort_unstable();
+                xs[((xs.len() - 1) as f64 * q) as usize]
+            };
+            assert!(
+                !hits.is_empty() && !misses.is_empty(),
+                "workload must exercise both cache paths"
+            );
+            let (p50_hit, p50_miss) = (pct(&mut hits, 0.5), pct(&mut misses, 0.5));
+            snap_obs::gauge("p50_hit_us", p50_hit as f64);
+            snap_obs::gauge("p90_hit_us", pct(&mut hits, 0.9) as f64);
+            snap_obs::gauge("p99_hit_us", pct(&mut hits, 0.99) as f64);
+            snap_obs::gauge("p50_miss_us", p50_miss as f64);
+            snap_obs::gauge("p90_miss_us", pct(&mut misses, 0.9) as f64);
+            snap_obs::gauge("p99_miss_us", pct(&mut misses, 0.99) as f64);
+            assert!(
+                p50_miss >= 10 * p50_hit.max(1),
+                "cache hit not 10x faster: miss p50 {p50_miss}us, hit p50 {p50_hit}us"
+            );
+        });
+        bench_spans.push(node);
+        entries.push(entry("serve_loop", &g, wall, work, peak));
+    }
+
     let json = render(&entries);
     std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
     println!("{json}");

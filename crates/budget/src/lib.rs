@@ -56,6 +56,9 @@ impl std::error::Error for Exhausted {}
 
 #[derive(Debug)]
 struct Inner {
+    /// The relative timeout this budget was constructed with, kept so
+    /// [`Budget::renew`] can re-anchor a fresh deadline at renew time.
+    timeout: Option<Duration>,
     deadline: Option<Instant>,
     work_cap: u64,
     work: AtomicU64,
@@ -105,7 +108,7 @@ impl Budget {
 
     /// Budget that trips once `timeout` has elapsed from now.
     pub fn with_deadline(timeout: Duration) -> Self {
-        Budget::new(Some(Instant::now() + timeout), u64::MAX)
+        Budget::new(Some(timeout), u64::MAX)
     }
 
     /// Budget that trips after `cap` work units have been charged.
@@ -116,13 +119,32 @@ impl Budget {
 
     /// Budget with both a deadline and a work cap; whichever trips first wins.
     pub fn with_deadline_and_cap(timeout: Duration, cap: u64) -> Self {
-        Budget::new(Some(Instant::now() + timeout), cap)
+        Budget::new(Some(timeout), cap)
     }
 
-    fn new(deadline: Option<Instant>, work_cap: u64) -> Self {
+    /// A fresh budget with the same *limits* as this one but none of its
+    /// *state*: zero work charged, nothing tripped, and (when a timeout
+    /// was set) a deadline re-anchored at `now + timeout`.
+    ///
+    /// Exhaustion is deliberately sticky on a handle — that is what makes
+    /// cooperative cancellation reach every clone promptly — so a tripped
+    /// `Budget` must never be reattached to a long-lived session as-is:
+    /// every later query would instantly degrade or cancel. This is the
+    /// fresh-per-request constructor path: a resident server keeps one
+    /// budget *spec* and calls `renew()` to mint an independent budget for
+    /// each request. Renewing [`Budget::unlimited`] yields unlimited.
+    pub fn renew(&self) -> Budget {
+        match &self.inner {
+            None => Budget::unlimited(),
+            Some(inner) => Budget::new(inner.timeout, inner.work_cap),
+        }
+    }
+
+    fn new(timeout: Option<Duration>, work_cap: u64) -> Self {
         Budget {
             inner: Some(Arc::new(Inner {
-                deadline,
+                timeout,
+                deadline: timeout.map(|t| Instant::now() + t),
                 work_cap,
                 work: AtomicU64::new(0),
                 exhausted: AtomicU64::new(0),
@@ -307,6 +329,38 @@ mod tests {
         let b = Budget::with_deadline_and_cap(Duration::from_secs(3600), 10);
         assert_eq!(b.charge(11), Err(Exhausted::WorkCap));
         assert_eq!(b.exhaustion(), Some(Exhausted::WorkCap));
+    }
+
+    #[test]
+    fn renew_resets_state_but_keeps_limits() {
+        let b = Budget::with_work_cap(100);
+        assert_eq!(b.charge(101), Err(Exhausted::WorkCap));
+        assert!(b.is_exhausted());
+        let fresh = b.renew();
+        // Independent state: the renewed handle starts live with the full
+        // cap, and tripping it does not reach back to the original.
+        assert!(!fresh.is_exhausted());
+        assert_eq!(fresh.work_charged(), 0);
+        assert!(fresh.charge(60).is_ok());
+        assert_eq!(fresh.charge(60), Err(Exhausted::WorkCap));
+        assert_eq!(b.exhaustion(), Some(Exhausted::WorkCap));
+    }
+
+    #[test]
+    fn renew_reanchors_the_deadline() {
+        let b = Budget::with_deadline(Duration::from_secs(3600));
+        b.cancel();
+        assert!(b.is_exhausted());
+        let fresh = b.renew();
+        assert!(!fresh.is_exhausted());
+        assert!(fresh.check().is_ok());
+        assert!(fresh.remaining_time().unwrap() > Duration::from_secs(3000));
+    }
+
+    #[test]
+    fn renew_of_unlimited_is_unlimited() {
+        let fresh = Budget::unlimited().renew();
+        assert!(!fresh.is_limited());
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //! snap-cli centrality   <graph> [--approx FRAC] [--top K] [--seed S]
 //! snap-cli run          <graph> [--source V] [--algorithm A] [--parts K] [--approx FRAC] [--seed S]
 //! snap-cli stream       <opfile> [--base GRAPH] [--merge-every N] [--source V] [--check]
+//! snap-cli serve        <graph> [--workers N] [--cache-bytes B] [--cache-entries N]
+//!                       [--deadline-ms MS] [--max-pending N] [--socket PATH]
+//!                       [--stream OPFILE] [--merge-every N] [--churn-ms MS]
 //! snap-cli generate     rmat|er|ws|grid|planted --out FILE [--scale S] [--edges M] [--seed S]
 //! snap-cli obs diff     BASE.json CURRENT.json [--fail-over-pct P] [--min-ms M]
 //!                       [--fail-mem-over-pct P] [--min-bytes B]
@@ -21,6 +24,17 @@
 //! incremental connected-components and BFS kernels are repaired. With
 //! `--check`, every epoch's incremental results are verified against a
 //! full recompute on the published snapshot (exit 1 on divergence).
+//!
+//! `serve` holds the graph resident and answers line-delimited JSON
+//! queries (one request per line on stdin — or per connection line with
+//! `--socket PATH` — one JSON response per line on stdout) through the
+//! `snap::serve` engine: worker-pool dispatch, an epoch-keyed result
+//! cache, per-request deadline budgets, and load shedding past
+//! `--max-pending`. With `--stream OPFILE` a background thread replays
+//! edge ops and merges every `--merge-every` ops (pausing `--churn-ms`
+//! between merges), so the cache invalidates live while queries run.
+//! `--metrics-out` exports `snap_serve_*` counters from the running
+//! server. EOF on stdin (or an empty line) shuts down cleanly.
 //!
 //! Graph files may be whitespace edge lists (`u v [w]`, `#` comments,
 //! 0-based ids), DIMACS shortest-path files (`.gr`), or METIS files
@@ -84,6 +98,9 @@ commands:
   centrality   <graph> [--approx FRAC] [--top K] [--seed S]
   run          <graph> [--source V] [--algorithm A] [--parts K] [--approx FRAC] [--seed S]
   stream       <opfile> [--base GRAPH] [--merge-every N] [--source V] [--check]
+  serve        <graph> [--workers N] [--cache-bytes B] [--cache-entries N]
+               [--deadline-ms MS] [--max-pending N] [--socket PATH]
+               [--stream OPFILE] [--merge-every N] [--churn-ms MS]
   generate     rmat|er|ws|grid|planted --out FILE [--scale S] [--edges M] [--seed S]
   obs diff     BASE.json CURRENT.json [--fail-over-pct P] [--min-ms M]
                [--fail-mem-over-pct P] [--min-bytes B]
@@ -382,6 +399,7 @@ fn main() {
         "centrality" => cmd_centrality(&args),
         "run" => cmd_run(&args),
         "stream" => cmd_stream(&args),
+        "serve" => cmd_serve(&args),
         "generate" => cmd_generate(&args),
         "obs" => cmd_obs(&args),
         _ => usage(),
@@ -957,6 +975,227 @@ fn verify_epoch(
         }
     }
     say!(obs, "epoch {epoch}: check ok");
+}
+
+/// `serve` — hold the graph resident and answer line-delimited JSON
+/// queries through the `snap::serve` engine (see the module docs for the
+/// wire protocol). Requests are dispatched to a worker pool; responses
+/// come back one JSON line each, in completion order, correlated by the
+/// echoed `id`.
+fn cmd_serve(args: &Args) {
+    use snap::serve::{Engine, ServeConfig};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let path = input_path(args);
+    let g = load(args, path, false);
+    let workers: usize = args.flag_parse("workers", 4usize).max(1);
+    let config = ServeConfig {
+        workers,
+        cache_entries: args.flag_parse("cache-entries", 4096usize).max(1),
+        cache_bytes: args.flag_parse("cache-bytes", 32usize << 20),
+        default_deadline: args.flag("deadline-ms").map(|v| match v.parse::<u64>() {
+            Ok(ms) => std::time::Duration::from_millis(ms),
+            Err(_) => fail(&format!("bad value for --deadline-ms: {v}")),
+        }),
+        max_pending: args.flag_parse("max-pending", 1024usize),
+    };
+
+    let obs = Obs::parse(args);
+    obs.begin("serve", path);
+
+    let (mut sg, dropped) = StreamingGraph::from_csr(&g);
+    drop(g);
+    if dropped > 0 {
+        say!(obs, "{path}: dropped {dropped} self-loop(s)");
+    }
+    let engine = Engine::new(sg.reader(), config);
+    say!(
+        obs,
+        "serving {path}: n = {}, m = {}, {workers} worker(s), cache {} entries / {} bytes",
+        sg.num_vertices(),
+        sg.num_edges(),
+        engine.config().cache_entries,
+        engine.config().cache_bytes
+    );
+
+    // Optional background churn: replay an op file through the streaming
+    // layer, merging (and thus bumping the epoch / invalidating cache
+    // entries) every --merge-every ops while queries keep arriving.
+    let churn_ops: Vec<EdgeOp> = match args.flag("stream") {
+        Some(ops_path) => {
+            let text = std::fs::read_to_string(ops_path)
+                .unwrap_or_else(|e| fail(&format!("cannot open {ops_path}: {e}")));
+            text.lines()
+                .enumerate()
+                .filter_map(|(i, line)| parse_op(line, i + 1, ops_path))
+                .collect()
+        }
+        None => Vec::new(),
+    };
+    let merge_every: usize = args.flag_parse("merge-every", 256usize).max(1);
+    let churn_ms: u64 = args.flag_parse("churn-ms", 1u64);
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        if !churn_ops.is_empty() {
+            let stop = &stop;
+            let sg = &mut sg;
+            scope.spawn(move || {
+                for chunk in churn_ops.chunks(merge_every) {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    sg.apply_batch(chunk);
+                    sg.merge();
+                    std::thread::sleep(std::time::Duration::from_millis(churn_ms));
+                }
+            });
+        }
+        match args.flag("socket") {
+            Some(socket) => serve_socket(&engine, socket, &obs),
+            None => serve_stdin(&engine, workers),
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let s = engine.stats();
+    say!(
+        obs,
+        "served {} request(s): {} hit(s), {} miss(es), {} shed, {} degraded | final epoch {}",
+        s.requests,
+        s.cache_hits,
+        s.cache_misses,
+        s.shed,
+        s.degraded,
+        sg.epoch()
+    );
+    obs.emit();
+}
+
+/// Emit one response line on stdout; concurrent calls never interleave
+/// (each `writeln!` takes the stdout lock once). Exits quietly on EPIPE.
+fn respond_line(line: &str) {
+    stdout_line(format_args!("{line}"));
+}
+
+/// Error response for an unparseable request line, echoing the client's
+/// `id` when the line was at least valid JSON (so the client can still
+/// correlate the failure).
+fn serve_error_line(line: &str, error: &str) -> String {
+    let id = snap::obs::Json::parse(line)
+        .ok()
+        .and_then(|v| v.get("id").and_then(snap::obs::Json::as_u64))
+        .unwrap_or(0);
+    let mut out = format!("{{\"id\":{id},\"error\":");
+    snap::obs::json::write_escaped(&mut out, error);
+    out.push('}');
+    out
+}
+
+/// Worker-pool dispatch over stdin: the main thread reads and admits
+/// request lines, workers compute and write responses. EOF (or an empty
+/// line) drains the queue and returns.
+fn serve_stdin(engine: &snap::serve::Engine, workers: usize) {
+    use snap::serve::{AdmitPermit, Request};
+    use std::io::BufRead;
+
+    let (tx, rx) = std::sync::mpsc::channel::<(Request, AdmitPermit<'_>)>();
+    let rx = std::sync::Mutex::new(rx);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let rx = &rx;
+            scope.spawn(move || {
+                loop {
+                    // Hold the receiver lock only for the dequeue.
+                    let msg = rx.lock().unwrap().recv();
+                    let Ok((req, permit)) = msg else { break };
+                    let resp = engine.handle(&req);
+                    drop(permit);
+                    respond_line(&resp.to_json_line());
+                }
+            });
+        }
+        for line in std::io::stdin().lock().lines() {
+            let Ok(line) = line else { break };
+            let line = line.trim();
+            if line.is_empty() {
+                break;
+            }
+            match Request::parse(line) {
+                Err(e) => respond_line(&serve_error_line(line, &e)),
+                Ok(req) => match engine.admit() {
+                    None => respond_line(&engine.shed_response(&req).to_json_line()),
+                    Some(permit) => {
+                        // Queue full only if workers died; then answer inline.
+                        if let Err(back) = tx.send((req, permit)) {
+                            let (req, permit) = back.0;
+                            let resp = engine.handle(&req);
+                            drop(permit);
+                            respond_line(&resp.to_json_line());
+                        }
+                    }
+                },
+            }
+        }
+        drop(tx);
+    });
+}
+
+/// Serve over a unix-domain socket: one thread per connection, each
+/// running the same parse/admit/answer loop on its stream. Concurrency
+/// comes from concurrent connections; admission control is global to the
+/// engine. Runs until the process is killed.
+#[cfg(unix)]
+fn serve_socket(engine: &snap::serve::Engine, socket: &str, obs: &Obs) {
+    use snap::serve::Request;
+    use std::io::{BufRead, Write};
+    use std::os::unix::net::UnixListener;
+
+    let _ = std::fs::remove_file(socket);
+    let listener = UnixListener::bind(socket)
+        .unwrap_or_else(|e| fail(&format!("cannot bind socket {socket}: {e}")));
+    say!(obs, "listening on {socket}");
+    std::thread::scope(|scope| {
+        for conn in listener.incoming() {
+            let Ok(conn) = conn else { continue };
+            scope.spawn(move || {
+                let reader = BufReader::new(match conn.try_clone() {
+                    Ok(c) => c,
+                    Err(_) => return,
+                });
+                let mut writer = BufWriter::new(conn);
+                for line in reader.lines() {
+                    let Ok(line) = line else { break };
+                    let line = line.trim();
+                    if line.is_empty() {
+                        break;
+                    }
+                    let out = match Request::parse(line) {
+                        Err(e) => serve_error_line(line, &e),
+                        Ok(req) => match engine.admit() {
+                            None => engine.shed_response(&req).to_json_line(),
+                            Some(permit) => {
+                                let resp = engine.handle(&req);
+                                drop(permit);
+                                resp.to_json_line()
+                            }
+                        },
+                    };
+                    if writeln!(writer, "{out}")
+                        .and_then(|()| writer.flush())
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[cfg(not(unix))]
+fn serve_socket(_engine: &snap::serve::Engine, _socket: &str, _obs: &Obs) {
+    fail("--socket requires a unix platform");
 }
 
 fn cmd_generate(args: &Args) {

@@ -38,6 +38,7 @@ pub use snap_metrics as metrics;
 pub use snap_obs as obs;
 pub use snap_partition as partition;
 
+pub mod serve;
 mod session;
 
 pub use session::{Communities, CommunityAlgorithm, Network, Observed};
@@ -45,6 +46,7 @@ pub use snap_budget::{Budget, Exhausted};
 
 /// Commonly used items in one import.
 pub mod prelude {
+    pub use crate::serve::{Engine as ServeEngine, Request, Response, ServeConfig};
     pub use crate::session::{Communities, CommunityAlgorithm, Network, Observed};
     pub use snap_budget::{Budget, Exhausted};
     pub use snap_community::{Clustering, GnConfig, PbdConfig, PlaConfig, PmaConfig};

@@ -105,6 +105,16 @@ impl Network {
     /// past the deadline or work cap. With [`Budget::unlimited`] (the
     /// default) results are identical to the unbudgeted API.
     ///
+    /// The attached handle normally *shares state* with the caller's
+    /// clone — that is what lets an external `cancel()` reach a running
+    /// query, and a whole pipeline share one deadline. The one exception:
+    /// a budget that is **already exhausted** at attach time is renewed
+    /// ([`Budget::renew`]) instead of shared. Exhaustion is sticky per
+    /// handle, so without the renewal a session rebuilt from a timed-out
+    /// request's budget would refuse every later query forever — the
+    /// reused-session poisoning this guards against. A session never
+    /// *starts* spent.
+    ///
     /// ```
     /// use snap::{Budget, Network};
     /// use std::time::Duration;
@@ -114,7 +124,11 @@ impl Network {
     /// let _ = net.summary();
     /// ```
     pub fn with_budget(mut self, budget: Budget) -> Self {
-        self.budget = budget;
+        self.budget = if budget.is_exhausted() {
+            budget.renew()
+        } else {
+            budget
+        };
         self
     }
 
@@ -358,14 +372,21 @@ impl Observed<'_> {
 
     /// Stop collecting and return the final report.
     pub fn finish(self) -> snap_obs::RunReport {
-        // Drop runs afterwards and finds collection already disabled —
-        // a second disable is harmless.
-        snap_obs::finish().unwrap_or_default()
+        let report = snap_obs::finish().unwrap_or_default();
+        // `finish` already consumed this guard's enable level; letting
+        // Drop run would disable a second time and pop an *outer* nested
+        // scope's level (enable/disable are depth-counted).
+        std::mem::forget(self);
+        report
     }
 }
 
 impl Drop for Observed<'_> {
     fn drop(&mut self) {
+        // Pops exactly this guard's nesting level: with depth-counted
+        // enable/disable, overlapping `observed()` scopes on one thread
+        // (per-request guards on pooled workers) are safe — the inner
+        // drop no longer kills the outer scope's collection.
         snap_obs::disable();
     }
 }
@@ -430,6 +451,73 @@ mod tests {
         let bc = net.betweenness();
         let (e, _) = bc.max_edge().unwrap();
         assert_eq!(net.graph().edge_endpoints(e), (2, 3));
+    }
+
+    #[test]
+    fn nested_observed_guards_do_not_kill_the_outer_scope() {
+        let net = barbell();
+        let outer = net.observed();
+        let _ = outer.bfs(0);
+        {
+            // Overlapping guard on the same thread (the per-request shape
+            // on a pooled worker). Before the depth-counted fix, dropping
+            // it disabled collection for the outer scope too.
+            let inner = net.observed();
+            let _ = inner.bfs(1);
+        }
+        assert!(snap_obs::is_enabled(), "outer scope must still collect");
+        let _ = outer.bfs(2);
+        let report = outer.finish();
+        assert!(!snap_obs::is_enabled());
+        let bfs = report.find("bfs.hybrid").expect("bfs spans collected");
+        // All three traversals (outer, inner, post-inner) in one tree.
+        assert_eq!(bfs.calls, 3, "{}", report.render());
+    }
+
+    #[test]
+    fn observed_finish_pops_exactly_one_nesting_level() {
+        let net = barbell();
+        let outer = net.observed();
+        let inner = net.observed();
+        let _ = inner.bfs(0);
+        let _ = inner.finish();
+        // `finish()` = snapshot + one disable; the guard must not disable
+        // again on drop, or the outer scope would be popped here too.
+        assert!(snap_obs::is_enabled(), "outer scope survived finish()");
+        drop(outer);
+        assert!(!snap_obs::is_enabled());
+    }
+
+    #[test]
+    fn exhausted_budget_does_not_poison_a_rebuilt_session() {
+        let net = barbell();
+        let budget = Budget::with_deadline(std::time::Duration::from_secs(3600));
+        let session = net.clone().with_budget(budget.clone());
+        // The request times out mid-flight (external cancellation is how
+        // a serve deadline reaches a running kernel).
+        budget.cancel();
+        assert!(session.try_bfs_stats(0).is_err(), "query was cancelled");
+        assert!(budget.is_exhausted());
+        // Rebuilding a session from the same (now spent) budget must not
+        // inherit the sticky exhaustion: the next query runs normally.
+        let next = net.clone().with_budget(budget.clone());
+        assert!(!next.budget().is_exhausted());
+        let (r, _) = next.try_bfs_stats(0).expect("fresh request succeeds");
+        assert_eq!(r.dist[5], 3);
+        // The original handle keeps its record — renewal is one-way.
+        assert!(budget.is_exhausted());
+    }
+
+    #[test]
+    fn live_budgets_still_share_state_with_the_session() {
+        let net = barbell();
+        let budget = Budget::with_deadline(std::time::Duration::from_secs(3600));
+        let session = net.clone().with_budget(budget.clone());
+        // Attaching a *live* budget shares it: cancellation from outside
+        // must keep reaching queries on the session (the CLI relies on
+        // observing exhaustion through its own handle after a run).
+        budget.cancel();
+        assert!(session.try_bfs_stats(0).is_err());
     }
 
     #[test]

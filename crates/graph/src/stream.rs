@@ -51,7 +51,25 @@ use crate::dynamic::DynGraph;
 use crate::traits::{Graph, WeightedGraph};
 use crate::{EdgeId, VertexId, Weight};
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Read the published snapshot, recovering from lock poisoning.
+///
+/// A panicking thread that held the write guard (say a merge unwinding
+/// out of an instrumentation callback) poisons the `RwLock`, but the
+/// protected [`Snapshot`] can never be left torn: it is only ever
+/// replaced wholesale with a fully-built value, and its payload is
+/// immutable `Arc` data. In a resident process the readers must outlive
+/// one writer crash, so poisoning is explicitly not propagated.
+fn read_published(lock: &RwLock<Snapshot>) -> RwLockReadGuard<'_, Snapshot> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write-lock the published snapshot; see [`read_published`] for why
+/// poisoning is recovered rather than propagated.
+fn write_published(lock: &RwLock<Snapshot>) -> RwLockWriteGuard<'_, Snapshot> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// One edge mutation in the stream. Endpoint order is irrelevant (the
 /// graph is undirected); self-loops are rejected at ingestion.
@@ -84,14 +102,17 @@ pub struct Snapshot {
 pub struct SnapshotReader(Arc<RwLock<Snapshot>>);
 
 impl SnapshotReader {
-    /// The most recently published complete epoch.
+    /// The most recently published complete epoch. Survives writer
+    /// panics: a poisoned lock still holds a complete snapshot (the
+    /// payload is only ever replaced whole), so readers recover via
+    /// `PoisonError::into_inner` instead of crashing.
     pub fn snapshot(&self) -> Snapshot {
-        self.0.read().expect("snapshot lock poisoned").clone()
+        read_published(&self.0).clone()
     }
 
     /// Epoch of the most recently published snapshot.
     pub fn epoch(&self) -> u64 {
-        self.0.read().expect("snapshot lock poisoned").epoch
+        read_published(&self.0).epoch
     }
 }
 
@@ -227,15 +248,12 @@ impl StreamingGraph {
 
     /// Epoch of the latest published snapshot.
     pub fn epoch(&self) -> u64 {
-        self.published.read().expect("snapshot lock poisoned").epoch
+        read_published(&self.published).epoch
     }
 
     /// Latest published snapshot (clones the `Arc`, not the graph).
     pub fn snapshot(&self) -> Snapshot {
-        self.published
-            .read()
-            .expect("snapshot lock poisoned")
-            .clone()
+        read_published(&self.published).clone()
     }
 
     /// A cloneable handle other threads can use to follow published
@@ -312,7 +330,7 @@ impl StreamingGraph {
         let merge_us = snap_obs::hist("merge_us");
         let timer = merge_us.start();
         let (prev_epoch, base) = {
-            let cur = self.published.read().expect("snapshot lock poisoned");
+            let cur = read_published(&self.published);
             (cur.epoch, Arc::clone(&cur.graph))
         };
 
@@ -363,7 +381,7 @@ impl StreamingGraph {
         // Publish: readers see either the old complete epoch or the new
         // one — never an intermediate state — because the swap is of one
         // pointer-sized value under the lock.
-        *self.published.write().expect("snapshot lock poisoned") = snap.clone();
+        *write_published(&self.published) = snap.clone();
         self.pending.clear();
         self.ops_since_merge = 0;
         merge_us.stop_us(timer);
@@ -589,6 +607,38 @@ mod tests {
         // The epoch-0 snapshot was re-frozen to agree with the delta layer.
         assert_eq!(sg.snapshot().graph.num_edges(), 1);
         assert_eq!(sg.num_edges(), 1);
+    }
+
+    #[test]
+    fn readers_and_merges_survive_a_poisoned_writer() {
+        let g0 = from_edges(4, &[(0, 1), (1, 2)]);
+        let (mut sg, _) = StreamingGraph::from_csr(&g0);
+        let reader = sg.reader();
+
+        // A writer thread takes the write guard and panics while holding
+        // it — before this fix the RwLock stayed poisoned and every later
+        // reader (and merge) crashed the resident process.
+        let lock = Arc::clone(&reader.0);
+        let writer = std::thread::spawn(move || {
+            let _guard = lock.write().unwrap();
+            panic!("writer dies mid-publish");
+        });
+        assert!(writer.join().is_err(), "writer panicked as arranged");
+        assert!(reader.0.is_poisoned(), "lock really was poisoned");
+
+        // Readers recover: the protected snapshot is complete Arc data.
+        assert_eq!(reader.epoch(), 0);
+        assert_eq!(reader.snapshot().graph.num_edges(), 2);
+        assert_eq!(sg.epoch(), 0);
+
+        // The writer path recovers too: the next merge publishes through
+        // the poisoned lock and readers observe the new epoch.
+        sg.apply(EdgeOp::Insert(2, 3));
+        let snap = sg.merge();
+        assert_eq!(snap.epoch, 1);
+        assert_eq!(reader.epoch(), 1);
+        assert_eq!(reader.snapshot().graph.num_edges(), 3);
+        assert_same(&reader.snapshot().graph, &ref_csr(&sg));
     }
 
     #[test]

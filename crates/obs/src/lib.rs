@@ -402,6 +402,12 @@ impl Node {
 
 struct Ctx {
     epoch: Instant,
+    /// Nesting depth of [`enable`] calls sharing this context. The tree is
+    /// installed by the outermost enable and torn down only when the
+    /// matching outermost [`disable`] brings the depth back to zero, so
+    /// overlapping collection scopes (per-request guards on pooled worker
+    /// threads) cannot have an inner scope kill the outer one's data.
+    depth: usize,
     root: Arc<Node>,
     /// Open spans, innermost last, each with the entry time and memory
     /// scope of its current activation (used by [`take_report`] to
@@ -418,6 +424,7 @@ impl Ctx {
         ACTIVE.fetch_add(1, Ordering::SeqCst);
         Ctx {
             epoch: Instant::now(),
+            depth: 1,
             root: Node::new("run", 0),
             stack: Vec::new(),
             mem: alloc::is_mem_tracking().then(alloc::begin_scope),
@@ -431,19 +438,37 @@ impl Drop for Ctx {
     }
 }
 
-/// Start collecting on this thread (replacing any previous context).
-/// Subsequent [`span`]/[`add`]/[`gauge`] calls from this thread — and
-/// [`CounterHandle`]s it passes to workers — record into a fresh tree.
+/// Start collecting on this thread. Subsequent [`span`]/[`add`]/[`gauge`]
+/// calls from this thread — and [`CounterHandle`]s it passes to workers —
+/// record into the tree.
+///
+/// Enable/disable pairs are **depth-counted**: the outermost `enable`
+/// installs a fresh tree, a nested `enable` joins it, and collection stops
+/// only when every `enable` has been matched by a [`disable`]. This makes
+/// overlapping RAII collection guards safe — an inner guard dropping no
+/// longer silently kills the outer scope's collection.
 pub fn enable() {
     CONTEXT.with(|c| {
-        *c.borrow_mut() = Some(Ctx::new());
+        let mut slot = c.borrow_mut();
+        match slot.as_mut() {
+            Some(ctx) => ctx.depth += 1,
+            None => *slot = Some(Ctx::new()),
+        }
     });
 }
 
-/// Stop collecting on this thread, dropping any unreported data.
+/// Stop collecting on this thread, dropping any unreported data. With
+/// nested [`enable`] calls outstanding this only pops one nesting level;
+/// the context (and its tree) survives until the outermost disable.
 pub fn disable() {
     CONTEXT.with(|c| {
-        c.borrow_mut().take();
+        let mut slot = c.borrow_mut();
+        match slot.as_mut() {
+            Some(ctx) if ctx.depth > 1 => ctx.depth -= 1,
+            _ => {
+                slot.take();
+            }
+        }
     });
 }
 
@@ -498,7 +523,9 @@ pub fn take_report() -> Option<RunReport> {
                 .push(("trace_events_dropped".to_string(), dropped));
         }
         let mem_samples = drain_mem_samples();
+        let depth = ctx.depth;
         *ctx = Ctx::new();
+        ctx.depth = depth;
         Some(RunReport {
             root,
             trace,
@@ -853,6 +880,45 @@ mod tests {
         // tree only records spans opened after the snapshot.
         let second = finish().unwrap();
         assert!(second.find("outer").is_none());
+    }
+
+    #[test]
+    fn nested_enable_disable_is_depth_counted() {
+        enable();
+        {
+            let _outer = span("outer.work");
+            // An inner collection scope on the same thread (e.g. a
+            // per-request guard on a pooled worker) joins the live tree...
+            enable();
+            add("inner.count", 3);
+            // ...and its matching disable must NOT kill the outer scope.
+            disable();
+        }
+        assert!(is_enabled(), "outer scope survived the inner disable");
+        add("outer.count", 1);
+        let report = finish().unwrap();
+        assert!(!is_enabled());
+        assert!(report.find("outer.work").is_some(), "{}", report.render());
+        let counters: std::collections::HashMap<_, _> = report
+            .root
+            .counters
+            .iter()
+            .map(|(k, v)| (k.as_str(), *v))
+            .collect();
+        assert_eq!(counters.get("outer.count"), Some(&1));
+    }
+
+    #[test]
+    fn take_report_preserves_nesting_depth() {
+        enable();
+        enable();
+        let _ = take_report().unwrap();
+        // The fresh post-snapshot context keeps the depth: one disable
+        // still leaves collection live for the outer scope.
+        disable();
+        assert!(is_enabled());
+        assert!(finish().is_some());
+        assert!(!is_enabled());
     }
 
     #[test]

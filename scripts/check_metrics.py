@@ -2,6 +2,7 @@
 """Validate telemetry files written by `snap-cli --metrics-out`.
 
 Usage: check_metrics.py METRICS.ndjson [METRICS.om] [--min-samples N]
+       [--expect NAME]...
 
 The OpenMetrics path defaults to the NDJSON path + ".om" (mirroring the
 sampler's own default). Fails (exit 1) when:
@@ -21,7 +22,10 @@ OpenMetrics:
     value does not parse as a float;
   * a metric appears without a preceding `# TYPE` line;
   * `snap_mem_peak_bytes` is absent (the one metric every build --
-    mem-track or not -- must expose).
+    mem-track or not -- must expose);
+  * any metric named with a repeatable `--expect NAME` is absent
+    (counters match with or without the OpenMetrics `_total` suffix) --
+    how CI pins the `snap_serve_*` series from a `serve` run.
 """
 
 import json
@@ -67,7 +71,7 @@ def check_ndjson(path, min_samples):
     return len(lines)
 
 
-def check_openmetrics(path):
+def check_openmetrics(path, expect=()):
     with open(path) as f:
         text = f.read()
     if not text.endswith("# EOF\n"):
@@ -97,17 +101,24 @@ def check_openmetrics(path):
         names.add(name)
     if "snap_mem_peak_bytes" not in names:
         sys.exit(f"{path}: snap_mem_peak_bytes missing from exposition")
+    for name in expect:
+        if name not in names and name + "_total" not in names:
+            sys.exit(f"{path}: expected metric {name} missing from exposition")
     return len(names)
 
 
 def main():
     args = sys.argv[1:]
     min_samples = 1
+    expect = []
     paths = []
     i = 0
     while i < len(args):
         if args[i] == "--min-samples":
             min_samples = int(args[i + 1])
+            i += 2
+        elif args[i] == "--expect":
+            expect.append(args[i + 1])
             i += 2
         else:
             paths.append(args[i])
@@ -118,7 +129,7 @@ def main():
     om = paths[1] if len(paths) == 2 else ndjson + ".om"
 
     samples = check_ndjson(ndjson, min_samples)
-    metrics = check_openmetrics(om)
+    metrics = check_openmetrics(om, expect)
     print(f"{ndjson}: {samples} well-formed sample(s); {om}: {metrics} metric(s)")
 
 

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""End-to-end driver for `snap-cli serve`: spawn the server on a graph,
+run a mixed workload over stdin, and validate the wire protocol.
+
+Usage: serve_smoke.py SNAP_CLI GRAPH [--metrics-out PATH]
+
+Checks (exit 1 on any failure):
+  * every request gets exactly one JSON response with the echoed id;
+  * responses carry kind / epoch / cache / degraded / wall_us / payload;
+  * a repeated query is a cache hit with byte-identical payload;
+  * a cold query with deadline_ms 0 is answered degraded, not errored,
+    and the next clean query is unaffected;
+  * malformed lines get an error response that still echoes the id;
+  * a final `stats` query agrees with the per-response cache outcomes;
+  * the server exits 0 on EOF;
+  * with --metrics-out, the OpenMetrics exposition carries the
+    snap_serve_* series and its request counter matches the workload.
+"""
+
+import json
+import subprocess
+import sys
+
+
+def expect(cond, msg):
+    if not cond:
+        sys.exit(f"serve_smoke: FAIL: {msg}")
+
+
+def send(proc, obj):
+    proc.stdin.write(json.dumps(obj) + "\n")
+    proc.stdin.flush()
+
+
+def recv(proc):
+    line = proc.stdout.readline()
+    expect(line, "server closed stdout mid-workload")
+    line = line.strip()
+    if not line.startswith("{"):
+        return recv(proc)  # human banner line
+    try:
+        return json.loads(line)
+    except json.JSONDecodeError as e:
+        sys.exit(f"serve_smoke: FAIL: unparseable response {line!r}: {e}")
+
+
+def roundtrip(proc, obj):
+    send(proc, obj)
+    resp = recv(proc)
+    expect(resp.get("id") == obj.get("id"),
+           f"id {obj.get('id')} not echoed in {resp}")
+    return resp
+
+
+def main():
+    args = [a for a in sys.argv[1:]]
+    metrics = None
+    if "--metrics-out" in args:
+        i = args.index("--metrics-out")
+        metrics = args[i + 1]
+        del args[i:i + 2]
+    if len(args) != 2:
+        sys.exit(__doc__)
+    cli, graph = args
+
+    # One worker so hit/miss outcomes are deterministic (no two workers
+    # racing the same cold key).
+    cmd = [cli, "serve", graph, "--workers", "1"]
+    if metrics:
+        cmd += ["--metrics-out", metrics, "--stats-every", "20"]
+    proc = subprocess.Popen(cmd, stdin=subprocess.PIPE,
+                            stdout=subprocess.PIPE, text=True)
+
+    hits = misses = 0
+    # Cold wave: distinct sources, all misses.
+    first = {}
+    for i in range(8):
+        resp = roundtrip(proc, {"id": i + 1, "query": "bfs", "source": i})
+        for key in ("kind", "epoch", "cache", "degraded", "wall_us", "payload"):
+            expect(key in resp, f"response missing {key}: {resp}")
+        expect(resp["cache"] == "miss", f"cold query not a miss: {resp}")
+        expect(resp["payload"]["source"] == i, f"wrong payload: {resp}")
+        first[i] = json.dumps(resp["payload"], sort_keys=True)
+        misses += 1
+
+    # Hot wave: identical queries, all hits, byte-identical payloads.
+    for i in range(8):
+        resp = roundtrip(proc, {"id": 100 + i, "query": "bfs", "source": i})
+        expect(resp["cache"] == "hit", f"repeat not served from cache: {resp}")
+        expect(json.dumps(resp["payload"], sort_keys=True) == first[i],
+               f"hit payload differs from the miss for source {i}")
+        hits += 1
+
+    # Over-deadline: answered degraded (still a well-formed answer).
+    resp = roundtrip(proc, {"id": 200, "query": "summary",
+                            "seed": 7, "deadline_ms": 0})
+    expect(resp["degraded"] is True, f"zero deadline must degrade: {resp}")
+    misses += 1
+    # The degraded answer must not have been cached: re-ask clean.
+    resp = roundtrip(proc, {"id": 201, "query": "summary", "seed": 7})
+    expect(resp["cache"] == "miss" and resp["degraded"] is False,
+           f"clean re-ask after a degraded answer went wrong: {resp}")
+    misses += 1
+
+    # Malformed lines: error responses that still echo the id.
+    send(proc, {"id": 300, "query": "frobnicate"})
+    resp = recv(proc)
+    expect(resp.get("id") == 300 and "error" in resp,
+           f"unknown query must error with the id echoed: {resp}")
+    proc.stdin.write('{"id": 301, "query": \n')
+    proc.stdin.flush()
+    resp = recv(proc)
+    expect("error" in resp, f"truncated json must error: {resp}")
+
+    # Meta queries answer live and agree with what we observed.
+    resp = roundtrip(proc, {"id": 400, "query": "epoch"})
+    expect(resp["kind"] == "epoch" and "n" in resp["payload"], f"{resp}")
+    resp = roundtrip(proc, {"id": 401, "query": "stats"})
+    stats = resp["payload"]
+    expect(stats["cache_hits"] == hits,
+           f"engine counted {stats['cache_hits']} hits, driver saw {hits}")
+    expect(stats["cache_misses"] == misses,
+           f"engine counted {stats['cache_misses']} misses, driver saw {misses}")
+    expect(stats["shed"] == 0, f"nothing should shed at this load: {stats}")
+    expect(stats["degraded"] == 1, f"exactly one degraded answer: {stats}")
+    total = hits + misses + 2  # + the two meta queries
+
+    proc.stdin.close()
+    expect(proc.wait(timeout=60) == 0, "server must exit 0 on EOF")
+
+    if metrics:
+        text = open(metrics + ".om").read()
+        expect(text.endswith("# EOF\n"), "OpenMetrics must end with # EOF")
+        series = {}
+        for line in text.splitlines():
+            if line.startswith("#") or not line.strip():
+                continue
+            name, value = line.split()
+            series[name] = float(value)
+        for name in ("snap_serve_requests_total", "snap_serve_cache_hits_total",
+                     "snap_serve_cache_misses_total", "snap_serve_shed_total",
+                     "snap_serve_degraded_total", "snap_serve_cache_bytes",
+                     "snap_serve_cache_entries", "snap_serve_epoch"):
+            expect(name in series, f"{name} missing from OpenMetrics")
+        expect(series["snap_serve_requests_total"] == total,
+               f"exported {series['snap_serve_requests_total']} requests, "
+               f"workload issued {total}")
+        expect(series["snap_serve_cache_hits_total"] == hits,
+               f"exported hits disagree: {series['snap_serve_cache_hits_total']}")
+
+    print(f"serve_smoke: ok ({total} requests: {hits} hits, {misses} misses, "
+          f"1 degraded, 2 errors)")
+
+
+if __name__ == "__main__":
+    main()

@@ -719,3 +719,121 @@ fn stream_rejects_malformed_op_lines() {
     assert!(err.contains(":2:"), "line number in: {err}");
     std::fs::remove_file(&path).ok();
 }
+
+/// Full round trip through `snap-cli serve` over stdin: misses compute,
+/// repeats hit with identical payload bytes, meta queries answer live,
+/// malformed lines get error responses, and EOF shuts down with exit 0.
+#[test]
+fn serve_answers_queries_over_stdin() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let path = scratch("serve.txt");
+    cli()
+        .args([
+            "generate",
+            "rmat",
+            "--scale",
+            "7",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+
+    let mut child = cli()
+        .args(["serve", path.to_str().unwrap(), "--workers", "1"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut stdin = child.stdin.take().unwrap();
+    for line in [
+        r#"{"id":1,"query":"bfs","source":3}"#,
+        r#"{"id":2,"query":"bfs","source":3}"#,
+        r#"{"id":3,"query":"epoch"}"#,
+        r#"{"id":4,"query":"nope"}"#,
+    ] {
+        writeln!(stdin, "{line}").unwrap();
+    }
+    drop(stdin);
+
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let lines: Vec<String> = BufReader::new(&out.stdout[..])
+        .lines()
+        .map(Result::unwrap)
+        .filter(|l| l.starts_with('{'))
+        .collect();
+    assert_eq!(lines.len(), 4, "{lines:?}");
+    let find = |id: &str| {
+        lines
+            .iter()
+            .find(|l| l.contains(&format!("\"id\":{id}")))
+            .unwrap_or_else(|| panic!("no response for id {id} in {lines:?}"))
+    };
+    let miss = find("1");
+    let hit = find("2");
+    assert!(miss.contains("\"cache\":\"miss\""), "{miss}");
+    assert!(hit.contains("\"cache\":\"hit\""), "{hit}");
+    let payload = |l: &str| l.split(",\"payload\":").nth(1).map(str::to_owned);
+    assert_eq!(payload(miss), payload(hit), "hit must be bit-identical");
+    assert!(find("3").contains("\"kind\":\"epoch\""));
+    assert!(find("4").contains("\"error\""));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("1 hit(s)"), "{text}");
+    std::fs::remove_file(&path).ok();
+}
+
+/// A zero deadline on a cold query trips the budget immediately; the
+/// service still answers (degraded, exit 0) rather than erroring out.
+#[test]
+fn serve_answers_over_deadline_requests_degraded() {
+    use std::io::Write;
+
+    let path = scratch("serve-deadline.txt");
+    cli()
+        .args([
+            "generate",
+            "rmat",
+            "--scale",
+            "8",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let mut child = cli()
+        .args(["serve", path.to_str().unwrap(), "--workers", "1"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut stdin = child.stdin.take().unwrap();
+    writeln!(
+        stdin,
+        r#"{{"id":1,"query":"bfs","source":9,"deadline_ms":0}}"#
+    )
+    .unwrap();
+    writeln!(stdin, r#"{{"id":2,"query":"bfs","source":9}}"#).unwrap();
+    drop(stdin);
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    let degraded = text
+        .lines()
+        .find(|l| l.contains("\"id\":1"))
+        .expect("response for id 1");
+    assert!(degraded.contains("\"degraded\":true"), "{degraded}");
+    let clean = text
+        .lines()
+        .find(|l| l.contains("\"id\":2"))
+        .expect("response for id 2");
+    assert!(clean.contains("\"degraded\":false"), "{clean}");
+    std::fs::remove_file(&path).ok();
+}

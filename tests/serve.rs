@@ -1,0 +1,272 @@
+//! Integration tests of the resident serving layer (`snap::serve`):
+//! the cache-hit speedup contract, allocator-verified byte-budget
+//! eviction, epoch invalidation through a real streaming writer, and a
+//! concurrent hammer proving no response ever mixes data from two
+//! epochs.
+
+use snap::graph::{CsrGraph, EdgeOp, Graph, StreamingGraph};
+use snap::serve::{compute_payload, Engine, Outcome, Query, Request, ResultCache, ServeConfig};
+use snap::Network;
+use std::sync::{Arc, Mutex};
+
+#[global_allocator]
+static ALLOC: snap::obs::TrackingAlloc<std::alloc::System> =
+    snap::obs::TrackingAlloc::new(std::alloc::System);
+
+fn test_graph(scale: u32) -> CsrGraph {
+    snap::gen::rmat(&snap::gen::RmatConfig::small_world(scale, 8 << scale), 42)
+}
+
+fn engine_for(g: &CsrGraph) -> (StreamingGraph, Engine) {
+    let (sg, _) = StreamingGraph::from_csr(g);
+    let engine = Engine::new(sg.reader(), ServeConfig::default());
+    (sg, engine)
+}
+
+fn median(mut xs: Vec<u64>) -> u64 {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+/// The headline serving contract: answering a repeated query from the
+/// epoch-keyed cache is at least 10x faster at the median than
+/// computing it cold.
+#[test]
+fn cache_hit_is_ten_times_faster_than_cold_at_p50() {
+    let g = test_graph(9);
+    let (_sg, engine) = engine_for(&g);
+
+    // Cold: distinct cache keys, so every one computes.
+    let cold: Vec<u64> = (1..=9)
+        .map(|seed| {
+            let resp = engine.handle(&Request::new(Query::Summary { seed }));
+            assert!(matches!(resp.outcome, Outcome::Miss));
+            resp.wall_us
+        })
+        .collect();
+
+    // Hot: one warming miss, then nine hits on the same key.
+    let warm = Request::new(Query::Summary { seed: 0 });
+    engine.handle(&warm);
+    let hot: Vec<u64> = (0..9)
+        .map(|_| {
+            let resp = engine.handle(&warm);
+            assert!(matches!(resp.outcome, Outcome::Hit));
+            resp.wall_us
+        })
+        .collect();
+
+    let (p50_cold, p50_hot) = (median(cold), median(hot));
+    assert!(
+        p50_cold >= 10 * p50_hot.max(1),
+        "cache hit not 10x faster: cold p50 {p50_cold}us, hot p50 {p50_hot}us"
+    );
+}
+
+/// A hit returns the stored payload allocation itself — the wire bytes
+/// of the second response are bit-identical to the first, not a re-run
+/// that happened to agree.
+#[test]
+fn repeated_query_returns_bit_identical_cached_payload() {
+    let g = test_graph(8);
+    let (_sg, engine) = engine_for(&g);
+    let req = Request::new(Query::Bfs { source: 5 });
+
+    let first = engine.handle(&req);
+    let second = engine.handle(&req);
+    assert!(matches!(first.outcome, Outcome::Miss));
+    assert!(matches!(second.outcome, Outcome::Hit));
+    assert!(
+        Arc::ptr_eq(&first.payload, &second.payload),
+        "hit must return the stored payload allocation"
+    );
+    // Same bytes end to end on the wire, apart from the cache/wall fields.
+    let strip = |line: &str| {
+        line.split(",\"payload\":")
+            .nth(1)
+            .map(str::to_owned)
+            .unwrap()
+    };
+    assert_eq!(strip(&first.to_json_line()), strip(&second.to_json_line()));
+}
+
+/// Publishing a new snapshot epoch invalidates cached answers computed
+/// on the old one: the same question is recomputed against the new
+/// graph, never served stale.
+#[test]
+fn epoch_bump_through_streaming_writer_invalidates_cache() {
+    let g = test_graph(8);
+    let (mut sg, engine) = engine_for(&g);
+    let req0 = Request::new(Query::Bfs { source: 0 });
+    let req1 = Request::new(Query::Bfs { source: 1 });
+
+    assert!(matches!(engine.handle(&req0).outcome, Outcome::Miss));
+    assert!(matches!(engine.handle(&req1).outcome, Outcome::Miss));
+    assert!(matches!(engine.handle(&req0).outcome, Outcome::Hit));
+
+    // Add a fresh vertex-255-to-everything hub so BFS answers change.
+    let ops: Vec<EdgeOp> = (0..64).map(|v| EdgeOp::Insert(255, v)).collect();
+    sg.apply_batch(&ops);
+    sg.merge();
+
+    let after = engine.handle(&req0);
+    assert_eq!(after.epoch, 1);
+    assert!(
+        matches!(after.outcome, Outcome::Miss),
+        "stale epoch-0 answer must not survive the merge"
+    );
+    let stats = engine.stats();
+    assert!(
+        stats.invalidations >= 2,
+        "both epoch-0 entries should be invalidated, saw {}",
+        stats.invalidations
+    );
+}
+
+/// Byte-budget eviction, checked against the tracking allocator's
+/// ground truth: stuffing the cache with payloads worth many times its
+/// budget never holds more live bytes than budget plus one in-flight
+/// payload of slack.
+#[test]
+fn eviction_honors_byte_budget_by_allocator_ground_truth() {
+    const BUDGET: usize = 1 << 20; // 1 MiB
+    const PAYLOAD: usize = 256 << 10; // 256 KiB each
+
+    snap::obs::enable_mem_tracking();
+    let before = snap::obs::thread_mem().live;
+    let mut cache = ResultCache::new(1024, BUDGET);
+    for i in 0..64 {
+        let payload: Arc<str> = "x".repeat(PAYLOAD).into();
+        cache.put(0, format!("bfs source={i}"), payload);
+        assert!(
+            cache.bytes() <= BUDGET,
+            "cache reports {} bytes over the {BUDGET} budget",
+            cache.bytes()
+        );
+        let live = snap::obs::thread_mem().live - before;
+        assert!(
+            live <= (BUDGET + PAYLOAD + (64 << 10)) as i64,
+            "allocator sees {live} live bytes after insert {i} — eviction is not freeing"
+        );
+    }
+    assert!(!cache.is_empty() && cache.len() <= BUDGET / PAYLOAD + 1);
+    drop(cache);
+    let leaked = snap::obs::thread_mem().live - before;
+    assert!(
+        leaked <= 4096,
+        "dropping the cache leaked {leaked} live bytes"
+    );
+}
+
+/// Four client threads hammer the engine with a mixed read workload
+/// while the writer keeps merging new epochs underneath them. Every
+/// non-degraded response must be exactly the answer its stamped epoch's
+/// graph gives when recomputed offline — no torn reads, no cross-epoch
+/// answers, no stale cache hits.
+#[test]
+fn concurrent_hammer_under_churn_never_crosses_epochs() {
+    let g = test_graph(8);
+    let n = g.num_vertices() as u32;
+    let (mut sg, engine) = engine_for(&g);
+
+    // Writer-side history: every published epoch's graph, for offline
+    // recomputation after the fact.
+    let history = Mutex::new(vec![(0u64, sg.snapshot().graph)]);
+    type Answered = (Query, u64, Arc<str>, bool);
+    let responses: Mutex<Vec<Answered>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for t in 0..4u32 {
+            let engine = &engine;
+            let responses = &responses;
+            scope.spawn(move || {
+                let mut local = Vec::new();
+                for j in 0..120u32 {
+                    let query = match j % 3 {
+                        0 => Query::Bfs {
+                            source: (t * 31 + j * 7) % n,
+                        },
+                        1 => Query::Bfs {
+                            source: (j % 4) * 3, // hot set: exercises hits
+                        },
+                        _ => Query::Summary {
+                            seed: u64::from(j % 2),
+                        },
+                    };
+                    let resp = engine.handle(&Request::new(query.clone()));
+                    local.push((query, resp.epoch, resp.payload, resp.degraded));
+                }
+                responses.lock().unwrap().extend(local);
+            });
+        }
+        // The churn thread: 16 merges of 8 inserts each, interleaved
+        // with the readers.
+        for round in 0..16u32 {
+            let ops: Vec<EdgeOp> = (0..8)
+                .map(|k| EdgeOp::Insert((round * 13 + k) % n, (round * 7 + k * 29 + 1) % n))
+                .collect();
+            sg.apply_batch(&ops);
+            let snap = sg.merge();
+            history.lock().unwrap().push((snap.epoch, snap.graph));
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    });
+
+    let history = history.into_inner().unwrap();
+    let responses = responses.into_inner().unwrap();
+    assert_eq!(responses.len(), 4 * 120);
+
+    // Recompute each answered (query, epoch) pair once on that epoch's
+    // graph and demand bit-identical payloads.
+    let mut oracle: std::collections::HashMap<(u64, String), String> =
+        std::collections::HashMap::new();
+    for (query, epoch, payload, degraded) in &responses {
+        if *degraded {
+            continue; // partial answers are allowed to differ
+        }
+        let key = (*epoch, query.cache_key());
+        let expected = oracle.entry(key).or_insert_with(|| {
+            let graph = &history
+                .iter()
+                .find(|(e, _)| e == epoch)
+                .expect("response stamped with an epoch that was never published")
+                .1;
+            let net = Network::from_shared(Arc::clone(graph));
+            compute_payload(&net, query).payload
+        });
+        assert_eq!(
+            payload.as_ref(),
+            expected.as_str(),
+            "epoch {epoch} response for `{}` does not match that epoch's graph",
+            query.cache_key()
+        );
+    }
+}
+
+/// Admission control sheds excess load instead of queueing unboundedly,
+/// and released permits restore capacity.
+#[test]
+fn admission_permits_shed_and_recover() {
+    let g = test_graph(6);
+    let (sg, _) = StreamingGraph::from_csr(&g);
+    let engine = Engine::new(
+        sg.reader(),
+        ServeConfig {
+            max_pending: 2,
+            ..ServeConfig::default()
+        },
+    );
+    let a = engine.admit().expect("slot 1");
+    let _b = engine.admit().expect("slot 2");
+    assert!(
+        engine.admit().is_none(),
+        "third concurrent request must shed"
+    );
+    let shed = engine.shed_response(&Request::new(Query::Bfs { source: 0 }));
+    assert!(matches!(shed.outcome, Outcome::Shed));
+    drop(a);
+    assert!(
+        engine.admit().is_some(),
+        "released permit restores capacity"
+    );
+}
