@@ -1,8 +1,12 @@
 //! perf_suite — fixed-seed kernel timing suite for regression tracking.
 //!
 //! Times the multi-source kernels (sampled betweenness, exact closeness,
-//! sampled path statistics, hybrid BFS) on deterministic R-MAT/ER
-//! instances and emits a machine-readable `BENCH_kernels.json`:
+//! sampled path statistics, hybrid BFS), the compressed-CSR A/B pairs
+//! (`csr_bfs` vs `ccsr_bfs` — identical `work_units` asserted), the
+//! bucket kernels (`kcore`, `sssp_delta_flat` vs `sssp_delta_buckets` —
+//! bit-identical distances asserted), and the streaming/serving loops on
+//! deterministic R-MAT/ER instances, emitting a machine-readable
+//! `BENCH_kernels.json`:
 //!
 //! ```text
 //! [{"bench": "...", "n": 32768, "m": 219382, "wall_ms": 1234.5,
@@ -69,11 +73,15 @@ fn min_wall(reps: usize, mut f: impl FnMut() -> Duration) -> f64 {
 
 /// Run `f` once with collection (and memory tracking) live, wrapped in
 /// a span named `bench`, and return that bench's span subtree, the
-/// traversal work counter, and the run's peak live bytes. Instrumented
-/// runs happen *after* the timed reps, so `wall_ms` never includes
-/// collection overhead; the peak window is reset per bench so each
-/// reports its own high-water mark (graph + kernel scratch).
-fn observed_spans(bench: &'static str, f: impl FnOnce()) -> (snap_obs::ReportNode, u64, u64) {
+/// total of the `counter` work counter, and the run's peak live bytes.
+/// Instrumented runs happen *after* the timed reps, so `wall_ms` never
+/// includes collection overhead; the peak window is reset per bench so
+/// each reports its own high-water mark (graph + kernel scratch).
+fn observed_spans(
+    bench: &'static str,
+    counter: &str,
+    f: impl FnOnce(),
+) -> (snap_obs::ReportNode, u64, u64) {
     snap_obs::enable();
     snap_obs::enable_mem_tracking();
     snap_obs::reset_peak_live();
@@ -84,7 +92,7 @@ fn observed_spans(bench: &'static str, f: impl FnOnce()) -> (snap_obs::ReportNod
     let peak_bytes = snap_obs::mem_snapshot().peak_live;
     snap_obs::disable_mem_tracking();
     let report = snap_obs::finish().unwrap_or_default();
-    let work = report.total_counter("frontier_vertices");
+    let work = report.total_counter(counter);
     let node = report.root.children.into_iter().next().unwrap_or_default();
     (node, work, peak_bytes)
 }
@@ -121,9 +129,10 @@ fn main() {
         let wall = min_wall(reps, || time(|| betweenness_from_sources(&g, &sources)).1);
         // Work units: total traversal vertices over all sources, read from
         // the kernel's own counters in the observed run.
-        let (node, work, peak) = observed_spans("sampled_betweenness_k64", || {
-            let _ = betweenness_from_sources(&g, &sources);
-        });
+        let (node, work, peak) =
+            observed_spans("sampled_betweenness_k64", "frontier_vertices", || {
+                let _ = betweenness_from_sources(&g, &sources);
+            });
         bench_spans.push(node);
         entries.push(entry("sampled_betweenness_k64", &g, wall, work, peak));
     }
@@ -133,7 +142,7 @@ fn main() {
         let n = 1usize << scale.saturating_sub(3);
         let g = erdos_renyi(n, n * 8, seed);
         let wall = min_wall(reps, || time(|| closeness(&g)).1);
-        let (node, _, peak) = observed_spans("closeness_exact", || {
+        let (node, _, peak) = observed_spans("closeness_exact", "frontier_vertices", || {
             let _ = closeness(&g);
         });
         bench_spans.push(node);
@@ -152,9 +161,10 @@ fn main() {
         let n = 1usize << s;
         let g = rmat(&RmatConfig::small_world(s, n * 8), seed);
         let wall = min_wall(reps, || time(|| path_stats_sampled(&g, 256, seed)).1);
-        let (node, _, peak) = observed_spans("path_stats_sampled_k256", || {
-            let _ = path_stats_sampled(&g, 256, seed);
-        });
+        let (node, _, peak) =
+            observed_spans("path_stats_sampled_k256", "frontier_vertices", || {
+                let _ = path_stats_sampled(&g, 256, seed);
+            });
         bench_spans.push(node);
         entries.push(entry("path_stats_sampled_k256", &g, wall, 256, peak));
     }
@@ -176,13 +186,125 @@ fn main() {
             work = edges;
             d
         });
-        let (node, _, peak) = observed_spans("hybrid_bfs_64", || {
+        let (node, _, peak) = observed_spans("hybrid_bfs_64", "frontier_vertices", || {
             for &s in &sources {
                 let _ = par_bfs_hybrid_stats(&g, s, &cfg);
             }
         });
         bench_spans.push(node);
         entries.push(entry("hybrid_bfs_64", &g, wall, work, peak));
+    }
+
+    // --- Compressed CSR A/B: the same kernels over flat vs
+    // delta/varint-compressed adjacency, plus the bucket kernels. ---
+    //
+    // `csr_bfs` / `ccsr_bfs` share one R-MAT instance and source set;
+    // their `work_units` (total edges examined) must be identical — a
+    // backend that decoded a different adjacency would shift the
+    // direction-optimizing traversal's edge count. `kcore` runs the
+    // bucket-peeling coreness kernel (work = degree decrements);
+    // `sssp_delta_flat` / `sssp_delta_buckets` A/B the Δ-stepping
+    // refactor onto the shared `Buckets` structure (work = relaxations,
+    // distances asserted bit-identical). The flat graph is dropped
+    // before the compressed rows' observed runs, so the `peak_bytes`
+    // columns compare resident footprints.
+    {
+        use snap::graph::CompressedCsrGraph;
+        use snap::kernels::{coreness, delta_stepping, delta_stepping_flat_reference};
+
+        let s = scale.saturating_sub(2);
+        let n = 1usize << s;
+        let g = rmat(&RmatConfig::small_world(s, n * 8), seed);
+        let (gn, gm) = (g.num_vertices(), g.num_edges());
+        let sources = sample_sources(gn, 16, seed ^ 2);
+        let cfg = HybridConfig::default();
+
+        fn bfs_sweep<G: Graph>(g: &G, sources: &[u32], cfg: &HybridConfig) -> u64 {
+            sources
+                .iter()
+                .map(|&s| par_bfs_hybrid_stats(g, s, cfg).1.total_edges_examined())
+                .sum()
+        }
+
+        let mut csr_work = 0u64;
+        let wall = min_wall(reps, || {
+            let (w, d) = time(|| bfs_sweep(&g, &sources, &cfg));
+            csr_work = w;
+            d
+        });
+        let (node, _, peak) = observed_spans("csr_bfs", "frontier_vertices", || {
+            let _ = bfs_sweep(&g, &sources, &cfg);
+        });
+        bench_spans.push(node);
+        entries.push(entry_nm("csr_bfs", gn, gm, wall, csr_work, peak));
+
+        let wall = min_wall(reps, || time(|| coreness(&g)).1);
+        let core_csr = coreness(&g);
+        let (node, _, peak) = observed_spans("kcore", "kcore_decrements", || {
+            let _ = coreness(&g);
+        });
+        bench_spans.push(node);
+        entries.push(entry_nm("kcore", gn, gm, wall, core_csr.decrements, peak));
+
+        let sssp_source = sources[0];
+        let wall = min_wall(reps, || {
+            time(|| delta_stepping_flat_reference(&g, sssp_source, 0)).1
+        });
+        let flat_dist = delta_stepping_flat_reference(&g, sssp_source, 0).dist;
+        let (node, _, peak) = observed_spans("sssp_delta_flat", "relaxations", || {
+            let _ = delta_stepping_flat_reference(&g, sssp_source, 0);
+        });
+        bench_spans.push(node);
+        entries.push(entry_nm("sssp_delta_flat", gn, gm, wall, 0, peak));
+
+        let wall = min_wall(reps, || time(|| delta_stepping(&g, sssp_source, 0)).1);
+        let bucket_result = delta_stepping(&g, sssp_source, 0);
+        assert_eq!(
+            flat_dist, bucket_result.dist,
+            "Buckets Δ-stepping must be bit-identical to the flat reference"
+        );
+        let (node, relax, peak) = observed_spans("sssp_delta_buckets", "relaxations", || {
+            let _ = delta_stepping(&g, sssp_source, 0);
+        });
+        bench_spans.push(node);
+        entries.push(entry_nm("sssp_delta_buckets", gn, gm, wall, relax, peak));
+        // Backfill the flat row's work with the same relaxation count —
+        // identical by the bit-identity assert above.
+        if let Some(e) = entries.iter_mut().find(|e| e.bench == "sssp_delta_flat") {
+            e.work_units = relax;
+        }
+
+        // Cross-backend equivalence, then drop the flat graph so the
+        // compressed rows' peaks reflect the compressed-resident state.
+        let c = CompressedCsrGraph::from_csr(&g);
+        assert!(
+            c.adjacency_bytes() < g.adjacency_bytes(),
+            "compression must shrink the adjacency: {} vs {}",
+            c.adjacency_bytes(),
+            g.adjacency_bytes()
+        );
+        assert_eq!(
+            core_csr.coreness,
+            coreness(&c).coreness,
+            "coreness must agree across backends"
+        );
+        drop(g);
+
+        let mut ccsr_work = 0u64;
+        let wall = min_wall(reps, || {
+            let (w, d) = time(|| bfs_sweep(&c, &sources, &cfg));
+            ccsr_work = w;
+            d
+        });
+        assert_eq!(
+            csr_work, ccsr_work,
+            "edge-inspection work_units must be invariant across backends"
+        );
+        let (node, _, peak) = observed_spans("ccsr_bfs", "frontier_vertices", || {
+            let _ = bfs_sweep(&c, &sources, &cfg);
+        });
+        bench_spans.push(node);
+        entries.push(entry_nm("ccsr_bfs", gn, gm, wall, ccsr_work, peak));
     }
 
     // --- Streaming: delta-merge vs full rebuild on small-batch churn. ---
@@ -235,7 +357,7 @@ fn main() {
             work = w;
             d
         });
-        let (node, _, peak) = observed_spans("stream_delta_merge", || {
+        let (node, _, peak) = observed_spans("stream_delta_merge", "frontier_vertices", || {
             let _ = delta_pass();
         });
         bench_spans.push(node);
@@ -251,7 +373,7 @@ fn main() {
             work, rebuild_work,
             "both paths must publish the same snapshots"
         );
-        let (node, _, peak) = observed_spans("stream_full_rebuild", || {
+        let (node, _, peak) = observed_spans("stream_full_rebuild", "frontier_vertices", || {
             let _ = rebuild_pass();
         });
         bench_spans.push(node);
@@ -328,7 +450,7 @@ fn main() {
 
         let wall = min_wall(reps, || time(serve_pass).1);
         let work = u64::from(CLIENTS * PER_CLIENT);
-        let (node, _, peak) = observed_spans("serve_loop", || {
+        let (node, _, peak) = observed_spans("serve_loop", "frontier_vertices", || {
             let hit_h = snap_obs::hist("hit_us");
             let miss_h = snap_obs::hist("miss_us");
             let (mut hits, mut misses) = serve_pass();
@@ -432,6 +554,26 @@ fn entry(
         bench,
         n: g.num_vertices(),
         m: g.num_edges(),
+        wall_ms,
+        work_units,
+        peak_bytes,
+    }
+}
+
+/// [`entry`] with explicit sizes, for benches whose graph is not a
+/// `CsrGraph` (the compressed backend rows) or has been dropped.
+fn entry_nm(
+    bench: &'static str,
+    n: usize,
+    m: usize,
+    wall_ms: f64,
+    work_units: u64,
+    peak_bytes: u64,
+) -> Entry {
+    Entry {
+        bench,
+        n,
+        m,
         wall_ms,
         work_units,
         peak_bytes,

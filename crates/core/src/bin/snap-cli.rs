@@ -6,7 +6,9 @@
 //! snap-cli communities  <graph> [--algorithm gn|pbd|pma|pla|spectral] [--members]
 //! snap-cli partition    <graph> --parts K [--method kway|recur|rqi|lanczos] [--seed S]
 //! snap-cli centrality   <graph> [--approx FRAC] [--top K] [--seed S]
+//! snap-cli kcore        <graph> [--backend csr|compressed] [--directed] [--top K]
 //! snap-cli run          <graph> [--source V] [--algorithm A] [--parts K] [--approx FRAC] [--seed S]
+//!                       [--backend csr|compressed]
 //! snap-cli stream       <opfile> [--base GRAPH] [--merge-every N] [--source V] [--check]
 //! snap-cli serve        <graph> [--workers N] [--cache-bytes B] [--cache-entries N]
 //!                       [--deadline-ms MS] [--max-pending N] [--socket PATH]
@@ -35,6 +37,17 @@
 //! between merges), so the cache invalidates live while queries run.
 //! `--metrics-out` exports `snap_serve_*` counters from the running
 //! server. EOF on stdin (or an empty line) shuts down cleanly.
+//!
+//! `kcore` runs the parallel k-core decomposition (coreness of every
+//! vertex by bucket peeling) and prints the degeneracy plus a core-size
+//! table. `kcore` and `run` accept `--backend compressed` to execute
+//! the kernels over the delta/varint-compressed CSR representation
+//! (`CompressedCsrGraph`) instead of the flat adjacency arrays; with
+//! `--backend` the `run` pipeline switches to the
+//! representation-agnostic kernels (BFS, connected components, k-core,
+//! Δ-stepping SSSP) and prints a `fixture_hash` fingerprint of every
+//! kernel output — bit-identical across backends, which is what the CI
+//! compressed-smoke job asserts.
 //!
 //! Graph files may be whitespace edge lists (`u v [w]`, `#` comments,
 //! 0-based ids), DIMACS shortest-path files (`.gr`), or METIS files
@@ -96,7 +109,9 @@ commands:
   communities  <graph> [--algorithm gn|pbd|pma|pla|spectral] [--members]
   partition    <graph> --parts K [--method kway|recur|rqi|lanczos] [--seed S]
   centrality   <graph> [--approx FRAC] [--top K] [--seed S]
+  kcore        <graph> [--backend csr|compressed] [--directed] [--top K]
   run          <graph> [--source V] [--algorithm A] [--parts K] [--approx FRAC] [--seed S]
+               [--backend csr|compressed]
   stream       <opfile> [--base GRAPH] [--merge-every N] [--source V] [--check]
   serve        <graph> [--workers N] [--cache-bytes B] [--cache-entries N]
                [--deadline-ms MS] [--max-pending N] [--socket PATH]
@@ -397,6 +412,7 @@ fn main() {
         "communities" => cmd_communities(&args),
         "partition" => cmd_partition(&args),
         "centrality" => cmd_centrality(&args),
+        "kcore" => cmd_kcore(&args),
         "run" => cmd_run(&args),
         "stream" => cmd_stream(&args),
         "serve" => cmd_serve(&args),
@@ -716,10 +732,207 @@ fn cmd_centrality(args: &Args) {
     obs.emit();
 }
 
+/// FNV-1a over a stream of u64 words — the cross-backend fingerprint of
+/// the generic pipeline's kernel outputs (same constants as the
+/// `fixture_hash` bench binary).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn word(&mut self, x: u64) {
+        for b in x.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn done(self) -> u64 {
+        self.0
+    }
+}
+
+/// Which adjacency representation the representation-agnostic commands
+/// run over.
+enum Backend {
+    Csr(CsrGraph),
+    Compressed(snap::graph::CompressedCsrGraph),
+}
+
+impl Backend {
+    /// Build from `--backend` (default `csr`). Compressed construction
+    /// reports the adjacency footprint next to the flat layout's.
+    fn select(args: &Args, obs: &Obs, g: CsrGraph) -> Backend {
+        match args.flag("backend").unwrap_or("csr") {
+            "csr" => Backend::Csr(g),
+            "compressed" => {
+                let flat_bytes = g.adjacency_bytes();
+                let c = snap::graph::CompressedCsrGraph::from_csr(&g);
+                drop(g);
+                say!(
+                    obs,
+                    "compressed adjacency: {} of {} bytes ({:.1}%), {} raw hub block(s)",
+                    c.adjacency_bytes(),
+                    flat_bytes,
+                    100.0 * c.adjacency_bytes() as f64 / flat_bytes.max(1) as f64,
+                    c.raw_blocks()
+                );
+                Backend::Compressed(c)
+            }
+            other => fail(&format!(
+                "unknown backend {other} (expected csr or compressed)"
+            )),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            Backend::Csr(_) => "csr",
+            Backend::Compressed(_) => "compressed",
+        }
+    }
+}
+
+/// Dispatch a generic closure over the selected backend.
+macro_rules! with_backend {
+    ($backend:expr, |$g:ident| $body:expr) => {
+        match &$backend {
+            Backend::Csr($g) => $body,
+            Backend::Compressed($g) => $body,
+        }
+    };
+}
+
+/// `kcore` — parallel k-core decomposition by bucket peeling.
+fn cmd_kcore(args: &Args) {
+    let path = input_path(args);
+    let g = load(args, path, args.flag("directed").is_some());
+    if g.num_vertices() == 0 {
+        fail("graph has no vertices");
+    }
+    let top: usize = args.flag_parse("top", 10);
+    let budget = parse_budget(args);
+    let obs = Obs::parse(args);
+    obs.begin("kcore", path);
+    let backend = Backend::select(args, &obs, g);
+    snap::obs::meta("backend", backend.name());
+    let r = with_backend!(backend, |g| {
+        match snap::kernels::try_coreness(g, &budget) {
+            Ok(r) => r,
+            Err(why) => {
+                // A partial peel is not a decomposition; report the
+                // cancellation and exit non-zero (report still emitted).
+                say!(obs, "kcore cancelled: {why}");
+                obs.emit();
+                exit(3);
+            }
+        }
+    });
+    say!(
+        obs,
+        "degeneracy {} | innermost core {} vertex(es) | {} peeling round(s)",
+        r.max_core,
+        r.core_size(r.max_core),
+        r.rounds
+    );
+    // Core-size table: |k-core| is monotone decreasing in k; show the
+    // innermost `top` levels where the interesting structure lives.
+    let lo = (r.max_core as usize + 1).saturating_sub(top) as u32;
+    say!(
+        obs,
+        "{:>6} {:>12} {:>12}",
+        "k",
+        "k-core size",
+        "coreness = k"
+    );
+    for k in lo..=r.max_core {
+        let exact = r.coreness.iter().filter(|&&c| c == k).count();
+        say!(obs, "{:>6} {:>12} {:>12}", k, r.core_size(k), exact);
+    }
+    note_budget(&obs, &budget);
+    obs.emit();
+}
+
+/// The representation-agnostic pipeline behind `run --backend`: BFS,
+/// connected components, k-core, and Δ-stepping SSSP over any `Graph`
+/// backend, fingerprinting every kernel output. The fingerprint must be
+/// bit-identical across backends (the CI compressed-smoke assertion).
+fn run_generic_pipeline<G: snap::graph::WeightedGraph>(obs: &Obs, g: &G, source: u32) {
+    let n = g.num_vertices();
+
+    say!(obs, "— bfs (source {source}) —");
+    let cfg = snap::kernels::HybridConfig::default();
+    let (bfs, stats) = snap::kernels::par_bfs_hybrid_stats(g, source, &cfg);
+    let work_units = stats.total_edges_examined();
+    say!(
+        obs,
+        "reached {} of {n} vertices, depth {}, edges examined {work_units}",
+        bfs.dist
+            .iter()
+            .filter(|&&d| d != snap::kernels::UNREACHABLE)
+            .count(),
+        stats.depth()
+    );
+
+    say!(obs, "— components —");
+    let comps = snap::kernels::connected_components(g);
+    say!(obs, "{} component(s)", comps.count);
+
+    say!(obs, "— kcore —");
+    let core = snap::kernels::coreness(g);
+    say!(
+        obs,
+        "degeneracy {}, innermost core {} vertex(es), {} round(s)",
+        core.max_core,
+        core.core_size(core.max_core),
+        core.rounds
+    );
+
+    say!(obs, "— sssp (delta heuristic) —");
+    let sssp = snap::kernels::delta_stepping(g, source, 0);
+    let finite = sssp.dist.iter().filter(|&&d| d != snap::kernels::INF);
+    say!(
+        obs,
+        "reached {} vertex(es), max distance {}",
+        finite.clone().count(),
+        finite.max().copied().unwrap_or(0)
+    );
+
+    // One fingerprint over every kernel output, in a fixed order. The
+    // BFS edge-inspection count rides along: a backend that decodes a
+    // different adjacency would shift it even if distances agreed.
+    let mut h = Fnv::new();
+    for &d in &bfs.dist {
+        h.word(d as u64);
+    }
+    for &c in &comps.comp {
+        h.word(c as u64);
+    }
+    for &c in &core.coreness {
+        h.word(c as u64);
+    }
+    for &d in &sssp.dist {
+        h.word(d);
+    }
+    h.word(work_units);
+    let hash = format!("{:#018x}", h.done());
+    snap::obs::meta("fixture_hash", &hash);
+    snap::obs::add("work_units", work_units);
+    say!(obs, "fixture_hash {hash} | work_units {work_units}");
+}
+
 /// The whole instrumented pipeline in one shot: summary, BFS, community
 /// detection, approximate betweenness, and partitioning. With
-/// `--report json` the emitted report covers every kernel.
+/// `--report json` the emitted report covers every kernel. With
+/// `--backend csr|compressed` the representation-agnostic pipeline runs
+/// instead (BFS + components + k-core + SSSP over the chosen adjacency
+/// representation, fingerprinted for cross-backend comparison).
 fn cmd_run(args: &Args) {
+    if args.flag("backend").is_some() {
+        return cmd_run_backend(args);
+    }
     let path = input_path(args);
     let g = load(args, path, false);
     let n = g.num_vertices();
@@ -796,6 +1009,28 @@ fn cmd_run(args: &Args) {
     }
 
     note_budget(&obs, &budget);
+    obs.emit();
+}
+
+/// `run --backend csr|compressed`: the generic pipeline over an explicit
+/// adjacency representation.
+fn cmd_run_backend(args: &Args) {
+    let path = input_path(args);
+    let g = load(args, path, args.flag("directed").is_some());
+    let n = g.num_vertices();
+    if n == 0 {
+        fail("graph has no vertices");
+    }
+    let source: u32 = args.flag_parse("source", 0u32);
+    if source as usize >= n {
+        fail(&format!("--source {source} out of range (n = {n})"));
+    }
+    let obs = Obs::parse(args);
+    obs.begin("run", path);
+    let backend = Backend::select(args, &obs, g);
+    snap::obs::meta("backend", backend.name());
+    say!(obs, "backend {}", backend.name());
+    with_backend!(backend, |g| run_generic_pipeline(&obs, g, source));
     obs.emit();
 }
 

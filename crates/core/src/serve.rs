@@ -85,6 +85,9 @@ pub enum Query {
         /// Seed for randomized phases.
         seed: u64,
     },
+    /// K-core decomposition: degeneracy (max core number), the size of
+    /// the innermost core, and peeling rounds.
+    Coreness,
     /// Current snapshot epoch and size (never cached; this is also how a
     /// client observes that a merge happened).
     Epoch,
@@ -101,6 +104,7 @@ impl Query {
             Query::Centrality { .. } => "centrality",
             Query::Communities { .. } => "communities",
             Query::Partition { .. } => "partition",
+            Query::Coreness => "coreness",
             Query::Epoch => "epoch",
             Query::Stats => "stats",
         }
@@ -139,6 +143,7 @@ impl Query {
                 "partition method={} parts={parts} seed={seed}",
                 method_name(*method)
             ),
+            Query::Coreness => "coreness".to_string(),
             Query::Epoch => "epoch".to_string(),
             Query::Stats => "stats".to_string(),
         }
@@ -192,7 +197,8 @@ fn parse_method(s: &str) -> Result<PartitionMethod, String> {
 /// ```
 ///
 /// Fields: `query` (required: `summary` | `bfs` | `centrality` |
-/// `communities` | `partition` | `epoch` | `stats`), `id` (echoed back,
+/// `communities` | `partition` | `coreness` | `epoch` | `stats`),
+/// `id` (echoed back,
 /// default 0), `deadline_ms` (per-request budget; overrides the engine
 /// default), `report` (attach the snap-obs report, default `false`), plus
 /// per-kind params (`seed`, `source`, `frac`, `top`, `algorithm`,
@@ -254,6 +260,7 @@ impl Request {
                 parts: v.get("parts").and_then(Json::as_u64).unwrap_or(2) as usize,
                 seed,
             },
+            "coreness" | "kcore" => Query::Coreness,
             "epoch" => Query::Epoch,
             "stats" => Query::Stats,
             other => return Err(format!("unknown query {other:?}")),
@@ -963,6 +970,18 @@ pub fn compute_payload(net: &Network, query: &Query) -> QueryResult {
                 out
             }
         },
+        Query::Coreness => match net.try_coreness() {
+            Ok(r) => format!(
+                "{{\"max_core\":{},\"degeneracy_core_size\":{},\"rounds\":{}}}",
+                r.max_core,
+                r.core_size(r.max_core),
+                r.rounds
+            ),
+            Err(why) => {
+                degraded = true;
+                format!("{{\"error\":\"cancelled: {why}\"}}")
+            }
+        },
         Query::Epoch | Query::Stats => {
             // Meta queries are answered by the engine, which owns the
             // state they describe; cold compute has nothing to say.
@@ -1052,6 +1071,29 @@ mod tests {
         let stats = engine.handle(&Request::new(Query::Stats));
         assert_eq!(stats.outcome, Outcome::Miss);
         assert_eq!(engine.cache_occupancy().0, 0);
+    }
+
+    #[test]
+    fn coreness_query_round_trips_and_caches() {
+        // A ring is exactly its own 2-core.
+        let engine = engine_on(32, ServeConfig::default());
+        let req = Request::parse(r#"{"query":"coreness","id":5}"#).unwrap();
+        assert_eq!(req.query, Query::Coreness);
+        // `kcore` is accepted as an alias and canonicalizes identically.
+        let alias = Request::parse(r#"{"query":"kcore"}"#).unwrap();
+        assert_eq!(alias.query.cache_key(), req.query.cache_key());
+        let cold = engine.handle(&req);
+        assert_eq!(cold.outcome, Outcome::Miss);
+        let parsed = Json::parse(&cold.to_json_line()).unwrap();
+        let payload = parsed.get("payload").unwrap();
+        assert_eq!(payload.get("max_core").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            payload.get("degeneracy_core_size").and_then(Json::as_u64),
+            Some(32)
+        );
+        let hit = engine.handle(&req);
+        assert_eq!(hit.outcome, Outcome::Hit);
+        assert_eq!(cold.payload, hit.payload, "bit-identical payload");
     }
 
     #[test]

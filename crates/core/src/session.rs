@@ -312,6 +312,20 @@ impl Network {
         }
     }
 
+    /// K-core decomposition: the coreness (largest k such that the
+    /// vertex survives in the k-core) of every vertex, by parallel
+    /// bucket peeling.
+    pub fn coreness(&self) -> snap_kernels::CorenessResult {
+        snap_kernels::coreness(self.graph())
+    }
+
+    /// Budget-aware [`Self::coreness`]: a partial peel is not a valid
+    /// decomposition, so exhaustion cancels with [`Exhausted`] instead
+    /// of degrading.
+    pub fn try_coreness(&self) -> Result<snap_kernels::CorenessResult, Exhausted> {
+        snap_kernels::try_coreness(self.graph(), &self.budget)
+    }
+
     /// Modularity of an arbitrary clustering against this network.
     pub fn modularity(&self, clustering: &Clustering) -> f64 {
         snap_community::modularity(self.graph(), clustering)
@@ -518,6 +532,20 @@ mod tests {
         // observing exhaustion through its own handle after a run).
         budget.cancel();
         assert!(session.try_bfs_stats(0).is_err());
+    }
+
+    #[test]
+    fn coreness_on_barbell() {
+        // Two triangles joined by a bridge: everything sits in the
+        // 2-core, nothing in a 3-core.
+        let net = barbell();
+        let r = net.coreness();
+        assert_eq!(r.coreness, vec![2; 6]);
+        assert_eq!(r.max_core, 2);
+        let budgeted = net
+            .clone()
+            .with_budget(Budget::with_deadline(std::time::Duration::from_secs(3600)));
+        assert_eq!(budgeted.try_coreness().unwrap().coreness, r.coreness);
     }
 
     #[test]

@@ -62,6 +62,16 @@ impl CsrGraph {
         !self.weights.is_empty()
     }
 
+    /// Bytes resident for the adjacency structure (offsets + targets +
+    /// per-arc edge ids). The flat-backend counterpart of
+    /// [`crate::CompressedCsrGraph::adjacency_bytes`]; edge payload
+    /// (endpoints, weights) is identical across backends and excluded.
+    pub fn adjacency_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.targets.len() * 4
+            + self.arc_edge_ids.len() * 4
+    }
+
     /// Iterate over all edges as `(edge_id, u, v)` with canonical endpoints.
     pub fn edges(&self) -> impl Iterator<Item = (EdgeId, VertexId, VertexId)> + '_ {
         self.endpoints

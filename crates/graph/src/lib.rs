@@ -8,6 +8,10 @@
 //!
 //! * a **static, cache-friendly adjacency-array (CSR) representation**
 //!   ([`CsrGraph`]) — the preferred choice for static graph algorithms;
+//! * a **compressed CSR** ([`CompressedCsrGraph`]) with delta/varint
+//!   difference-encoded adjacency, chunked parallel decode, and a
+//!   degree-threshold hybrid mode — the same graph resident at a
+//!   fraction of the flat adjacency bytes (see `compressed`);
 //! * a **dynamic representation** ([`DynGraph`]) with resizable adjacency
 //!   arrays for low-degree vertices and **treaps** ([`Treap`]) for
 //!   high-degree vertices, so that insertions/deletions and set operations
@@ -28,6 +32,7 @@
 
 pub mod bitset;
 pub mod builder;
+pub mod compressed;
 pub mod csr;
 pub mod dynamic;
 pub mod frontier;
@@ -41,11 +46,14 @@ pub mod view;
 
 pub use bitset::{AtomicBitmap, Bitmap};
 pub use builder::GraphBuilder;
+pub use compressed::{CompressedCsrGraph, DecodeScratch, DEFAULT_HUB_THRESHOLD};
 pub use csr::CsrGraph;
 pub use dynamic::DynGraph;
 pub use frontier::{Frontier, FrontierRepr};
 pub use perm::{apply_permutation, bfs_order, degree_order};
-pub use scratch::{PooledWorkspace, TraversalWorkspace, WorkspacePool, WorkspaceStats};
+pub use scratch::{
+    PooledScratch, PooledWorkspace, ScratchPool, TraversalWorkspace, WorkspacePool, WorkspaceStats,
+};
 pub use stream::{BatchStats, EdgeOp, Snapshot, SnapshotReader, StreamingGraph};
 pub use subgraph::InducedSubgraph;
 pub use traits::{Graph, WeightedGraph};

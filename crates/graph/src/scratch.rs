@@ -499,6 +499,78 @@ impl WorkspacePool {
     }
 }
 
+/// A checkout pool of arbitrary per-thread scratch values — the
+/// [`WorkspacePool`] shape generalized for scratch that is not a
+/// traversal workspace (e.g. the decode buffers of the compressed CSR
+/// backend). Each parallel chunk acquires one value for its whole run;
+/// returned values keep their grown allocations, so a pool held across
+/// sweeps allocates nothing after warm-up.
+#[derive(Debug, Default)]
+pub struct ScratchPool<T> {
+    free: Mutex<Vec<T>>,
+}
+
+impl<T: Default> ScratchPool<T> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        ScratchPool {
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Check a value out (reusing a returned one when available). The
+    /// guard returns it on drop.
+    pub fn acquire(&self) -> PooledScratch<'_, T> {
+        let item = self
+            .free
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        PooledScratch {
+            pool: self,
+            item: Some(item),
+        }
+    }
+
+    /// How many values are currently checked in.
+    pub fn available(&self) -> usize {
+        self.free.lock().expect("scratch pool poisoned").len()
+    }
+}
+
+/// Checkout guard for a pooled scratch value (see
+/// [`ScratchPool::acquire`]).
+#[derive(Debug)]
+pub struct PooledScratch<'p, T> {
+    pool: &'p ScratchPool<T>,
+    item: Option<T>,
+}
+
+impl<T> std::ops::Deref for PooledScratch<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.item.as_ref().expect("scratch checked out")
+    }
+}
+
+impl<T> std::ops::DerefMut for PooledScratch<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.item.as_mut().expect("scratch checked out")
+    }
+}
+
+impl<T> Drop for PooledScratch<'_, T> {
+    fn drop(&mut self) {
+        if let Some(item) = self.item.take() {
+            if let Ok(mut free) = self.pool.free.lock() {
+                free.push(item);
+            }
+        }
+    }
+}
+
 /// Checkout guard for a pooled workspace (see [`WorkspacePool::acquire`]).
 #[derive(Debug)]
 pub struct PooledWorkspace<'p> {

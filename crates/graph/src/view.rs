@@ -11,23 +11,27 @@ use crate::csr::CsrGraph;
 use crate::traits::{Graph, WeightedGraph};
 use crate::{EdgeId, VertexId, Weight};
 
-/// A view of a [`CsrGraph`] in which edges can be switched off.
+/// A view of a frozen graph in which edges can be switched off.
+///
+/// Generic over the backend (default [`CsrGraph`]): the divisive
+/// algorithms cut edges over the flat representation, and the same view
+/// works unchanged over a [`crate::CompressedCsrGraph`].
 #[derive(Clone, Debug)]
-pub struct FilteredGraph<'g> {
-    base: &'g CsrGraph,
+pub struct FilteredGraph<'g, G = CsrGraph> {
+    base: &'g G,
     live: Bitmap,
     degrees: Vec<u32>,
     live_edges: usize,
 }
 
-impl<'g> FilteredGraph<'g> {
+impl<'g, G: WeightedGraph> FilteredGraph<'g, G> {
     /// A view with every edge live.
-    pub fn new(base: &'g CsrGraph) -> Self {
+    pub fn new(base: &'g G) -> Self {
         let degrees = (0..base.num_vertices())
             .map(|v| base.degree(v as VertexId) as u32)
             .collect();
         FilteredGraph {
-            live: Bitmap::ones(base.num_edges()),
+            live: Bitmap::ones(base.edge_id_bound()),
             degrees,
             live_edges: base.num_edges(),
             base,
@@ -35,7 +39,7 @@ impl<'g> FilteredGraph<'g> {
     }
 
     /// The underlying frozen graph.
-    pub fn base(&self) -> &'g CsrGraph {
+    pub fn base(&self) -> &'g G {
         self.base
     }
 
@@ -100,7 +104,7 @@ impl<'g> FilteredGraph<'g> {
     }
 }
 
-impl Graph for FilteredGraph<'_> {
+impl<G: WeightedGraph> Graph for FilteredGraph<'_, G> {
     #[inline]
     fn num_vertices(&self) -> usize {
         self.base.num_vertices()
@@ -138,10 +142,7 @@ impl Graph for FilteredGraph<'_> {
     #[inline]
     fn neighbors_with_eid(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
         self.base
-            .neighbor_slice(v)
-            .iter()
-            .copied()
-            .zip(self.base.eid_slice(v).iter().copied())
+            .neighbors_with_eid(v)
             .filter(|&(_, e)| self.live.get(e as usize))
     }
 
@@ -152,7 +153,7 @@ impl Graph for FilteredGraph<'_> {
 
     #[inline]
     fn edge_id_bound(&self) -> usize {
-        self.base.num_edges()
+        self.base.edge_id_bound()
     }
 
     #[inline]
@@ -161,7 +162,7 @@ impl Graph for FilteredGraph<'_> {
     }
 }
 
-impl WeightedGraph for FilteredGraph<'_> {
+impl<G: WeightedGraph> WeightedGraph for FilteredGraph<'_, G> {
     #[inline]
     fn edge_weight(&self, e: EdgeId) -> Weight {
         self.base.edge_weight(e)

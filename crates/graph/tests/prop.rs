@@ -230,3 +230,116 @@ proptest! {
         prop_assert_eq!(rebuilt.edge_ids().count(), view.edge_ids().count());
     }
 }
+
+use snap_graph::compressed::codec;
+use snap_graph::CompressedCsrGraph;
+
+proptest! {
+    /// The compressed backend is observationally identical to the
+    /// `CsrGraph` it was built from — counts, degrees, sorted adjacency
+    /// with edge ids, endpoints, and the edge-id contract — at every
+    /// hub-threshold regime (0 = everything raw, small = mixed,
+    /// `usize::MAX` = everything delta/varint).
+    #[test]
+    fn compressed_matches_csr((n, edges) in edge_list(), threshold_pick in 0usize..3) {
+        let g = GraphBuilder::undirected(n).add_edges(edges).build();
+        let threshold = [0, 4, usize::MAX][threshold_pick];
+        let c = snap_graph::compressed::CompressedCsrGraph::from_csr_with_threshold(&g, threshold);
+        c.validate().unwrap();
+        prop_assert_eq!(c.num_vertices(), g.num_vertices());
+        prop_assert_eq!(c.num_edges(), g.num_edges());
+        prop_assert_eq!(c.num_arcs(), g.num_arcs());
+        prop_assert_eq!(c.is_directed(), g.is_directed());
+        for v in g.vertices() {
+            prop_assert_eq!(c.degree(v), g.degree(v));
+            let a: Vec<_> = g.neighbors_with_eid(v).collect();
+            let b: Vec<_> = c.neighbors_with_eid(v).collect();
+            prop_assert_eq!(a, b, "adjacency of {}", v);
+        }
+        for e in g.edge_ids() {
+            prop_assert_eq!(c.edge_endpoints(e), g.edge_endpoints(e));
+        }
+        prop_assert_eq!(c.edge_ids().count(), c.num_edges());
+        prop_assert!(c.edge_ids().all(|e| (e as usize) < c.edge_id_bound()));
+        prop_assert_eq!(c.edge_ids().collect::<Vec<_>>(), g.edge_ids().collect::<Vec<_>>());
+    }
+
+    /// A `FilteredGraph` view over the compressed backend behaves
+    /// identically to one over the flat CSR under the same deletions.
+    #[test]
+    fn filtered_over_compressed_matches_csr(
+        (n, edges) in edge_list(),
+        dels in prop::collection::vec(0usize..64, 0..32),
+    ) {
+        let g = GraphBuilder::undirected(n).add_edges(edges).build();
+        let c = CompressedCsrGraph::from_csr(&g);
+        let mut fg = FilteredGraph::new(&g);
+        let mut fc = FilteredGraph::new(&c);
+        for d in dels {
+            if g.num_edges() > 0 {
+                let e = (d % g.num_edges()) as u32;
+                prop_assert_eq!(fg.delete_edge(e), fc.delete_edge(e));
+            }
+        }
+        prop_assert_eq!(fc.num_edges(), fg.num_edges());
+        for v in g.vertices() {
+            prop_assert_eq!(fc.degree(v), fg.degree(v));
+            let a: Vec<_> = fg.neighbors(v).collect();
+            let b: Vec<_> = fc.neighbors(v).collect();
+            prop_assert_eq!(a, b, "filtered adjacency of {}", v);
+        }
+        let a: Vec<_> = fg.edge_ids().collect();
+        let b: Vec<_> = fc.edge_ids().collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// varint round-trips arbitrary u64s (plus 0, u32::MAX, u64::MAX)
+    /// and zig-zag round-trips arbitrary i64s.
+    #[test]
+    fn varint_zigzag_round_trip(
+        xs in prop::collection::vec(0u64..u64::MAX, 1..64),
+        s in i64::MIN..i64::MAX,
+    ) {
+        let mut buf = Vec::new();
+        for &x in xs.iter().chain(&[0, u64::from(u32::MAX), u64::MAX]) {
+            buf.clear();
+            codec::write_varint(&mut buf, x);
+            let mut pos = 0;
+            prop_assert_eq!(codec::read_varint(&buf, &mut pos), x);
+            prop_assert_eq!(pos, buf.len());
+        }
+        prop_assert_eq!(codec::unzigzag(codec::zigzag(s)), s);
+        prop_assert_eq!(codec::unzigzag(codec::zigzag(i64::MIN)), i64::MIN);
+        prop_assert_eq!(codec::unzigzag(codec::zigzag(i64::MAX)), i64::MAX);
+    }
+
+    /// `encode_sorted`/`decode_sorted` are inverses on sorted
+    /// duplicate-free lists — including lists ending in `u32::MAX` —
+    /// and encoding rejects gap-0 (a parallel edge) and unsorted input.
+    #[test]
+    fn adjacency_codec_round_trips(
+        v in 0u32..1000,
+        set in prop::collection::btree_set(0u32..u32::MAX, 0..64),
+    ) {
+        let mut neighbors: Vec<u32> = set.into_iter().collect();
+        let mut buf = Vec::new();
+        codec::encode_sorted(v, &neighbors, &mut buf).unwrap();
+        let mut pos = 0;
+        prop_assert_eq!(codec::decode_sorted(v, &buf, &mut pos), neighbors.clone());
+        prop_assert_eq!(pos, buf.len());
+
+        neighbors.push(u32::MAX);
+        buf.clear();
+        codec::encode_sorted(v, &neighbors, &mut buf).unwrap();
+        let mut pos = 0;
+        prop_assert_eq!(codec::decode_sorted(v, &buf, &mut pos), neighbors.clone());
+
+        let first = neighbors[0];
+        prop_assert!(codec::encode_sorted(v, &[first, first], &mut Vec::new()).is_err());
+        if neighbors.len() >= 2 && neighbors[0] != neighbors[neighbors.len() - 1] {
+            let mut rev = neighbors.clone();
+            rev.reverse();
+            prop_assert!(codec::encode_sorted(v, &rev, &mut Vec::new()).is_err());
+        }
+    }
+}

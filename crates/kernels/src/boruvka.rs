@@ -62,7 +62,6 @@ impl DisjointSet {
 pub fn boruvka_msf<G: WeightedGraph>(g: &G) -> Msf {
     assert!(!g.is_directed(), "MSF is defined on undirected graphs");
     let n = g.num_vertices();
-    let m = g.num_edges();
     let mut dsu = DisjointSet::new(n);
     let mut chosen: Vec<EdgeId> = Vec::new();
     let mut total: u64 = 0;
@@ -74,10 +73,16 @@ pub fn boruvka_msf<G: WeightedGraph>(g: &G) -> Msf {
         };
     }
 
-    // Precompute edge keys (weight, id) once.
-    let keys: Vec<(u64, u32)> = (0..m as u32)
-        .map(|e| (g.edge_weight(e) as u64, e))
-        .collect();
+    // Live edge ids via the trait contract: contiguous on plain graphs,
+    // sparse within `0..edge_id_bound()` on filtered views — a flat
+    // `0..num_edges()` sweep would scan deleted edges there and miss
+    // live high ids. The key table is indexed by raw id, so it is sized
+    // to the id *bound*, not the live count.
+    let ids: Vec<EdgeId> = g.edge_ids().collect();
+    let mut keys: Vec<(u64, u32)> = vec![(u64::MAX, u32::MAX); g.edge_id_bound()];
+    for &e in &ids {
+        keys[e as usize] = (g.edge_weight(e) as u64, e);
+    }
 
     loop {
         // Snapshot component labels so the parallel scan needs no &mut.
@@ -87,11 +92,11 @@ pub fn boruvka_msf<G: WeightedGraph>(g: &G) -> Msf {
         };
 
         // For each component, the lightest outgoing edge (min (w, id)).
-        let best = (0..m as u32)
-            .into_par_iter()
+        let best = ids
+            .par_iter()
             .fold(
                 || vec![(u64::MAX, u32::MAX); 0],
-                |mut acc, e| {
+                |mut acc, &e| {
                     if acc.is_empty() {
                         acc = vec![(u64::MAX, u32::MAX); n];
                     }
@@ -233,5 +238,51 @@ mod tests {
         let msf = boruvka_msf(&g);
         assert_eq!(msf.trees, 0);
         assert!(msf.edges.is_empty());
+    }
+
+    #[test]
+    fn filtered_view_uses_live_edge_ids() {
+        // Regression: the edge sweep must come from `edge_ids()`, not
+        // `0..num_edges()` — after deletions a flat sweep of the first
+        // `num_edges()` ids scans deleted edges and misses live high ids.
+        // Canonical id order: 0:(0,1)w1 1:(0,2)w5 2:(0,3)w4 3:(1,2)w2
+        // 4:(2,3)w3.
+        let g = weighted(4, &[(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 0, 4), (0, 2, 5)]);
+        let mut view = snap_graph::FilteredGraph::new(&g);
+        assert!(view.delete_edge(0)); // (0,1) w=1
+        assert!(view.delete_edge(1)); // (0,2) w=5
+        let msf = boruvka_msf(&view);
+        assert_eq!(msf.trees, 1);
+        assert_eq!(msf.edges, vec![2, 3, 4]);
+        assert_eq!(msf.total_weight, 4 + 2 + 3);
+
+        // Deleting a bridge splits the forest and isolates vertex 1.
+        assert!(view.delete_edge(3)); // (1,2) w=2
+        let msf = boruvka_msf(&view);
+        assert_eq!(msf.trees, 2);
+        assert_eq!(msf.edges, vec![2, 4]);
+        assert_eq!(msf.total_weight, 4 + 3);
+    }
+
+    #[test]
+    fn compressed_backend_matches_csr() {
+        let g = weighted(
+            6,
+            &[
+                (0, 1, 4),
+                (1, 2, 9),
+                (0, 2, 2),
+                (2, 3, 7),
+                (3, 4, 1),
+                (4, 5, 6),
+                (3, 5, 3),
+            ],
+        );
+        let c = snap_graph::CompressedCsrGraph::from_csr(&g);
+        let a = boruvka_msf(&g);
+        let b = boruvka_msf(&c);
+        assert_eq!(a.edges, b.edges);
+        assert_eq!(a.total_weight, b.total_weight);
+        assert_eq!(a.trees, b.trees);
     }
 }

@@ -14,8 +14,10 @@
 //! * **Fine-grained synchronization kept cheap**: atomic bitmaps and
 //!   label arrays instead of locks throughout.
 //! * Everything is generic over [`snap_graph::Graph`], so the same kernel
-//!   runs on a frozen CSR graph, a filtered view with deleted edges, or an
-//!   extracted component.
+//!   runs on a frozen CSR graph, a compressed CSR graph, a filtered view
+//!   with deleted edges, or an extracted component.
+//! * **Julienne-style bucketing** ([`buckets::Buckets`]) shared between
+//!   Δ-stepping SSSP and k-core decomposition ([`kcore::coreness`]).
 //!
 //! Parallel kernels use the ambient rayon thread pool; callers control
 //! parallelism by installing a pool (`ThreadPool::install`).
@@ -23,9 +25,11 @@
 pub mod bfs;
 pub mod bicc;
 pub mod boruvka;
+pub mod buckets;
 pub mod components;
 pub mod dynbfs;
 pub mod dyncc;
+pub mod kcore;
 pub mod spanning;
 pub mod sssp;
 pub mod stcon;
@@ -37,11 +41,16 @@ pub use bfs::{
 };
 pub use bicc::{biconnected_components, Bicc};
 pub use boruvka::{boruvka_msf, Msf};
+pub use buckets::{Buckets, UNBUCKETED};
 pub use components::{
     connected_components, par_components_hybrid, par_components_lp, par_components_sv, Components,
 };
 pub use dynbfs::IncrementalBfs;
 pub use dyncc::{DynamicComponents, IncrementalComponents};
+pub use kcore::{coreness, try_coreness, CorenessResult};
 pub use spanning::{par_spanning_forest, spanning_forest, SpanningForest};
-pub use sssp::{delta_stepping, dijkstra, try_delta_stepping, SsspResult, INF};
+pub use sssp::{
+    delta_stepping, delta_stepping_flat_reference, dijkstra, try_delta_stepping,
+    try_delta_stepping_flat_reference, SsspResult, INF,
+};
 pub use stcon::{st_connectivity, st_connectivity_with_workspace, StResult};

@@ -7,7 +7,13 @@
 //! relaxation requests generated in parallel, then *heavy* edges are
 //! relaxed once. With Δ = max weight this degrades to Bellman-Ford-ish
 //! phases; with Δ = 1 (unweighted) it is level-synchronous BFS.
+//!
+//! The bucket array lives in the shared [`Buckets`] structure (also
+//! under k-core peeling); [`try_delta_stepping_flat_reference`] keeps
+//! the pre-extraction inline-bucket implementation for A/B testing —
+//! the two are bit-identical on distances.
 
+use crate::buckets::Buckets;
 use rayon::prelude::*;
 use snap_budget::{Budget, Exhausted};
 use snap_graph::{VertexId, WeightedGraph};
@@ -56,6 +62,25 @@ pub fn delta_stepping<G: WeightedGraph>(g: &G, source: VertexId, delta: u64) -> 
         .expect("unlimited budget cannot be exhausted")
 }
 
+/// Heuristic Δ when the caller passes 0: average weight over live arcs,
+/// clamped to ≥ 1. A flat sweep over `0..num_edges()` would be wrong on
+/// filtered views, whose live edge ids are an arbitrary subset of
+/// `0..edge_id_bound()`.
+fn pick_delta<G: WeightedGraph>(g: &G, delta: u64) -> u64 {
+    if delta != 0 {
+        return delta;
+    }
+    let mut total = 0u64;
+    let mut arcs = 0u64;
+    for v in g.vertices() {
+        for (_, _, w) in g.neighbors_weighted(v) {
+            total += w as u64;
+            arcs += 1;
+        }
+    }
+    total.checked_div(arcs).map_or(1, |avg| avg.max(1))
+}
+
 /// [`delta_stepping`] under a compute [`Budget`]: probed once per bucket
 /// and per light-edge phase, charged per relaxation request. Partial
 /// tentative distances are not shortest paths, so exhaustion aborts with
@@ -71,29 +96,14 @@ pub fn try_delta_stepping<G: WeightedGraph>(
     if n == 0 {
         return Ok(SsspResult { dist: Vec::new() });
     }
-    let delta = if delta == 0 {
-        // Average over live arcs. A flat sweep over `0..num_edges()`
-        // would be wrong on filtered views, whose live edge ids are an
-        // arbitrary subset of `0..edge_id_bound()`.
-        let mut total = 0u64;
-        let mut arcs = 0u64;
-        for v in g.vertices() {
-            for (_, _, w) in g.neighbors_weighted(v) {
-                total += w as u64;
-                arcs += 1;
-            }
-        }
-        total.checked_div(arcs).map_or(1, |avg| avg.max(1))
-    } else {
-        delta
-    };
+    let delta = pick_delta(g, delta);
 
     let mut dist = vec![INF; n];
     dist[source as usize] = 0;
-    // Buckets by floor(dist / delta); grown on demand.
-    let mut buckets: Vec<Vec<VertexId>> = vec![vec![source]];
-    let mut bucket_of = vec![usize::MAX; n];
-    bucket_of[source as usize] = 0;
+    // Buckets by floor(dist / delta); relaxations inside bucket i clamp
+    // to i (Buckets::update), reproducing the classic formulation.
+    let mut bk = Buckets::new(n);
+    bk.insert(source, 0);
 
     // Instrumentation tallies live in plain locals and flush once at the
     // end — the relaxation loops never touch an atomic.
@@ -102,22 +112,27 @@ pub fn try_delta_stepping<G: WeightedGraph>(
     let mut obs_relaxations = 0u64;
     let mut obs_re_relaxations = 0u64;
     let mut obs_phases = 0u64;
+    let mut obs_buckets = 0u64;
     // Per-bucket latency: buckets touched early carry most of the light
     // fixpoint work on small-diameter graphs, so the distribution (not the
     // mean) is the Δ-tuning signal.
     let bucket_us = snap_obs::hist("bucket_us");
 
-    let mut i = 0usize;
-    while i < buckets.len() {
+    while bk.next_bucket().is_some() {
         if let Err(why) = budget.check() {
             snap_obs::meta("cancelled", why);
             snap_obs::add("budget_cancellations", 1);
             return Err(why);
         }
+        obs_buckets += 1;
         let bucket_timer = bucket_us.start();
         let mut settled: Vec<VertexId> = Vec::new();
-        // Light-edge fixpoint within bucket i.
-        while !buckets[i].is_empty() {
+        // Light-edge fixpoint within the current bucket.
+        loop {
+            let current = bk.pop_current();
+            if current.is_empty() {
+                break;
+            }
             if budget.is_exhausted() {
                 let why = budget.exhaustion().unwrap_or(Exhausted::Deadline);
                 snap_obs::meta("cancelled", why);
@@ -125,11 +140,11 @@ pub fn try_delta_stepping<G: WeightedGraph>(
                 return Err(why);
             }
             obs_phases += 1;
-            let current = std::mem::take(&mut buckets[i]);
-            // Generate relaxation requests for light edges in parallel.
+            // Generate relaxation requests for light edges in parallel;
+            // `is_pending` skips entries made stale by lazy relocation.
             let requests: Vec<(VertexId, u64)> = current
                 .par_iter()
-                .filter(|&&u| bucket_of[u as usize] == i) // skip stale entries
+                .filter(|&&u| bk.is_pending(u))
                 .flat_map_iter(|&u| {
                     let du = dist[u as usize];
                     g.neighbors_weighted(u).filter_map(move |(v, _, w)| {
@@ -143,15 +158,14 @@ pub fn try_delta_stepping<G: WeightedGraph>(
                 })
                 .collect();
             for &u in &current {
-                if bucket_of[u as usize] == i {
-                    bucket_of[u as usize] = usize::MAX;
+                if bk.is_pending(u) {
+                    bk.settle(u);
                     settled.push(u);
                 }
             }
             obs_light_requests += requests.len() as u64;
             let _ = budget.charge(requests.len() as u64 + 1);
-            let (relaxed, re_relaxed) =
-                apply_requests(requests, &mut dist, &mut buckets, &mut bucket_of, delta, i);
+            let (relaxed, re_relaxed) = apply_requests(requests, &mut dist, &mut bk, delta);
             obs_relaxations += relaxed;
             obs_re_relaxations += re_relaxed;
         }
@@ -172,16 +186,14 @@ pub fn try_delta_stepping<G: WeightedGraph>(
             .collect();
         obs_heavy_requests += requests.len() as u64;
         let _ = budget.charge(requests.len() as u64 + 1);
-        let (relaxed, re_relaxed) =
-            apply_requests(requests, &mut dist, &mut buckets, &mut bucket_of, delta, i);
+        let (relaxed, re_relaxed) = apply_requests(requests, &mut dist, &mut bk, delta);
         obs_relaxations += relaxed;
         obs_re_relaxations += re_relaxed;
         bucket_us.stop_us(bucket_timer);
-        i += 1;
     }
 
     if snap_obs::is_enabled() {
-        snap_obs::add("buckets", i as u64);
+        snap_obs::add("buckets", obs_buckets);
         snap_obs::add("light_phases", obs_phases);
         snap_obs::add("light_requests", obs_light_requests);
         snap_obs::add("heavy_requests", obs_heavy_requests);
@@ -189,6 +201,7 @@ pub fn try_delta_stepping<G: WeightedGraph>(
         snap_obs::add("re_relaxations", obs_re_relaxations);
         snap_obs::gauge("delta", delta as f64);
     }
+    bk.flush_obs();
     Ok(SsspResult { dist })
 }
 
@@ -198,10 +211,8 @@ pub fn try_delta_stepping<G: WeightedGraph>(
 fn apply_requests(
     requests: Vec<(VertexId, u64)>,
     dist: &mut [u64],
-    buckets: &mut Vec<Vec<VertexId>>,
-    bucket_of: &mut [usize],
+    bk: &mut Buckets,
     delta: u64,
-    current_bucket: usize,
 ) -> (u64, u64) {
     let mut relaxed = 0u64;
     let mut re_relaxed = 0u64;
@@ -212,18 +223,122 @@ fn apply_requests(
                 re_relaxed += 1;
             }
             dist[v as usize] = nd;
-            let b = (nd / delta) as usize;
-            let b = b.max(current_bucket); // light relaxations can't go backwards
+            // `update` clamps to the bucket being processed (light
+            // relaxations can't go backwards) and handles lazy
+            // relocation: the old entry goes stale and is skipped by the
+            // `is_pending` filter on pop.
+            bk.update(v, (nd / delta) as usize);
+        }
+    }
+    (relaxed, re_relaxed)
+}
+
+/// The pre-`Buckets` Δ-stepping implementation, with the bucket array
+/// inlined. Retained as the A/B reference for the extraction: same
+/// relaxation-request order, same clamping, bit-identical distances
+/// (asserted by tests and the `sssp_delta_flat` perf-suite row).
+pub fn delta_stepping_flat_reference<G: WeightedGraph>(
+    g: &G,
+    source: VertexId,
+    delta: u64,
+) -> SsspResult {
+    try_delta_stepping_flat_reference(g, source, delta, &Budget::unlimited())
+        .expect("unlimited budget cannot be exhausted")
+}
+
+/// Budgeted form of [`delta_stepping_flat_reference`].
+pub fn try_delta_stepping_flat_reference<G: WeightedGraph>(
+    g: &G,
+    source: VertexId,
+    delta: u64,
+    budget: &Budget,
+) -> Result<SsspResult, Exhausted> {
+    let _span = snap_obs::span("sssp.delta_stepping_flat");
+    let n = g.num_vertices();
+    if n == 0 {
+        return Ok(SsspResult { dist: Vec::new() });
+    }
+    let delta = pick_delta(g, delta);
+
+    let mut dist = vec![INF; n];
+    dist[source as usize] = 0;
+    let mut buckets: Vec<Vec<VertexId>> = vec![vec![source]];
+    let mut bucket_of = vec![usize::MAX; n];
+    bucket_of[source as usize] = 0;
+
+    let mut i = 0usize;
+    while i < buckets.len() {
+        budget.check()?;
+        let mut settled: Vec<VertexId> = Vec::new();
+        while !buckets[i].is_empty() {
+            if budget.is_exhausted() {
+                return Err(budget.exhaustion().unwrap_or(Exhausted::Deadline));
+            }
+            let current = std::mem::take(&mut buckets[i]);
+            let requests: Vec<(VertexId, u64)> = current
+                .par_iter()
+                .filter(|&&u| bucket_of[u as usize] == i)
+                .flat_map_iter(|&u| {
+                    let du = dist[u as usize];
+                    g.neighbors_weighted(u).filter_map(move |(v, _, w)| {
+                        let w = w as u64;
+                        if w <= delta {
+                            Some((v, du + w))
+                        } else {
+                            None
+                        }
+                    })
+                })
+                .collect();
+            for &u in &current {
+                if bucket_of[u as usize] == i {
+                    bucket_of[u as usize] = usize::MAX;
+                    settled.push(u);
+                }
+            }
+            let _ = budget.charge(requests.len() as u64 + 1);
+            apply_requests_flat(requests, &mut dist, &mut buckets, &mut bucket_of, delta, i);
+        }
+        let requests: Vec<(VertexId, u64)> = settled
+            .par_iter()
+            .flat_map_iter(|&u| {
+                let du = dist[u as usize];
+                g.neighbors_weighted(u).filter_map(move |(v, _, w)| {
+                    let w = w as u64;
+                    if w > delta {
+                        Some((v, du + w))
+                    } else {
+                        None
+                    }
+                })
+            })
+            .collect();
+        let _ = budget.charge(requests.len() as u64 + 1);
+        apply_requests_flat(requests, &mut dist, &mut buckets, &mut bucket_of, delta, i);
+        i += 1;
+    }
+    Ok(SsspResult { dist })
+}
+
+fn apply_requests_flat(
+    requests: Vec<(VertexId, u64)>,
+    dist: &mut [u64],
+    buckets: &mut Vec<Vec<VertexId>>,
+    bucket_of: &mut [usize],
+    delta: u64,
+    current_bucket: usize,
+) {
+    for (v, nd) in requests {
+        if nd < dist[v as usize] {
+            dist[v as usize] = nd;
+            let b = ((nd / delta) as usize).max(current_bucket);
             if b >= buckets.len() {
                 buckets.resize_with(b + 1, Vec::new);
             }
-            // Lazy deletion: the old bucket entry becomes stale; the
-            // bucket_of check on pop skips it.
             buckets[b].push(v);
             bucket_of[v as usize] = b;
         }
     }
-    (relaxed, re_relaxed)
 }
 
 #[cfg(test)]
@@ -291,6 +406,31 @@ mod tests {
         let a = dijkstra(&g, 0);
         let b = delta_stepping(&g, 0, 0);
         assert_eq!(a.dist, b.dist);
+    }
+
+    #[test]
+    fn bucketed_matches_flat_reference_bit_identical() {
+        // The Buckets extraction must not change distances at all —
+        // same request order, same clamp, same lazy deletion.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(97);
+        let n = 200;
+        let mut edges = Vec::new();
+        for u in 0..n as u32 {
+            for v in u + 1..n as u32 {
+                if rng.gen::<f64>() < 0.04 {
+                    edges.push((u, v, rng.gen_range(1..64)));
+                }
+            }
+        }
+        let g = weighted(n, &edges);
+        for source in [0u32, 17, 59] {
+            for delta in [0u64, 1, 4, 16, 100] {
+                let a = delta_stepping_flat_reference(&g, source, delta);
+                let b = delta_stepping(&g, source, delta);
+                assert_eq!(a.dist, b.dist, "source = {source}, delta = {delta}");
+            }
+        }
     }
 
     #[test]

@@ -164,3 +164,54 @@ fn process_snapshot_tracks_allocations_and_peak_reset() {
         "reset re-arms the high-water mark at the (lower) current live"
     );
 }
+
+/// The `ccsr_bytes` gauge the compressed builder emits equals the
+/// backend's own `adjacency_bytes()` accounting, and the tracking
+/// allocator confirms those bytes were actually allocated — the gauge is
+/// ground truth, not an estimate. The compressed adjacency must also be
+/// strictly smaller than the flat CSR's.
+#[test]
+fn ccsr_bytes_gauge_matches_allocator_ground_truth() {
+    let _l = lock();
+    snap::obs::enable_mem_tracking();
+    let g = test_graph();
+    snap::obs::enable();
+    let before = snap::obs::thread_mem();
+    let (claimed, live) = {
+        let _span = snap::obs::span("ccsr_build");
+        let c = snap::graph::CompressedCsrGraph::from_csr(&g);
+        let claimed = c.adjacency_bytes() as u64;
+        let live = snap::obs::thread_mem().live - before.live;
+        assert!(
+            c.adjacency_bytes() < g.adjacency_bytes(),
+            "compressed adjacency {} must undercut flat {}",
+            c.adjacency_bytes(),
+            g.adjacency_bytes()
+        );
+        (claimed, live)
+    };
+    let report = snap::obs::finish().expect("report collected");
+    assert!(
+        live >= claimed as i64,
+        "allocator saw {live} live bytes during the build, gauge claims {claimed}"
+    );
+    let node = report
+        .root
+        .children
+        .iter()
+        .find(|c| c.name == "ccsr_build")
+        .expect("span present");
+    // The builder opens its own `ccsr.encode` span; the gauge lands there.
+    let encode = node
+        .children
+        .iter()
+        .find(|c| c.name == "ccsr.encode")
+        .expect("ccsr.encode child span present");
+    let gauge = encode
+        .gauges
+        .iter()
+        .find(|(n, _)| n == "ccsr_bytes")
+        .map(|&(_, v)| v)
+        .expect("ccsr_bytes gauge present");
+    assert_eq!(gauge, claimed as f64);
+}
