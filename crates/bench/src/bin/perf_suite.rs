@@ -29,9 +29,17 @@
 //! file feeds `snap-cli obs diff` for span-level regression gating and
 //! `snap-cli obs top` for a self-time ranking.
 //!
+//! Observed runs execute with per-thread event tracing on, and each
+//! bench span carries the analyzer's `parallel_efficiency_pct`,
+//! `critical_path_us`, and `imbalance_skew` gauges computed from its own
+//! timeline — `obs diff --fail-eff-drop P` gates on them. The raw event
+//! timeline is only written into the spans file under `--trace` (it is
+//! bulky); with it, `snap-cli obs efficiency` / `obs critical-path` can
+//! analyze the whole suite.
+//!
 //! ```text
 //! cargo run --release -p snap-bench --bin perf_suite -- \
-//!     [--scale N] [--reps R] [--seed S] [--out PATH] [--spans-out PATH]
+//!     [--scale N] [--reps R] [--seed S] [--out PATH] [--spans-out PATH] [--trace]
 //! ```
 
 use snap::centrality::{betweenness_from_sources, closeness, sample_sources};
@@ -83,6 +91,7 @@ fn observed_spans(
     f: impl FnOnce(),
 ) -> (snap_obs::ReportNode, u64, u64) {
     snap_obs::enable();
+    snap_obs::enable_tracing();
     snap_obs::enable_mem_tracking();
     snap_obs::reset_peak_live();
     {
@@ -91,11 +100,24 @@ fn observed_spans(
     }
     let peak_bytes = snap_obs::mem_snapshot().peak_live;
     snap_obs::disable_mem_tracking();
-    let report = snap_obs::finish().unwrap_or_default();
+    let mut report = snap_obs::finish().unwrap_or_default();
+    snap_obs::disable_tracing();
     let work = report.total_counter(counter);
-    let node = report.root.children.into_iter().next().unwrap_or_default();
+    // Parallel-efficiency gauges from this bench's own timeline, folded
+    // onto the bench span so `obs diff --fail-eff-drop` can gate them
+    // from the spans baseline without shipping the raw events.
+    let gauges = snap_obs::analyze::key_gauges(&report);
+    let mut node = report.root.children.into_iter().next().unwrap_or_default();
+    node.gauges.extend(gauges);
+    TRACE_EVENTS.lock().unwrap().append(&mut report.trace);
     (node, work, peak_bytes)
 }
+
+/// Events drained from every observed run, concatenated for the
+/// combined spans report. Timestamps share one process-wide clock, so
+/// the per-bench slices stay disjoint and ordered.
+static TRACE_EVENTS: std::sync::Mutex<Vec<snap_obs::TraceEvent>> =
+    std::sync::Mutex::new(Vec::new());
 
 fn main() {
     let mut scale = 15u32;
@@ -103,6 +125,7 @@ fn main() {
     let mut seed = 0x5eedu64;
     let mut out = String::from("BENCH_kernels.json");
     let mut spans_out = String::from("BENCH_spans.json");
+    let mut trace = false;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut val = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
@@ -112,8 +135,9 @@ fn main() {
             "--seed" => seed = val("--seed").parse().expect("--seed must be a u64"),
             "--out" => out = val("--out"),
             "--spans-out" => spans_out = val("--spans-out"),
+            "--trace" => trace = true,
             other => panic!(
-                "unknown flag {other}; supported: --scale N --reps R --seed S --out P --spans-out P"
+                "unknown flag {other}; supported: --scale N --reps R --seed S --out P --spans-out P --trace"
             ),
         }
     }
@@ -492,9 +516,14 @@ fn main() {
     println!("{json}");
 
     // One combined span report covering every bench, for `obs diff`.
+    // The synthetic root spans its children end to end so the critical-
+    // path analyzer sees a well-formed tree (path <= root duration).
+    let root_duration: u64 = bench_spans.iter().map(|n| n.duration_us).sum();
     let spans_report = snap_obs::RunReport {
         root: snap_obs::ReportNode {
             name: "perf_suite".to_string(),
+            duration_us: root_duration,
+            calls: 1,
             meta: vec![
                 ("scale".to_string(), scale.to_string()),
                 ("seed".to_string(), format!("{seed:#x}")),
@@ -502,7 +531,14 @@ fn main() {
             children: bench_spans,
             ..Default::default()
         },
-        trace: Vec::new(),
+        // The concatenated timeline is bulky — only ship it on request;
+        // the per-bench gauges above carry the analyzer's summary either
+        // way.
+        trace: if trace {
+            std::mem::take(&mut *TRACE_EVENTS.lock().unwrap())
+        } else {
+            Vec::new()
+        },
         mem_samples: Vec::new(),
     };
     let mut spans_json = spans_report.to_json();

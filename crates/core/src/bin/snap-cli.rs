@@ -13,10 +13,13 @@
 //! snap-cli serve        <graph> [--workers N] [--cache-bytes B] [--cache-entries N]
 //!                       [--deadline-ms MS] [--max-pending N] [--socket PATH]
 //!                       [--stream OPFILE] [--merge-every N] [--churn-ms MS]
+//!                       [--slow-ms MS] [--trace-sample N] [--postmortem PATH]
 //! snap-cli generate     rmat|er|ws|grid|planted --out FILE [--scale S] [--edges M] [--seed S]
 //! snap-cli obs diff     BASE.json CURRENT.json [--fail-over-pct P] [--min-ms M]
-//!                       [--fail-mem-over-pct P] [--min-bytes B]
+//!                       [--fail-mem-over-pct P] [--min-bytes B] [--fail-eff-drop P]
 //! snap-cli obs top      REPORT.json [--limit N] [--by-mem]
+//! snap-cli obs efficiency    REPORT.json [--json]
+//! snap-cli obs critical-path REPORT.json [--json]
 //! ```
 //!
 //! `stream` replays an edge-op file (`+ u v` inserts, `- u v` deletes,
@@ -37,6 +40,16 @@
 //! between merges), so the cache invalidates live while queries run.
 //! `--metrics-out` exports `snap_serve_*` counters from the running
 //! server. EOF on stdin (or an empty line) shuts down cleanly.
+//!
+//! Serving observability: every response carries an engine-assigned
+//! `trace_id`; `--slow-ms MS` records requests at or over the threshold
+//! (queue wait + compute) in a worst-K slow-query log served by the
+//! `stats` meta query, `--trace-sample N` attaches a span trace to every
+//! Nth request's exemplar, and an always-on flight recorder keeps a
+//! bounded ring of request/merge/shed summaries — dump it with a
+//! `{"query":"dump"}` request, or point `--postmortem PATH` at a file to
+//! get an NDJSON dump written automatically on shed, on cancellation,
+//! and on every `dump` query.
 //!
 //! `kcore` runs the parallel k-core decomposition (coreness of every
 //! vertex by bucket peeling) and prints the degeneracy plus a core-size
@@ -79,6 +92,20 @@
 //! `obs top` ranks spans by self time (total minus children — the
 //! flamegraph view); `--by-mem` ranks by self-allocated bytes instead.
 //!
+//! `obs efficiency` computes parallel efficiency, per-thread busy/idle
+//! shares, load-imbalance skew, and the serial fraction (with its Amdahl
+//! speedup ceiling) from a saved report's event timeline (collect one
+//! with `--trace-out`, or `--report json=PATH` after `--trace-out`
+//! enabled tracing); `obs critical-path` walks the span tree's heaviest
+//! chain and attributes self-time along it. Both print human-readable
+//! text or one line of JSON with `--json`. `obs diff --fail-eff-drop P`
+//! exits non-zero when a span's `parallel_efficiency_pct` gauge fell
+//! more than P percent below the baseline — the CI efficiency gate.
+//! `--trace-buf N` (or `SNAP_TRACE_BUF=N`) sets the per-thread event
+//! ring capacity (default 8192 events); overflow drops the oldest
+//! events and is reported per thread in `trace_events_dropped.tid*`
+//! counters, which the analyzer surfaces as a truncation warning.
+//!
 //! `--timeout SECS` attaches a wall-clock deadline: kernels check it
 //! cooperatively and degrade (sampling, coarser clusterings) or cancel
 //! cleanly. The command never hangs; it exits 0 when it produced a
@@ -116,10 +143,13 @@ commands:
   serve        <graph> [--workers N] [--cache-bytes B] [--cache-entries N]
                [--deadline-ms MS] [--max-pending N] [--socket PATH]
                [--stream OPFILE] [--merge-every N] [--churn-ms MS]
+               [--slow-ms MS] [--trace-sample N] [--postmortem PATH]
   generate     rmat|er|ws|grid|planted --out FILE [--scale S] [--edges M] [--seed S]
   obs diff     BASE.json CURRENT.json [--fail-over-pct P] [--min-ms M]
-               [--fail-mem-over-pct P] [--min-bytes B]
+               [--fail-mem-over-pct P] [--min-bytes B] [--fail-eff-drop P]
   obs top      REPORT.json [--limit N] [--by-mem]
+  obs efficiency    REPORT.json [--json]
+  obs critical-path REPORT.json [--json]
 
 common options:
   --format edgelist|dimacs|metis   input format (default: by extension)
@@ -131,6 +161,8 @@ common options:
                                    (NDJSON) and PATH.om (OpenMetrics)
   --stats-every MS                 telemetry sampling period (default 100)
   --threads N                      worker threads (default: host cores)
+  --trace-buf N                    per-thread event-ring capacity in events
+                                   (default 8192; also SNAP_TRACE_BUF=N)
   --timeout SECS                   wall-clock budget: analysis degrades
                                    gracefully or cancels cleanly (never hangs)"
     );
@@ -406,6 +438,21 @@ fn main() {
     let command = raw[0].clone();
     let args = Args::parse(raw[1..].to_vec());
 
+    // Event-ring capacity must be set before any ring is lazily created,
+    // i.e. before the first traced span of the command.
+    let trace_buf = args
+        .flag("trace-buf")
+        .map(str::to_string)
+        .or_else(|| std::env::var("SNAP_TRACE_BUF").ok());
+    if let Some(v) = trace_buf {
+        let events: usize = v
+            .parse()
+            .ok()
+            .filter(|&e: &usize| e >= 1)
+            .unwrap_or_else(|| fail(&format!("bad value for --trace-buf/SNAP_TRACE_BUF: {v}")));
+        snap::obs::set_trace_capacity(events);
+    }
+
     let dispatch = || match command.as_str() {
         "summary" => cmd_summary(&args),
         "bfs" => cmd_bfs(&args),
@@ -500,6 +547,24 @@ fn cmd_obs(args: &Args) {
                     exit(1);
                 }
             }
+            if let Some(pct) = args.flag("fail-eff-drop") {
+                let pct: f64 = pct
+                    .parse()
+                    .ok()
+                    .filter(|p: &f64| p.is_finite() && *p >= 0.0)
+                    .unwrap_or_else(|| fail("bad value for --fail-eff-drop"));
+                let drops = snap::obs::diff::gauge_drops(&entries, "parallel_efficiency_pct", pct);
+                if !drops.is_empty() {
+                    eprintln!(
+                        "obs diff: {} span(s) lost more than {pct}% parallel efficiency:",
+                        drops.len()
+                    );
+                    for d in &drops {
+                        eprintln!("  {}  {:.1}% -> {:.1}%", d.path, d.base, d.cur);
+                    }
+                    exit(1);
+                }
+            }
         }
         Some("top") => {
             let path = args
@@ -517,7 +582,33 @@ fn cmd_obs(args: &Args) {
                 print!("{}", snap::obs::diff::render_top(&rows, limit));
             }
         }
-        _ => fail("obs needs a subcommand: diff or top"),
+        Some("efficiency") => {
+            let path = args
+                .positional
+                .get(1)
+                .map(|s| s.as_str())
+                .unwrap_or_else(|| fail("obs efficiency needs REPORT.json"));
+            let eff = snap::obs::analyze::efficiency(&load_report(path));
+            if args.flag("json").is_some() {
+                stdout_line(format_args!("{}", eff.to_json()));
+            } else {
+                print!("{}", eff.render());
+            }
+        }
+        Some("critical-path") => {
+            let path = args
+                .positional
+                .get(1)
+                .map(|s| s.as_str())
+                .unwrap_or_else(|| fail("obs critical-path needs REPORT.json"));
+            let cp = snap::obs::analyze::critical_path(&load_report(path));
+            if args.flag("json").is_some() {
+                stdout_line(format_args!("{}", cp.to_json()));
+            } else {
+                print!("{}", cp.render());
+            }
+        }
+        _ => fail("obs needs a subcommand: diff, top, efficiency, or critical-path"),
     }
 }
 
@@ -1233,6 +1324,14 @@ fn cmd_serve(args: &Args) {
             Err(_) => fail(&format!("bad value for --deadline-ms: {v}")),
         }),
         max_pending: args.flag_parse("max-pending", 1024usize),
+        slow_ms: args.flag("slow-ms").map(|v| match v.parse::<u64>() {
+            Ok(ms) => ms,
+            Err(_) => fail(&format!("bad value for --slow-ms: {v}")),
+        }),
+        slow_log_entries: args.flag_parse("slow-log", 8usize).max(1),
+        trace_sample: args.flag_parse("trace-sample", 0u64),
+        flight_entries: args.flag_parse("flight-entries", 256usize).max(1),
+        postmortem_path: args.flag("postmortem").map(str::to_string),
     };
 
     let obs = Obs::parse(args);
@@ -1275,13 +1374,22 @@ fn cmd_serve(args: &Args) {
         if !churn_ops.is_empty() {
             let stop = &stop;
             let sg = &mut sg;
+            let engine = &engine;
             scope.spawn(move || {
                 for chunk in churn_ops.chunks(merge_every) {
                     if stop.load(Ordering::Relaxed) {
                         break;
                     }
                     sg.apply_batch(chunk);
-                    sg.merge();
+                    let t0 = std::time::Instant::now();
+                    let snapshot = sg.merge();
+                    // Merges ride the flight recorder next to the
+                    // requests they invalidated.
+                    engine.note_merge(
+                        snapshot.epoch,
+                        chunk.len() as u64,
+                        t0.elapsed().as_micros() as u64,
+                    );
                     std::thread::sleep(std::time::Duration::from_millis(churn_ms));
                 }
             });
@@ -1328,13 +1436,16 @@ fn serve_error_line(line: &str, error: &str) -> String {
 }
 
 /// Worker-pool dispatch over stdin: the main thread reads and admits
-/// request lines, workers compute and write responses. EOF (or an empty
-/// line) drains the queue and returns.
+/// request lines, workers compute and write responses. Each queued
+/// request carries its admission timestamp so the engine can report
+/// queue wait separately from compute time in the slow-query log. EOF
+/// (or an empty line) drains the queue and returns.
 fn serve_stdin(engine: &snap::serve::Engine, workers: usize) {
     use snap::serve::{AdmitPermit, Request};
     use std::io::BufRead;
+    use std::time::Instant;
 
-    let (tx, rx) = std::sync::mpsc::channel::<(Request, AdmitPermit<'_>)>();
+    let (tx, rx) = std::sync::mpsc::channel::<(Request, AdmitPermit<'_>, Instant)>();
     let rx = std::sync::Mutex::new(rx);
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -1343,8 +1454,11 @@ fn serve_stdin(engine: &snap::serve::Engine, workers: usize) {
                 loop {
                     // Hold the receiver lock only for the dequeue.
                     let msg = rx.lock().unwrap().recv();
-                    let Ok((req, permit)) = msg else { break };
-                    let resp = engine.handle(&req);
+                    let Ok((req, permit, admitted)) = msg else {
+                        break;
+                    };
+                    let queue_us = admitted.elapsed().as_micros() as u64;
+                    let resp = engine.handle_with_queue(&req, queue_us);
                     drop(permit);
                     respond_line(&resp.to_json_line());
                 }
@@ -1362,8 +1476,8 @@ fn serve_stdin(engine: &snap::serve::Engine, workers: usize) {
                     None => respond_line(&engine.shed_response(&req).to_json_line()),
                     Some(permit) => {
                         // Queue full only if workers died; then answer inline.
-                        if let Err(back) = tx.send((req, permit)) {
-                            let (req, permit) = back.0;
+                        if let Err(back) = tx.send((req, permit, Instant::now())) {
+                            let (req, permit, _) = back.0;
                             let resp = engine.handle(&req);
                             drop(permit);
                             respond_line(&resp.to_json_line());

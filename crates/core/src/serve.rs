@@ -40,7 +40,7 @@ use snap_graph::stream::{Snapshot, SnapshotReader};
 use snap_graph::Graph;
 use snap_obs::json::{self, Json};
 use snap_partition::Method as PartitionMethod;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -91,8 +91,12 @@ pub enum Query {
     /// Current snapshot epoch and size (never cached; this is also how a
     /// client observes that a merge happened).
     Epoch,
-    /// Engine counters: requests, hits, sheds, cache occupancy.
+    /// Engine counters: requests, hits, sheds, cache occupancy, plus the
+    /// slow-query log exemplars.
     Stats,
+    /// Flight-recorder dump: the bounded ring of recent request / merge /
+    /// shed summaries (and a post-mortem NDJSON write when configured).
+    Dump,
 }
 
 impl Query {
@@ -107,13 +111,14 @@ impl Query {
             Query::Coreness => "coreness",
             Query::Epoch => "epoch",
             Query::Stats => "stats",
+            Query::Dump => "dump",
         }
     }
 
     /// Whether results of this query may be cached. Meta queries
-    /// (`epoch`, `stats`) always answer live.
+    /// (`epoch`, `stats`, `dump`) always answer live.
     pub fn cacheable(&self) -> bool {
-        !matches!(self, Query::Epoch | Query::Stats)
+        !matches!(self, Query::Epoch | Query::Stats | Query::Dump)
     }
 
     /// Canonical `kind params...` string identifying this query within
@@ -146,6 +151,7 @@ impl Query {
             Query::Coreness => "coreness".to_string(),
             Query::Epoch => "epoch".to_string(),
             Query::Stats => "stats".to_string(),
+            Query::Dump => "dump".to_string(),
         }
     }
 }
@@ -197,8 +203,8 @@ fn parse_method(s: &str) -> Result<PartitionMethod, String> {
 /// ```
 ///
 /// Fields: `query` (required: `summary` | `bfs` | `centrality` |
-/// `communities` | `partition` | `coreness` | `epoch` | `stats`),
-/// `id` (echoed back,
+/// `communities` | `partition` | `coreness` | `epoch` | `stats` |
+/// `dump`), `id` (echoed back,
 /// default 0), `deadline_ms` (per-request budget; overrides the engine
 /// default), `report` (attach the snap-obs report, default `false`), plus
 /// per-kind params (`seed`, `source`, `frac`, `top`, `algorithm`,
@@ -263,6 +269,7 @@ impl Request {
             "coreness" | "kcore" => Query::Coreness,
             "epoch" => Query::Epoch,
             "stats" => Query::Stats,
+            "dump" => Query::Dump,
             other => return Err(format!("unknown query {other:?}")),
         };
         Ok(Request {
@@ -309,6 +316,10 @@ impl Outcome {
 pub struct Response {
     /// Echo of the request id.
     pub id: u64,
+    /// Engine-assigned trace id: unique per request for the lifetime of
+    /// the engine, correlating the response with slow-query and
+    /// flight-recorder entries.
+    pub trace_id: u64,
     /// Query kind tag.
     pub kind: &'static str,
     /// Epoch of the snapshot this answer was computed on.
@@ -334,8 +345,9 @@ impl Response {
     pub fn to_json_line(&self) -> String {
         let mut out = String::with_capacity(96 + self.payload.len());
         out.push_str(&format!(
-            "{{\"id\":{},\"kind\":\"{}\",\"epoch\":{},\"cache\":\"{}\",\"degraded\":{},\"wall_us\":{},\"payload\":",
+            "{{\"id\":{},\"trace_id\":{},\"kind\":\"{}\",\"epoch\":{},\"cache\":\"{}\",\"degraded\":{},\"wall_us\":{},\"payload\":",
             self.id,
+            self.trace_id,
             self.kind,
             self.epoch,
             self.outcome.as_str(),
@@ -520,6 +532,24 @@ pub struct ServeConfig {
     /// Admission cap: requests admitted while this many are already
     /// in flight are shed. `0` sheds everything (useful in tests).
     pub max_pending: usize,
+    /// Slow-query threshold: requests whose total wall time (queue +
+    /// compute) reaches this many milliseconds join the worst-K log.
+    /// `None` disables the log; `Some(0)` records every request (how the
+    /// CI smoke exercises the path).
+    pub slow_ms: Option<u64>,
+    /// How many worst exemplars the slow-query log retains.
+    pub slow_log_entries: usize,
+    /// Capture a span trace for every Nth request even without
+    /// `"report":true` (`0` = only on request). Sampled traces ride the
+    /// slow-query exemplar, not the wire response.
+    pub trace_sample: u64,
+    /// Flight-recorder ring capacity (completed request / merge / shed
+    /// summaries). The recorder is always on and O(1) per event.
+    pub flight_entries: usize,
+    /// Where post-mortem NDJSON dumps of the flight ring are written —
+    /// on a `dump` query, on shed, and on a cancelled request. `None`
+    /// keeps the ring in memory only.
+    pub postmortem_path: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -530,7 +560,165 @@ impl Default for ServeConfig {
             cache_bytes: 32 << 20,
             default_deadline: None,
             max_pending: 1024,
+            slow_ms: None,
+            slow_log_entries: 8,
+            trace_sample: 0,
+            flight_entries: 256,
+            postmortem_path: None,
         }
+    }
+}
+
+/// One slow-query exemplar: everything needed to reconstruct what a bad
+/// request did without re-running it.
+#[derive(Clone, Debug)]
+pub struct SlowQuery {
+    /// Engine-assigned trace id (matches the wire response).
+    pub trace_id: u64,
+    /// Client correlation id.
+    pub req_id: u64,
+    /// Query kind tag.
+    pub kind: &'static str,
+    /// Canonical params (the cache key).
+    pub cache_key: String,
+    /// Epoch the answer was computed on.
+    pub epoch: u64,
+    /// Hit / miss / shed.
+    pub outcome: Outcome,
+    /// The answer was degraded by a tripped budget.
+    pub degraded: bool,
+    /// Time spent queued before a worker picked the request up.
+    pub queue_us: u64,
+    /// Time spent computing the answer.
+    pub compute_us: u64,
+    /// `queue_us + compute_us` — what the threshold judges.
+    pub wall_us: u64,
+    /// Compact-JSON span tree, present when the request was traced
+    /// (`"report":true` or sampled by `trace_sample`).
+    pub report: Option<String>,
+}
+
+impl SlowQuery {
+    fn to_json(&self) -> String {
+        let mut out = String::with_capacity(160);
+        out.push_str(&format!(
+            "{{\"trace_id\":{},\"id\":{},\"kind\":\"{}\",\"params\":",
+            self.trace_id, self.req_id, self.kind
+        ));
+        json::write_escaped(&mut out, &self.cache_key);
+        out.push_str(&format!(
+            ",\"epoch\":{},\"cache\":\"{}\",\"degraded\":{},\"queue_us\":{},\"compute_us\":{},\"wall_us\":{}",
+            self.epoch,
+            self.outcome.as_str(),
+            self.degraded,
+            self.queue_us,
+            self.compute_us,
+            self.wall_us
+        ));
+        if let Some(report) = &self.report {
+            out.push_str(",\"trace\":");
+            out.push_str(report);
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// One flight-recorder event: a completed request, an epoch merge, or a
+/// shed, summarized in a few words.
+#[derive(Clone, Debug)]
+pub struct FlightEvent {
+    /// Microseconds since the engine started.
+    pub ts_us: u64,
+    /// `"request"`, `"merge"`, or `"shed"`.
+    pub what: &'static str,
+    /// Trace id for request/shed events, 0 for merges.
+    pub trace_id: u64,
+    /// Query kind, or `"merge"`.
+    pub kind: &'static str,
+    /// Snapshot epoch the event happened on.
+    pub epoch: u64,
+    /// `hit` / `miss` / `shed` / `merge`.
+    pub outcome: &'static str,
+    /// The answer was degraded.
+    pub degraded: bool,
+    /// Event latency (request wall time, merge wall time; 0 for sheds).
+    pub wall_us: u64,
+    /// Payload bytes for requests; delta edges for merges.
+    pub bytes: u64,
+}
+
+impl FlightEvent {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"ts_us\":{},\"what\":\"{}\",\"trace_id\":{},\"kind\":\"{}\",\"epoch\":{},\
+             \"outcome\":\"{}\",\"degraded\":{},\"wall_us\":{},\"bytes\":{}}}",
+            self.ts_us,
+            self.what,
+            self.trace_id,
+            self.kind,
+            self.epoch,
+            self.outcome,
+            self.degraded,
+            self.wall_us,
+            self.bytes
+        )
+    }
+}
+
+/// Always-on bounded ring of [`FlightEvent`]s. One mutex-guarded
+/// `VecDeque` push per event — O(1), no allocation once warm — so it can
+/// stay on in production without showing up in profiles.
+struct FlightRecorder {
+    ring: Mutex<(VecDeque<FlightEvent>, u64)>,
+    cap: usize,
+    start: Instant,
+}
+
+impl FlightRecorder {
+    fn new(cap: usize) -> FlightRecorder {
+        let cap = cap.max(1);
+        FlightRecorder {
+            ring: Mutex::new((VecDeque::with_capacity(cap), 0)),
+            cap,
+            start: Instant::now(),
+        }
+    }
+
+    fn now_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    fn record(&self, ev: FlightEvent) {
+        let mut g = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        if g.0.len() == self.cap {
+            g.0.pop_front();
+            g.1 += 1;
+        }
+        g.0.push_back(ev);
+    }
+
+    /// `(events oldest-first, dropped)` snapshot.
+    fn snapshot(&self) -> (Vec<FlightEvent>, u64) {
+        let g = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        (g.0.iter().cloned().collect(), g.1)
+    }
+
+    fn dump_json(&self) -> String {
+        let (events, dropped) = self.snapshot();
+        let mut out = String::with_capacity(64 + events.len() * 96);
+        out.push_str(&format!(
+            "{{\"events\":{},\"dropped\":{dropped},\"ring\":[",
+            events.len()
+        ));
+        for (i, ev) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&ev.to_json());
+        }
+        out.push_str("]}");
+        out
     }
 }
 
@@ -630,6 +818,11 @@ pub struct Engine {
     config: ServeConfig,
     pending: AtomicUsize,
     tele: Tele,
+    /// Next trace id minus one; ids start at 1 so 0 can mean "no id".
+    trace_seq: AtomicU64,
+    /// Worst-K slow-query exemplars, sorted slowest-first.
+    slow: Mutex<Vec<SlowQuery>>,
+    flight: FlightRecorder,
 }
 
 impl Engine {
@@ -641,6 +834,7 @@ impl Engine {
         let session = Network::from_shared(Arc::clone(&snap.graph));
         let tele = Tele::new();
         tele.epoch.set(snap.epoch as f64);
+        let flight = FlightRecorder::new(config.flight_entries);
         Engine {
             reader,
             cache: Mutex::new(ResultCache::new(config.cache_entries, config.cache_bytes)),
@@ -648,6 +842,9 @@ impl Engine {
             config,
             pending: AtomicUsize::new(0),
             tele,
+            trace_seq: AtomicU64::new(0),
+            slow: Mutex::new(Vec::new()),
+            flight,
         }
     }
 
@@ -698,11 +895,29 @@ impl Engine {
     }
 
     /// The canned response for a request [`admit`](Engine::admit) shed.
+    /// Sheds are flight-recorded and trigger a post-mortem dump (when a
+    /// path is configured): by the time you notice an overload, the ring
+    /// already holds what led up to it.
     pub fn shed_response(&self, req: &Request) -> Response {
+        let trace_id = self.next_trace_id();
+        let epoch = self.reader.epoch();
+        self.flight.record(FlightEvent {
+            ts_us: self.flight.now_us(),
+            what: "shed",
+            trace_id,
+            kind: req.query.kind(),
+            epoch,
+            outcome: "shed",
+            degraded: false,
+            wall_us: 0,
+            bytes: 0,
+        });
+        self.write_postmortem("shed");
         Response {
             id: req.id,
+            trace_id,
             kind: req.query.kind(),
-            epoch: self.reader.epoch(),
+            epoch,
             outcome: Outcome::Shed,
             degraded: false,
             wall_us: 0,
@@ -711,29 +926,105 @@ impl Engine {
         }
     }
 
+    fn next_trace_id(&self) -> u64 {
+        self.trace_seq.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Slow-query exemplars, slowest first.
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.slow.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Flight-recorder snapshot `(events oldest-first, dropped)`.
+    pub fn flight_events(&self) -> (Vec<FlightEvent>, u64) {
+        self.flight.snapshot()
+    }
+
+    /// Record an epoch merge in the flight recorder (`bytes` carries the
+    /// delta edge count). Drivers call this after
+    /// [`StreamingGraph::merge`](snap_graph::StreamingGraph::merge) so
+    /// post-mortems interleave merges with the requests they invalidated.
+    pub fn note_merge(&self, epoch: u64, delta_edges: u64, wall_us: u64) {
+        self.tele.epoch.set(epoch as f64);
+        self.flight.record(FlightEvent {
+            ts_us: self.flight.now_us(),
+            what: "merge",
+            trace_id: 0,
+            kind: "merge",
+            epoch,
+            outcome: "merge",
+            degraded: false,
+            wall_us,
+            bytes: delta_edges,
+        });
+    }
+
+    /// Write the flight ring as post-mortem NDJSON (header line with the
+    /// reason, then one event per line) to the configured path; no-op
+    /// without one. Atomic via temp-file rename; IO errors are swallowed
+    /// — observability must never take down serving. Returns whether a
+    /// file was written.
+    pub fn write_postmortem(&self, reason: &str) -> bool {
+        let Some(path) = &self.config.postmortem_path else {
+            return false;
+        };
+        let (events, dropped) = self.flight.snapshot();
+        let mut out = String::with_capacity(64 + events.len() * 96);
+        out.push_str("{\"reason\":");
+        json::write_escaped(&mut out, reason);
+        out.push_str(&format!(
+            ",\"events\":{},\"dropped\":{dropped}}}\n",
+            events.len()
+        ));
+        for ev in &events {
+            out.push_str(&ev.to_json());
+            out.push('\n');
+        }
+        let tmp = format!("{path}.tmp");
+        if std::fs::write(&tmp, out).is_err() {
+            return false;
+        }
+        std::fs::rename(&tmp, path).is_ok()
+    }
+
+    /// Answer one request that spent no measurable time queued. See
+    /// [`handle_with_queue`](Engine::handle_with_queue).
+    pub fn handle(&self, req: &Request) -> Response {
+        self.handle_with_queue(req, 0)
+    }
+
     /// Answer one request. Safe to call from any thread; all responses
     /// are exit-0 semantics (errors and degraded answers are payloads,
-    /// never panics).
-    pub fn handle(&self, req: &Request) -> Response {
+    /// never panics). `queue_us` is how long the request waited between
+    /// arrival and this call (dispatchers timestamp at admission) — it
+    /// counts toward the slow-query threshold and is reported separately
+    /// from compute time, so queueing collapses are distinguishable from
+    /// slow kernels in the log.
+    pub fn handle_with_queue(&self, req: &Request, queue_us: u64) -> Response {
         let t0 = Instant::now();
         self.tele.requests.incr();
+        let trace_id = self.next_trace_id();
 
         // Pin the snapshot: everything below — cache key, session, and
         // payload — is against this one complete epoch.
         let snap = self.reader.snapshot();
         self.tele.epoch.set(snap.epoch as f64);
 
-        // Collect a per-request report only when this thread is not
+        // Collect a per-request report when the client asked or the
+        // sampler picked this request — but only when this thread is not
         // already inside someone else's collection scope (a driver doing
         // its own observed pass keeps its tree; nested enables would
         // join, and finishing here would steal it).
-        let collect = req.with_report && !snap_obs::is_enabled();
+        let sampled =
+            self.config.trace_sample > 0 && trace_id.is_multiple_of(self.config.trace_sample);
+        let collect = (req.with_report || sampled) && !snap_obs::is_enabled();
         if collect {
             snap_obs::enable();
         }
         let (outcome, degraded, payload) = {
             let _span = snap_obs::span("serve.request");
             snap_obs::meta("query", req.query.cache_key());
+            snap_obs::meta("trace_id", trace_id.to_string());
             self.answer(req, &snap)
         };
         let report = collect.then(|| snap_obs::finish().unwrap_or_default().to_json());
@@ -741,18 +1032,62 @@ impl Engine {
         if degraded {
             self.tele.degraded.incr();
         }
+        let compute_us = t0.elapsed().as_micros() as u64;
+        self.flight.record(FlightEvent {
+            ts_us: self.flight.now_us(),
+            what: "request",
+            trace_id,
+            kind: req.query.kind(),
+            epoch: snap.epoch,
+            outcome: outcome.as_str(),
+            degraded,
+            wall_us: queue_us + compute_us,
+            bytes: payload.len() as u64,
+        });
+        // A cancelled kernel is the signal post-mortems exist for; the
+        // payload prefix is ours (see `compute_payload`), so matching on
+        // it is exact, not heuristic.
+        if degraded && payload.starts_with("{\"error\":\"cancelled") {
+            self.write_postmortem("cancelled");
+        }
+        if let Some(slow_ms) = self.config.slow_ms {
+            let wall_us = queue_us + compute_us;
+            if wall_us >= slow_ms * 1000 {
+                self.record_slow(SlowQuery {
+                    trace_id,
+                    req_id: req.id,
+                    kind: req.query.kind(),
+                    cache_key: req.query.cache_key(),
+                    epoch: snap.epoch,
+                    outcome,
+                    degraded,
+                    queue_us,
+                    compute_us,
+                    wall_us,
+                    report: report.clone(),
+                });
+            }
+        }
         Response {
             id: req.id,
+            trace_id,
             kind: req.query.kind(),
             epoch: snap.epoch,
             outcome,
             degraded,
-            wall_us: t0.elapsed().as_micros() as u64,
+            wall_us: compute_us,
             payload,
             report: req
                 .with_report
                 .then(|| report.unwrap_or_else(|| "null".into())),
         }
+    }
+
+    fn record_slow(&self, entry: SlowQuery) {
+        let mut log = self.slow.lock().unwrap_or_else(|e| e.into_inner());
+        log.push(entry);
+        log.sort_by(|a, b| b.wall_us.cmp(&a.wall_us).then(a.trace_id.cmp(&b.trace_id)));
+        log.truncate(self.config.slow_log_entries.max(1));
     }
 
     fn answer(&self, req: &Request, snap: &Snapshot) -> (Outcome, bool, Arc<str>) {
@@ -782,10 +1117,10 @@ impl Engine {
             Query::Stats => {
                 let s = self.stats();
                 let (entries, bytes) = self.cache_occupancy();
-                let payload = format!(
+                let mut payload = format!(
                     "{{\"requests\":{},\"cache_hits\":{},\"cache_misses\":{},\"shed\":{},\
                      \"degraded\":{},\"evictions\":{},\"invalidations\":{},\
-                     \"cache_entries\":{entries},\"cache_bytes\":{bytes}}}",
+                     \"cache_entries\":{entries},\"cache_bytes\":{bytes},\"slow_queries\":[",
                     s.requests,
                     s.cache_hits,
                     s.cache_misses,
@@ -794,6 +1129,18 @@ impl Engine {
                     s.evictions,
                     s.invalidations
                 );
+                for (i, sq) in self.slow_queries().iter().enumerate() {
+                    if i > 0 {
+                        payload.push(',');
+                    }
+                    payload.push_str(&sq.to_json());
+                }
+                payload.push_str("]}");
+                return (Outcome::Miss, false, Arc::from(payload.as_str()));
+            }
+            Query::Dump => {
+                let payload = self.flight.dump_json();
+                self.write_postmortem("dump");
                 return (Outcome::Miss, false, Arc::from(payload.as_str()));
             }
             _ => {}
@@ -982,7 +1329,7 @@ pub fn compute_payload(net: &Network, query: &Query) -> QueryResult {
                 format!("{{\"error\":\"cancelled: {why}\"}}")
             }
         },
-        Query::Epoch | Query::Stats => {
+        Query::Epoch | Query::Stats | Query::Dump => {
             // Meta queries are answered by the engine, which owns the
             // state they describe; cold compute has nothing to say.
             error = true;
@@ -1190,6 +1537,129 @@ mod tests {
             // Exactly one surviving entry's accounting.
             "c".len() * 2 + "3".len() + ENTRY_OVERHEAD
         });
+    }
+
+    #[test]
+    fn trace_ids_are_unique_and_monotonic_across_outcomes() {
+        let engine = engine_on(16, ServeConfig::default());
+        let r1 = engine.handle(&Request::new(Query::Bfs { source: 0 }));
+        let r2 = engine.handle(&Request::new(Query::Bfs { source: 0 })); // hit
+        let shed = engine.shed_response(&Request::new(Query::Epoch));
+        assert_eq!(r1.trace_id, 1);
+        assert_eq!(r2.trace_id, 2);
+        assert_eq!(shed.trace_id, 3);
+        let line = r1.to_json_line();
+        let parsed = Json::parse(&line).unwrap();
+        assert_eq!(parsed.get("trace_id").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn slow_log_keeps_worst_k_with_queue_compute_split_and_traces() {
+        let engine = engine_on(
+            64,
+            ServeConfig {
+                slow_ms: Some(0), // record everything
+                slow_log_entries: 2,
+                trace_sample: 1, // trace everything
+                ..ServeConfig::default()
+            },
+        );
+        // Three requests with distinct queue waits; the two largest
+        // dominate wall time, so they are the worst-K survivors.
+        for (i, queue_us) in [5_000_000u64, 1, 9_000_000].iter().enumerate() {
+            let r =
+                engine.handle_with_queue(&Request::new(Query::Bfs { source: i as u32 }), *queue_us);
+            // Sampled traces stay off the wire unless asked for.
+            assert!(r.report.is_none());
+        }
+        let slow = engine.slow_queries();
+        assert_eq!(slow.len(), 2, "worst-K cap");
+        assert!(slow[0].wall_us >= slow[1].wall_us, "slowest first");
+        assert_eq!(slow[0].queue_us, 9_000_000);
+        assert_eq!(slow[1].queue_us, 5_000_000);
+        assert_eq!(slow[0].wall_us, slow[0].queue_us + slow[0].compute_us);
+        assert!(slow[0].trace_id > 0);
+        // Every request was sampled: the exemplar carries a span tree.
+        let report = snap_obs::RunReport::from_json(slow[0].report.as_deref().unwrap())
+            .expect("valid sampled trace");
+        assert!(report.find("serve.request").is_some());
+        // And the stats meta query serves the same exemplars.
+        let stats = engine.handle(&Request::new(Query::Stats));
+        let parsed = Json::parse(&stats.payload).unwrap();
+        let items = parsed
+            .get("slow_queries")
+            .and_then(Json::as_arr)
+            .expect("slow_queries should be an array");
+        assert_eq!(items.len(), 2);
+        assert!(items[0].get("trace_id").and_then(Json::as_u64).is_some());
+        assert!(items[0].get("trace").is_some(), "exemplar embeds the trace");
+    }
+
+    #[test]
+    fn flight_recorder_is_bounded_and_dump_returns_the_ring() {
+        let engine = engine_on(
+            16,
+            ServeConfig {
+                flight_entries: 4,
+                ..ServeConfig::default()
+            },
+        );
+        for i in 0..6 {
+            engine.handle(&Request::new(Query::Bfs { source: i }));
+        }
+        let (events, dropped) = engine.flight_events();
+        assert_eq!(events.len(), 4, "ring stays bounded");
+        assert_eq!(dropped, 2);
+        assert!(events.windows(2).all(|w| w[0].ts_us <= w[1].ts_us));
+        assert!(events.iter().all(|e| e.what == "request" && e.bytes > 0));
+
+        let dump = engine.handle(&Request::new(Query::Dump));
+        assert_eq!(dump.outcome, Outcome::Miss);
+        let parsed = Json::parse(&dump.payload).unwrap();
+        assert_eq!(parsed.get("events").and_then(Json::as_u64), Some(4));
+        let ring = parsed
+            .get("ring")
+            .and_then(Json::as_arr)
+            .expect("dump carries the ring");
+        assert_eq!(ring.len(), 4);
+        assert!(ring[0].get("trace_id").and_then(Json::as_u64).is_some());
+        // Dump is a meta query: live, never cached (the six BFS answers
+        // are the only entries).
+        assert_eq!(engine.cache_occupancy().0, 6);
+    }
+
+    #[test]
+    fn merges_and_sheds_ride_the_flight_ring_and_write_postmortems() {
+        let path =
+            std::env::temp_dir().join(format!("snap_postmortem_{}.ndjson", std::process::id()));
+        let engine = engine_on(
+            16,
+            ServeConfig {
+                postmortem_path: Some(path.to_string_lossy().into_owned()),
+                ..ServeConfig::default()
+            },
+        );
+        engine.handle(&Request::new(Query::Bfs { source: 1 }));
+        engine.note_merge(7, 1234, 55);
+        let shed = engine.shed_response(&Request::new(Query::Summary { seed: 0 }));
+        assert_eq!(shed.outcome, Outcome::Shed);
+
+        let (events, _) = engine.flight_events();
+        let whats: Vec<&str> = events.iter().map(|e| e.what).collect();
+        assert_eq!(whats, vec!["request", "merge", "shed"]);
+        let merge = &events[1];
+        assert_eq!((merge.epoch, merge.bytes, merge.wall_us), (7, 1234, 55));
+
+        // The shed wrote a post-mortem: header line then one event/line.
+        let text = std::fs::read_to_string(&path).expect("post-mortem written");
+        let mut lines = text.lines();
+        let header = Json::parse(lines.next().unwrap()).unwrap();
+        assert_eq!(header.get("reason").and_then(Json::as_str), Some("shed"));
+        // The shed event itself is recorded before the dump is written.
+        assert_eq!(header.get("events").and_then(Json::as_u64), Some(3));
+        assert_eq!(lines.clone().count(), 3);
+        assert!(lines.all(|l| Json::parse(l).is_ok()));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -188,6 +188,36 @@ pub(crate) fn end_scope(scope: MemScope) -> MemDelta {
     delta
 }
 
+thread_local! {
+    static T_EXEMPT: Cell<bool> = const { Cell::new(false) };
+}
+
+/// RAII guard making the current thread's allocations invisible to the
+/// tracking counters while held. Strictly for observer-plane storage
+/// that lives for the process lifetime (the per-thread trace-event
+/// rings): the counters are asymmetric for exempt memory — a later
+/// tracked free of an exempt allocation would drive `bytes_live`
+/// negative — so nothing allocated under this guard may ever be freed.
+/// Keeps the application's `peak_live` window untouched by how big the
+/// observer's own buffers happen to be.
+pub(crate) struct ExemptGuard(bool);
+
+pub(crate) fn exempt_observer_alloc() -> ExemptGuard {
+    ExemptGuard(T_EXEMPT.with(|c| c.replace(true)))
+}
+
+impl Drop for ExemptGuard {
+    fn drop(&mut self) {
+        let prev = self.0;
+        let _ = T_EXEMPT.try_with(|c| c.set(prev));
+    }
+}
+
+#[inline]
+fn is_exempt() -> bool {
+    T_EXEMPT.try_with(Cell::get).unwrap_or(false)
+}
+
 #[inline]
 fn record_alloc(size: usize) {
     let size = size as u64;
@@ -247,7 +277,7 @@ impl<A> TrackingAlloc<A> {
 unsafe impl<A: GlobalAlloc> GlobalAlloc for TrackingAlloc<A> {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let p = self.inner.alloc(layout);
-        if MEM_TRACK.load(Ordering::Relaxed) && !p.is_null() {
+        if MEM_TRACK.load(Ordering::Relaxed) && !p.is_null() && !is_exempt() {
             record_alloc(layout.size());
         }
         p
@@ -255,14 +285,14 @@ unsafe impl<A: GlobalAlloc> GlobalAlloc for TrackingAlloc<A> {
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         let p = self.inner.alloc_zeroed(layout);
-        if MEM_TRACK.load(Ordering::Relaxed) && !p.is_null() {
+        if MEM_TRACK.load(Ordering::Relaxed) && !p.is_null() && !is_exempt() {
             record_alloc(layout.size());
         }
         p
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        if MEM_TRACK.load(Ordering::Relaxed) {
+        if MEM_TRACK.load(Ordering::Relaxed) && !is_exempt() {
             record_free(layout.size());
         }
         self.inner.dealloc(ptr, layout);
@@ -270,7 +300,7 @@ unsafe impl<A: GlobalAlloc> GlobalAlloc for TrackingAlloc<A> {
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let p = self.inner.realloc(ptr, layout, new_size);
-        if MEM_TRACK.load(Ordering::Relaxed) && !p.is_null() {
+        if MEM_TRACK.load(Ordering::Relaxed) && !p.is_null() && !is_exempt() {
             record_free(layout.size());
             record_alloc(new_size);
         }

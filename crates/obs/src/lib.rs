@@ -69,6 +69,7 @@
 //! ```
 
 pub mod alloc;
+pub mod analyze;
 pub mod diff;
 pub mod hist;
 pub mod json;
@@ -83,7 +84,9 @@ pub use alloc::{
 pub use hist::{HistHandle, HistSnapshot, Histogram};
 pub use json::{Json, JsonError};
 pub use report::{MemSample, MemStats, ReportNode, RunReport};
-pub use ring::{disable_tracing, enable_tracing, is_tracing, TraceEvent};
+pub use ring::{
+    disable_tracing, enable_tracing, is_tracing, set_trace_capacity, trace_capacity, TraceEvent,
+};
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -513,14 +516,22 @@ pub fn take_report() -> Option<RunReport> {
         let mut root = ctx.root.snapshot();
         root.duration_us = ctx.epoch.elapsed().as_micros() as u64;
         root.calls = 1;
-        let (trace, dropped) = if ring::is_tracing() {
+        let (trace, per_ring_dropped) = if ring::is_tracing() {
             ring::drain()
         } else {
-            (Vec::new(), 0)
+            (Vec::new(), Vec::new())
         };
+        let dropped: u64 = per_ring_dropped.iter().map(|&(_, d)| d).sum();
         if !trace.is_empty() || dropped > 0 {
             root.counters
                 .push(("trace_events_dropped".to_string(), dropped));
+        }
+        // Per-thread overwrite counts, so a truncated timeline is
+        // attributable to the ring (tid) that lost events rather than
+        // hiding inside the global total.
+        for (tid, d) in per_ring_dropped {
+            root.counters
+                .push((format!("trace_events_dropped.tid{tid}"), d));
         }
         let mem_samples = drain_mem_samples();
         let depth = ctx.depth;

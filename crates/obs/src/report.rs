@@ -336,7 +336,7 @@ impl ReportNode {
     }
 }
 
-fn fmt_us(us: u64) -> String {
+pub(crate) fn fmt_us(us: u64) -> String {
     if us >= 1_000_000 {
         format!("{:.2}s", us as f64 / 1e6)
     } else if us >= 1_000 {

@@ -27,14 +27,38 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
-/// Events per thread ring. At 16 bytes per slot this is 128 KiB per
-/// worker thread; a drain resets the window, so only events between two
-/// `take_report` calls compete for capacity.
+/// Default events per thread ring. At 16 bytes per slot this is 128 KiB
+/// per worker thread; a drain resets the window, so only events between
+/// two `take_report` calls compete for capacity. Override with
+/// [`set_trace_capacity`] (CLI `--trace-buf` / `SNAP_TRACE_BUF`).
 pub(crate) const RING_CAPACITY: usize = 8192;
+
+/// Floor for configured capacities: a ring must hold at least one
+/// plausible span nest, and a zero capacity would divide by zero in the
+/// wraparound index math.
+const MIN_RING_CAPACITY: usize = 16;
+
+/// Capacity applied to rings created from now on. Existing rings keep
+/// the capacity they were built with (each ring's slot array is fixed at
+/// creation), so configure this before enabling tracing.
+static CAPACITY: AtomicUsize = AtomicUsize::new(RING_CAPACITY);
+
+/// Set the per-thread event-ring capacity (in events) for rings created
+/// after this call. Values below a small floor are clamped. Rings that
+/// already exist are unaffected, so call this before [`enable_tracing`] /
+/// before the traced workload spawns its workers.
+pub fn set_trace_capacity(events: usize) {
+    CAPACITY.store(events.max(MIN_RING_CAPACITY), Ordering::Relaxed);
+}
+
+/// The capacity new per-thread rings will be created with.
+pub fn trace_capacity() -> usize {
+    CAPACITY.load(Ordering::Relaxed)
+}
 
 /// Process-global tracing switch, independent of span collection so the
 /// span fast path stays a single `ACTIVE` load.
@@ -140,7 +164,7 @@ impl Ring {
     fn new() -> Ring {
         Ring {
             tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
-            slots: (0..RING_CAPACITY)
+            slots: (0..trace_capacity())
                 .map(|_| Slot {
                     ts_us: AtomicU64::new(0),
                     word: AtomicU64::new(0),
@@ -155,7 +179,7 @@ impl Ring {
     /// (see the module docs for the handoff argument).
     pub(crate) fn push(&self, name_id: u32, is_begin: bool) {
         let h = self.head.load(Ordering::Acquire);
-        let slot = &self.slots[(h % RING_CAPACITY as u64) as usize];
+        let slot = &self.slots[(h % self.slots.len() as u64) as usize];
         slot.ts_us.store(now_us(), Ordering::Relaxed);
         slot.word
             .store(((name_id as u64) << 1) | is_begin as u64, Ordering::Relaxed);
@@ -179,6 +203,11 @@ pub(crate) fn thread_ring() -> Arc<Ring> {
         if let Some(ring) = slot.as_ref() {
             return Arc::clone(ring);
         }
+        // The ring is observer-plane storage with process lifetime (the
+        // registry never drops it): exempt it from the tracking
+        // allocator so enabling tracing cannot shift the application's
+        // peak_live window by the ring capacity.
+        let _exempt = crate::alloc::exempt_observer_alloc();
         let ring = Arc::new(Ring::new());
         registry().lock().unwrap().push(Arc::clone(&ring));
         *slot = Some(Arc::clone(&ring));
@@ -203,20 +232,22 @@ pub struct TraceEvent {
 }
 
 /// Drain every registered ring: returns the sanitized events (every `B`
-/// paired with an `E`, per-ring order preserved) plus the number of
-/// records lost to wraparound or broken pairs. Rings whose owning threads
-/// are gone stay registered but empty after a drain, so repeated drains
-/// are cheap; the shim's scoped workers are joined before their results
-/// (and guards) reach the caller, so a drain on the coordinator never
-/// races a live writer beyond the published `head`.
-pub(crate) fn drain() -> (Vec<TraceEvent>, u64) {
+/// paired with an `E`, per-ring order preserved) plus, per ring that lost
+/// anything, the `(tid, count)` of records lost to wraparound or broken
+/// pairs. Rings whose owning threads are gone stay registered but empty
+/// after a drain, so repeated drains are cheap; the shim's scoped workers
+/// are joined before their results (and guards) reach the caller, so a
+/// drain on the coordinator never races a live writer beyond the
+/// published `head`.
+pub(crate) fn drain() -> (Vec<TraceEvent>, Vec<(u32, u64)>) {
     let names = resolve_names();
     let mut events = Vec::new();
-    let mut dropped = 0u64;
+    let mut per_ring_dropped: Vec<(u32, u64)> = Vec::new();
     let rings: Vec<Arc<Ring>> = registry().lock().unwrap().clone();
     for ring in rings {
+        let mut dropped = 0u64;
         let head = ring.head.load(Ordering::Acquire);
-        let live_start = head.saturating_sub(RING_CAPACITY as u64);
+        let live_start = head.saturating_sub(ring.slots.len() as u64);
         let drained_to = ring.drained.load(Ordering::Relaxed);
         if drained_to >= head {
             continue;
@@ -230,7 +261,7 @@ pub(crate) fn drain() -> (Vec<TraceEvent>, u64) {
         let mut open: Vec<usize> = Vec::new(); // indices into `pending`
         let mut pending: Vec<(TraceEvent, bool)> = Vec::new(); // (event, keep)
         for i in start..head {
-            let slot = &ring.slots[(i % RING_CAPACITY as u64) as usize];
+            let slot = &ring.slots[(i % ring.slots.len() as u64) as usize];
             let word = slot.word.load(Ordering::Relaxed);
             let ts_us = slot.ts_us.load(Ordering::Relaxed);
             let is_begin = word & 1 == 1;
@@ -273,8 +304,11 @@ pub(crate) fn drain() -> (Vec<TraceEvent>, u64) {
                 dropped += 1;
             }
         }
+        if dropped > 0 {
+            per_ring_dropped.push((ring.tid, dropped));
+        }
     }
-    (events, dropped)
+    (events, per_ring_dropped)
 }
 
 #[cfg(test)]
@@ -288,6 +322,16 @@ mod tests {
 
     use crate::trace_test_lock as lock;
 
+    /// Records lost by the ring with this `tid`, per the drain's
+    /// per-ring accounting.
+    fn dropped_for(tid: u32, drops: &[(u32, u64)]) -> u64 {
+        drops
+            .iter()
+            .filter(|&&(t, _)| t == tid)
+            .map(|&(_, d)| d)
+            .sum()
+    }
+
     #[test]
     fn events_drain_in_order_with_pairs_matched() {
         let _l = lock();
@@ -299,9 +343,9 @@ mod tests {
         ring.push(b, true);
         ring.push(b, false);
         ring.push(a, false);
-        let (events, dropped) = drain();
+        let (events, drops) = drain();
         let mine: Vec<_> = events.iter().filter(|e| e.tid == ring.tid).collect();
-        assert_eq!(dropped, 0);
+        assert_eq!(dropped_for(ring.tid, &drops), 0);
         assert_eq!(
             mine.iter()
                 .map(|e| (e.name.as_str(), e.begin))
@@ -318,26 +362,29 @@ mod tests {
     }
 
     #[test]
-    fn wraparound_drops_oldest_and_counts_them() {
+    fn wraparound_drops_oldest_and_counts_them_per_ring() {
         let _l = lock();
         reset_for_tests();
         let ring = thread_ring();
+        let cap = ring.slots.len() as u64;
         let name = intern("spin");
-        let total = RING_CAPACITY as u64 + 100;
+        let total = cap + 100;
         for _ in 0..total / 2 {
             ring.push(name, true);
             ring.push(name, false);
         }
-        let (events, dropped) = drain();
+        let (events, drops) = drain();
         let mine: Vec<_> = events.into_iter().filter(|e| e.tid == ring.tid).collect();
-        // The newest full window survives; everything older was overwritten.
+        let dropped = dropped_for(ring.tid, &drops);
+        // The newest full window survives; everything older was
+        // overwritten, and the loss is attributed to *this* ring's tid.
         assert_eq!(mine.len() as u64 + dropped, total);
-        assert_eq!(dropped, total - RING_CAPACITY as u64);
+        assert_eq!(dropped, total - cap);
         // The survivors are the *newest* events: their pair structure is
         // intact (the window starts on a B because events were written in
         // B,E,B,E order and the capacity is even).
         assert!(mine[0].begin);
-        assert_eq!(mine.len(), RING_CAPACITY);
+        assert_eq!(mine.len() as u64, cap);
     }
 
     #[test]
@@ -347,9 +394,9 @@ mod tests {
         let ring = thread_ring();
         let name = intern("dangling");
         ring.push(name, true); // no matching E
-        let (events, dropped) = drain();
+        let (events, drops) = drain();
         assert!(events.iter().all(|e| e.tid != ring.tid));
-        assert_eq!(dropped, 1);
+        assert_eq!(dropped_for(ring.tid, &drops), 1);
     }
 
     #[test]
@@ -362,8 +409,38 @@ mod tests {
         ring.push(name, false);
         let (first, _) = drain();
         assert_eq!(first.iter().filter(|e| e.tid == ring.tid).count(), 2);
-        let (second, dropped) = drain();
+        let (second, drops) = drain();
         assert_eq!(second.iter().filter(|e| e.tid == ring.tid).count(), 0);
-        assert_eq!(dropped, 0);
+        assert_eq!(dropped_for(ring.tid, &drops), 0);
+    }
+
+    #[test]
+    fn configured_capacity_applies_to_new_rings() {
+        let _l = lock();
+        reset_for_tests();
+        // Existing rings keep their size; a ring born on a fresh thread
+        // after the set call gets the configured (clamped) capacity.
+        set_trace_capacity(1); // clamps up to the floor
+        assert_eq!(trace_capacity(), MIN_RING_CAPACITY);
+        set_trace_capacity(64);
+        let (tid, seen_cap, survivors) = std::thread::spawn(|| {
+            let ring = thread_ring();
+            let name = intern("tiny");
+            for _ in 0..64 {
+                ring.push(name, true);
+                ring.push(name, false);
+            }
+            (ring.tid, ring.slots.len(), 64usize)
+        })
+        .join()
+        .unwrap();
+        assert_eq!(seen_cap, 64);
+        let (events, drops) = drain();
+        let mine = events.iter().filter(|e| e.tid == tid).count();
+        // 128 events were written into 64 slots: the newest 64 survive.
+        assert_eq!(mine, seen_cap);
+        assert_eq!(dropped_for(tid, &drops), (2 * survivors - seen_cap) as u64);
+        // Restore the default so later tests (and rings) are unaffected.
+        set_trace_capacity(RING_CAPACITY);
     }
 }

@@ -23,7 +23,7 @@
 
 use crate::alloc;
 use crate::json::Json;
-use crate::{Counter, CounterHandle, Gauge, GaugeHandle};
+use crate::{Counter, CounterHandle, Gauge, GaugeHandle, HistHandle, HistSnapshot, Histogram};
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
@@ -34,6 +34,7 @@ use std::time::{Duration, Instant, SystemTime};
 struct Registry {
     counters: Mutex<Vec<(String, Arc<Counter>)>>,
     gauges: Mutex<Vec<(String, Arc<Gauge>)>>,
+    hists: Mutex<Vec<(String, Arc<Histogram>)>>,
 }
 
 fn registry() -> &'static Registry {
@@ -41,6 +42,7 @@ fn registry() -> &'static Registry {
     REGISTRY.get_or_init(|| Registry {
         counters: Mutex::new(Vec::new()),
         gauges: Mutex::new(Vec::new()),
+        hists: Mutex::new(Vec::new()),
     })
 }
 
@@ -73,6 +75,37 @@ pub fn export_gauge(name: &str) -> GaugeHandle {
         }
     };
     GaugeHandle::new(Some(cell))
+}
+
+/// Handle to process-global exported histogram `name`, created on
+/// first use. Like [`mod@crate::hist`] but always live: recordings are
+/// visible to any running [`Sampler`], which exports p50/p90/p99
+/// quantile gauges (`snap_<name>_p50`, ...) through the OpenMetrics
+/// path and a `hists` object on each NDJSON sample.
+pub fn export_hist(name: &str) -> HistHandle {
+    let mut hists = registry().hists.lock().unwrap();
+    let cell = match hists.iter().find(|(n, _)| n == name) {
+        Some((_, h)) => Arc::clone(h),
+        None => {
+            let h = Arc::new(Histogram::default());
+            hists.push((name.to_string(), Arc::clone(&h)));
+            h
+        }
+    };
+    HistHandle(Some(cell))
+}
+
+/// Snapshot every exported histogram (sorted by name).
+pub fn export_hist_values() -> Vec<(String, HistSnapshot)> {
+    let mut hists: Vec<(String, HistSnapshot)> = registry()
+        .hists
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(n, h)| (n.clone(), h.snapshot()))
+        .collect();
+    hists.sort_by(|a, b| a.0.cmp(&b.0));
+    hists
 }
 
 /// Registry snapshot: counter and gauge `(name, value)` lists.
@@ -209,6 +242,7 @@ struct Sample {
     mem: alloc::MemSnapshot,
     counters: Vec<(String, u64)>,
     gauges: Vec<(String, f64)>,
+    hists: Vec<(String, HistSnapshot)>,
 }
 
 fn take_sample(seq: u64, ts_ms: u64) -> Sample {
@@ -219,6 +253,7 @@ fn take_sample(seq: u64, ts_ms: u64) -> Sample {
         mem: alloc::mem_snapshot(),
         counters,
         gauges,
+        hists: export_hist_values(),
     }
 }
 
@@ -259,6 +294,26 @@ impl Sample {
                         .collect(),
                 ),
             ),
+            (
+                "hists".to_string(),
+                Json::Obj(
+                    self.hists
+                        .iter()
+                        .map(|(n, h)| {
+                            (
+                                n.clone(),
+                                Json::Obj(vec![
+                                    ("count".to_string(), Json::Num(h.count as f64)),
+                                    ("p50".to_string(), Json::Num(h.p50() as f64)),
+                                    ("p90".to_string(), Json::Num(h.p90() as f64)),
+                                    ("p99".to_string(), Json::Num(h.p99() as f64)),
+                                    ("max".to_string(), Json::Num(h.max as f64)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
         ])
         .to_string_compact()
     }
@@ -295,6 +350,17 @@ fn openmetrics_text(sample: &Sample) -> String {
         let mut rendered = String::new();
         crate::json::write_f64(&mut rendered, *value);
         gauge(&metric_name(name), rendered);
+    }
+    // Histograms export as quantile gauges with plain suffixed names
+    // (`snap_hit_us_p50 42`, not label syntax) so the exposition stays
+    // strictly `name value` lines — the invariant check_metrics.py and
+    // the no-deps scrapers in CI rely on.
+    for (name, h) in &sample.hists {
+        let base = metric_name(name);
+        gauge(&format!("{base}_count"), h.count.to_string());
+        gauge(&format!("{base}_p50"), h.p50().to_string());
+        gauge(&format!("{base}_p90"), h.p90().to_string());
+        gauge(&format!("{base}_p99"), h.p99().to_string());
     }
     let mut counter = |name: String, value: u64| {
         out.push_str(&format!("# TYPE {name} counter\n{name}_total {value}\n"));
@@ -380,6 +446,111 @@ mod tests {
             parts.next().unwrap().parse::<f64>().unwrap();
             assert!(parts.next().is_none());
         }
+    }
+
+    #[test]
+    fn histograms_export_quantile_series() {
+        let h = export_hist("telemetry_lat_us");
+        for v in [10u64, 20, 30, 40, 1000] {
+            h.record(v);
+        }
+        export_hist("telemetry_lat_us").record(2000);
+        let hists = export_hist_values();
+        let (_, snap) = hists
+            .iter()
+            .find(|(n, _)| n == "telemetry_lat_us")
+            .expect("registered histogram is sampled");
+        assert_eq!(snap.count, 6, "both handles hit the same cell");
+
+        let sample = take_sample(0, 1);
+        let text = openmetrics_text(&sample);
+        for series in [
+            "snap_telemetry_lat_us_count",
+            "snap_telemetry_lat_us_p50",
+            "snap_telemetry_lat_us_p90",
+            "snap_telemetry_lat_us_p99",
+        ] {
+            assert!(
+                text.contains(&format!("# TYPE {series} gauge")),
+                "{series} missing TYPE line in {text}"
+            );
+            assert!(text.contains(&format!("\n{series} ")), "{series} absent");
+        }
+        // Quantiles are ordered and plain `name value` (no label syntax).
+        assert!(!text.contains('{'), "label syntax would break the scrapers");
+        let get = |s: &str| -> u64 {
+            text.lines()
+                .find(|l| l.starts_with(&format!("{s} ")))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+                .unwrap()
+        };
+        assert!(
+            get("snap_telemetry_lat_us_p50") <= get("snap_telemetry_lat_us_p90")
+                && get("snap_telemetry_lat_us_p90") <= get("snap_telemetry_lat_us_p99")
+        );
+        // And the NDJSON line carries the same snapshot.
+        let v = Json::parse(&sample.to_ndjson()).unwrap();
+        let hist = v
+            .get("hists")
+            .and_then(|h| h.get("telemetry_lat_us"))
+            .unwrap();
+        assert_eq!(hist.get("count").and_then(Json::as_u64), Some(6));
+        assert!(hist.get("p99").and_then(Json::as_u64).unwrap() >= 1000);
+    }
+
+    /// Shutdown-flush audit (regression guard): stopping the sampler
+    /// mid-period must still write one final NDJSON line and a terminal
+    /// OpenMetrics snapshot reflecting everything recorded *after* the
+    /// previous periodic sample — even when the period is far longer
+    /// than the run, as in a short CLI invocation with `--stats-every
+    /// 60000`.
+    #[test]
+    fn stop_flushes_a_final_sample_with_late_recordings() {
+        let dir =
+            std::env::temp_dir().join(format!("snap_obs_telemetry_flush_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ndjson = dir.join("flush.ndjson");
+        let config = SamplerConfig::new(&ndjson, Duration::from_secs(3600));
+        let sampler = Sampler::start(config.clone()).unwrap();
+        // Wait for the immediate first sample so the late recording is
+        // provably newer than any periodic write.
+        while std::fs::read_to_string(&ndjson)
+            .map(|s| s.lines().count())
+            .unwrap_or(0)
+            == 0
+        {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        export_counter("telemetry_flush_probe").add(41);
+        export_hist("telemetry_flush_us").record(77);
+        sampler.stop().unwrap();
+
+        let text = std::fs::read_to_string(&ndjson).unwrap();
+        let last = text.lines().last().expect("final sample written");
+        let v = Json::parse(last).unwrap();
+        assert!(
+            v.get("seq").and_then(Json::as_u64) >= Some(1),
+            "stop must append a sample beyond the initial one: {last}"
+        );
+        assert_eq!(
+            v.get("counters")
+                .and_then(|c| c.get("telemetry_flush_probe"))
+                .and_then(Json::as_u64),
+            Some(41),
+            "final NDJSON line must carry post-start counters: {last}"
+        );
+        let om = std::fs::read_to_string(&config.openmetrics).unwrap();
+        assert!(om.ends_with("# EOF\n"), "terminal snapshot incomplete");
+        assert!(
+            om.contains("snap_telemetry_flush_probe_total 41"),
+            "terminal OpenMetrics must reflect the late counter: {om}"
+        );
+        assert!(
+            om.contains("snap_telemetry_flush_us_p50 77"),
+            "terminal OpenMetrics must reflect the late histogram: {om}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

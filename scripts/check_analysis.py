@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Validate the JSON output of `snap-cli obs efficiency` / `obs critical-path`.
+
+Usage: check_analysis.py EFFICIENCY.json CRITICAL.json [--min-threads N]
+
+Holds the analyzer to its own math (exit 1 on any failure):
+  * efficiency is a percentage in [0, 100] and the busy-time identity
+    holds: sum(per_thread busy) == threads * wall * efficiency within
+    5% relative error (the paper-acceptance bound; exact up to the
+    analyzer's 2-decimal rounding);
+  * per-thread busy times are each <= wall, and their max/mean matches
+    the reported imbalance skew (>= 1 by construction);
+  * the serial fraction is a percentage and the Amdahl ceiling derived
+    from it matches the reported speedup ceiling;
+  * the critical path is a root-to-leaf chain: depths increase by one,
+    every step's self_us <= total_us, the steps' self_us sum to
+    critical_path_us exactly, and the path cannot exceed the wall;
+  * with --min-threads, at least that many threads contributed busy
+    time (proof worker threads really emitted events).
+"""
+
+import json
+import sys
+
+
+def expect(cond, msg):
+    if not cond:
+        sys.exit(f"check_analysis: FAIL: {msg}")
+
+
+def main():
+    args = sys.argv[1:]
+    min_threads = 1
+    if "--min-threads" in args:
+        i = args.index("--min-threads")
+        min_threads = int(args[i + 1])
+        del args[i:i + 2]
+    if len(args) != 2:
+        sys.exit(__doc__)
+    eff_path, crit_path = args
+
+    with open(eff_path) as f:
+        eff = json.load(f)
+    with open(crit_path) as f:
+        crit = json.load(f)
+
+    # --- efficiency ---------------------------------------------------
+    for key in ("wall_us", "threads", "total_busy_us", "parallel_efficiency_pct",
+                "imbalance_skew", "serial_us", "serial_fraction_pct",
+                "speedup_ceiling", "per_thread"):
+        expect(key in eff, f"{eff_path}: missing {key}")
+    wall, threads = eff["wall_us"], eff["threads"]
+    pct = eff["parallel_efficiency_pct"]
+    expect(wall > 0, f"wall_us must be positive: {wall}")
+    expect(threads >= min_threads,
+           f"{threads} thread(s) contributed, want >= {min_threads}")
+    expect(0.0 <= pct <= 100.0, f"efficiency out of range: {pct}")
+
+    busy_sum = sum(t["busy_us"] for t in eff["per_thread"])
+    expect(busy_sum == eff["total_busy_us"],
+           f"per_thread busy sums to {busy_sum}, header says {eff['total_busy_us']}")
+    ideal = threads * wall * pct / 100.0
+    if ideal > 0:
+        rel = abs(busy_sum - ideal) / ideal
+        expect(rel <= 0.05,
+               f"busy identity violated: sum {busy_sum} vs "
+               f"{threads} x {wall} x {pct}% = {ideal:.0f} ({rel:.1%} off)")
+    else:
+        expect(busy_sum == 0, f"zero efficiency but busy time {busy_sum}")
+
+    busies = [t["busy_us"] for t in eff["per_thread"]]
+    expect(len(busies) == threads,
+           f"per_thread has {len(busies)} rows, header says {threads}")
+    for t in eff["per_thread"]:
+        expect(t["busy_us"] <= wall,
+               f"tid {t['tid']} busier than the wall: {t['busy_us']} > {wall}")
+    if busies and max(busies) > 0:
+        skew = max(busies) / (sum(busies) / len(busies))
+        expect(abs(skew - eff["imbalance_skew"]) <= 0.011,
+               f"skew {eff['imbalance_skew']} != max/mean {skew:.3f}")
+    expect(eff["imbalance_skew"] >= 1.0 or eff["imbalance_skew"] == 0.0,
+           f"skew below 1: {eff['imbalance_skew']}")
+
+    sf = eff["serial_fraction_pct"]
+    expect(0.0 <= sf <= 100.0, f"serial fraction out of range: {sf}")
+    expect(eff["serial_us"] <= wall,
+           f"serial time exceeds the wall: {eff['serial_us']} > {wall}")
+    expect(abs(sf - 100.0 * eff["serial_us"] / wall) <= 0.011,
+           f"serial fraction {sf}% disagrees with "
+           f"{eff['serial_us']}/{wall}")
+    # The Amdahl-style ceiling is wall/serial from the measured
+    # concurrency sweep (capped at wall when nothing is serial).
+    ceiling = wall / eff["serial_us"] if eff["serial_us"] > 0 else float(wall)
+    expect(abs(ceiling - eff["speedup_ceiling"]) <= 0.011 * max(ceiling, 1.0),
+           f"ceiling {eff['speedup_ceiling']} != wall/serial = {ceiling:.3f}")
+
+    # --- critical path ------------------------------------------------
+    for key in ("critical_path_us", "span_count", "steps"):
+        expect(key in crit, f"{crit_path}: missing {key}")
+    steps = crit["steps"]
+    expect(steps, "critical path has no steps")
+    expect(crit["span_count"] >= len(steps),
+           f"path longer than the tree: {len(steps)} steps, "
+           f"{crit['span_count']} spans")
+    self_sum = 0
+    for i, s in enumerate(steps):
+        for key in ("name", "depth", "total_us", "self_us", "calls"):
+            expect(key in s, f"step {i} missing {key}: {s}")
+        expect(s["depth"] == i, f"step {i} at depth {s['depth']}, want {i}")
+        expect(s["self_us"] <= s["total_us"],
+               f"step {s['name']}: self {s['self_us']} > total {s['total_us']}")
+        expect(s["calls"] >= 1, f"step {s['name']} with zero calls")
+        self_sum += s["self_us"]
+    expect(self_sum == crit["critical_path_us"],
+           f"steps' self_us sum to {self_sum}, header says "
+           f"{crit['critical_path_us']}")
+    # Path self-times exclude off-path siblings, so they can only bound
+    # the root's inclusive time from below.
+    expect(steps[0]["total_us"] >= crit["critical_path_us"],
+           f"path {crit['critical_path_us']}us exceeds the root span "
+           f"{steps[0]['total_us']}us")
+    # The chain nests: each step's total fits inside its parent's.
+    for parent, child in zip(steps, steps[1:]):
+        expect(child["total_us"] <= parent["total_us"],
+               f"{child['name']} ({child['total_us']}us) outgrows its parent "
+               f"{parent['name']} ({parent['total_us']}us)")
+
+    print(f"check_analysis: ok (efficiency {pct}% over {threads} thread(s), "
+          f"critical path {crit['critical_path_us']}us in {len(steps)} steps)")
+
+
+if __name__ == "__main__":
+    main()

@@ -2,7 +2,7 @@
 """End-to-end driver for `snap-cli serve`: spawn the server on a graph,
 run a mixed workload over stdin, and validate the wire protocol.
 
-Usage: serve_smoke.py SNAP_CLI GRAPH [--metrics-out PATH]
+Usage: serve_smoke.py SNAP_CLI GRAPH [--metrics-out PATH] [--slow-log]
 
 Checks (exit 1 on any failure):
   * every request gets exactly one JSON response with the echoed id;
@@ -14,7 +14,13 @@ Checks (exit 1 on any failure):
   * a final `stats` query agrees with the per-response cache outcomes;
   * the server exits 0 on EOF;
   * with --metrics-out, the OpenMetrics exposition carries the
-    snap_serve_* series and its request counter matches the workload.
+    snap_serve_* series and its request counter matches the workload;
+  * with --slow-log, the server runs under `--slow-ms 0 --trace-sample 1`
+    and the driver additionally asserts that every response carries a
+    unique nonzero trace_id, that `stats` returns a non-empty
+    slow_queries array whose entries split queue_us from compute_us and
+    embed a sampled span tree, and that a `dump` meta query returns the
+    flight recorder's non-empty ring.
 """
 
 import json
@@ -59,6 +65,9 @@ def main():
         i = args.index("--metrics-out")
         metrics = args[i + 1]
         del args[i:i + 2]
+    slow_log = "--slow-log" in args
+    if slow_log:
+        args.remove("--slow-log")
     if len(args) != 2:
         sys.exit(__doc__)
     cli, graph = args
@@ -68,14 +77,23 @@ def main():
     cmd = [cli, "serve", graph, "--workers", "1"]
     if metrics:
         cmd += ["--metrics-out", metrics, "--stats-every", "20"]
+    if slow_log:
+        # Threshold 0 puts every request in the slow log; sample rate 1
+        # attaches a span tree to every exemplar.
+        cmd += ["--slow-ms", "0", "--trace-sample", "1"]
     proc = subprocess.Popen(cmd, stdin=subprocess.PIPE,
                             stdout=subprocess.PIPE, text=True)
 
     hits = misses = 0
+    trace_ids = []
     # Cold wave: distinct sources, all misses.
     first = {}
     for i in range(8):
         resp = roundtrip(proc, {"id": i + 1, "query": "bfs", "source": i})
+        if slow_log:
+            expect(resp.get("trace_id", 0) > 0,
+                   f"response missing a nonzero trace_id: {resp}")
+            trace_ids.append(resp["trace_id"])
         for key in ("kind", "epoch", "cache", "degraded", "wall_us", "payload"):
             expect(key in resp, f"response missing {key}: {resp}")
         expect(resp["cache"] == "miss", f"cold query not a miss: {resp}")
@@ -124,6 +142,41 @@ def main():
     expect(stats["shed"] == 0, f"nothing should shed at this load: {stats}")
     expect(stats["degraded"] == 1, f"exactly one degraded answer: {stats}")
     total = hits + misses + 2  # + the two meta queries
+
+    if slow_log:
+        expect(len(set(trace_ids)) == len(trace_ids),
+               f"trace ids must be unique: {trace_ids}")
+        slow = stats.get("slow_queries")
+        expect(isinstance(slow, list) and slow,
+               f"--slow-ms 0 must fill the slow-query log: {stats}")
+        for entry in slow:
+            for key in ("trace_id", "kind", "epoch", "cache",
+                        "queue_us", "compute_us", "wall_us"):
+                expect(key in entry, f"slow-query entry missing {key}: {entry}")
+            expect(entry["trace_id"] > 0, f"slow entry without trace id: {entry}")
+            expect(entry["wall_us"] >= entry["compute_us"],
+                   f"wall must cover compute: {entry}")
+        traced = [e for e in slow if "trace" in e]
+        expect(traced, f"trace_sample 1 must attach span trees: {slow}")
+        for entry in traced:
+            spans = json.dumps(entry["trace"])
+            expect("serve.request" in spans,
+                   f"sampled trace missing the serve.request span: {entry}")
+
+        # The always-on flight recorder has been accumulating the whole
+        # workload; dump must return its ring.
+        resp = roundtrip(proc, {"id": 402, "query": "dump"})
+        dump = resp["payload"]
+        expect(dump.get("events", 0) > 0 and dump.get("ring"),
+               f"flight recorder dump must not be empty: {dump}")
+        expect(len(dump["ring"]) == dump["events"],
+               f"dump event count disagrees with the ring: {dump}")
+        whats = {ev.get("what") for ev in dump["ring"]}
+        expect("request" in whats, f"no request events in the ring: {whats}")
+        for ev in dump["ring"]:
+            for key in ("ts_us", "what", "trace_id", "outcome", "wall_us"):
+                expect(key in ev, f"flight event missing {key}: {ev}")
+        total += 1  # the dump meta query
 
     proc.stdin.close()
     expect(proc.wait(timeout=60) == 0, "server must exit 0 on EOF")

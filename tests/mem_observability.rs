@@ -215,3 +215,34 @@ fn ccsr_bytes_gauge_matches_allocator_ground_truth() {
         .expect("ccsr_bytes gauge present");
     assert_eq!(gauge, claimed as f64);
 }
+
+/// Enabling tracing allocates a per-thread event ring (process-lifetime
+/// observer storage); that allocation must be invisible to the tracking
+/// counters, or switching tracing on would shift every benchmark's
+/// peak_live by the ring capacity. The per-thread counters are
+/// deterministic, so the probe thread measures exactly its own ring.
+#[test]
+fn trace_rings_are_exempt_from_the_tracking_allocator() {
+    let _l = lock();
+    snap::obs::enable_mem_tracking();
+    snap::obs::enable_tracing();
+    let ring_bytes = snap::obs::trace_capacity() as u64 * 16; // two u64 words per slot
+    let delta = std::thread::spawn(move || {
+        let before = snap::obs::thread_mem();
+        // First traced event on this thread forces its ring into
+        // existence (plus a few tracked bytes of name interning).
+        let t = snap::obs::task("mem.exempt.probe");
+        drop(t);
+        let after = snap::obs::thread_mem();
+        after.allocated - before.allocated
+    })
+    .join()
+    .unwrap();
+    snap::obs::disable_tracing();
+    snap::obs::disable_mem_tracking();
+    assert!(
+        delta < ring_bytes / 2,
+        "ring allocation leaked into the tracking counters: {delta} bytes \
+         tracked on the probe thread, ring is {ring_bytes} bytes"
+    );
+}

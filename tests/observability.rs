@@ -108,6 +108,62 @@ fn counters_agree_across_thread_counts() {
 }
 
 #[test]
+fn critical_path_analysis_is_deterministic_across_thread_counts() {
+    // The analyzer is pure post-processing: feeding the *same* fixture
+    // report through `analyze::critical_path` / `analyze::efficiency`
+    // while the runtime pool is sized 1, 4, or 8 threads must produce
+    // byte-identical text and JSON. This is what lets CI compare
+    // `obs critical-path` output across machines.
+    let net = small_world();
+    let obs = net.observed();
+    snap::obs::enable_tracing();
+    let _ = obs.bfs_stats(0);
+    let _ = obs.communities(CommunityAlgorithm::Divisive);
+    let fixture = obs.finish();
+    snap::obs::disable_tracing();
+
+    let mut renders = Vec::new();
+    for threads in [1usize, 4, 8] {
+        let out = snap::with_threads(threads, || {
+            let cp = snap::obs::analyze::critical_path(&fixture);
+            let eff = snap::obs::analyze::efficiency(&fixture);
+            (cp.render(), cp.to_json(), eff.render(), eff.to_json())
+        });
+        renders.push((threads, out));
+    }
+    for pair in renders.windows(2) {
+        assert_eq!(
+            pair[0].1, pair[1].1,
+            "analyzer output varies with pool size"
+        );
+    }
+
+    // And the analysis is self-consistent: every critical-path step names
+    // a span that exists in the report, and the gauges the bench suite
+    // folds into baselines match a fresh analysis.
+    let cp = snap::obs::analyze::critical_path(&fixture);
+    assert!(!cp.steps.is_empty());
+    for step in &cp.steps {
+        assert!(
+            fixture.find(&step.name).is_some(),
+            "step {} not in report",
+            step.name
+        );
+    }
+    let gauges = snap::obs::analyze::key_gauges(&fixture);
+    let eff = snap::obs::analyze::efficiency(&fixture);
+    let g = |n: &str| {
+        gauges
+            .iter()
+            .find(|(k, _)| k == n)
+            .map(|(_, v)| *v)
+            .unwrap()
+    };
+    assert_eq!(g("critical_path_us"), cp.critical_path_us as f64);
+    assert_eq!(g("parallel_efficiency_pct"), eff.parallel_efficiency_pct);
+}
+
+#[test]
 fn kernels_attach_latency_histograms() {
     let net = small_world();
     let obs = net.observed();
